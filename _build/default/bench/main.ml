@@ -1,0 +1,116 @@
+(* Benchmark harness: regenerates every table and figure of the paper's
+   evaluation (via the Experiments registry), then runs Bechamel
+   microbenchmarks of the data-plane hot paths.
+
+   Usage: main.exe [--quick] [--no-micro] [experiment ids...] *)
+
+let microbench () =
+  print_endline "== Microbenchmarks: data-plane hot paths (model code) ==";
+  let rng = Scallop_util.Rng.create 99 in
+  let video_pkt =
+    let src = Codec.Video_source.create rng (Codec.Video_source.default_config ~ssrc:7) in
+    let frame = Codec.Video_source.next_frame src ~time_ns:0 in
+    List.hd frame.Codec.Video_source.packets
+  in
+  let video_buf = Rtp.Packet.serialize video_pkt in
+  let dd_buf = Option.get (Rtp.Packet.find_extension video_pkt Av1.Dd.extension_id) in
+  let remb_buf =
+    Rtp.Rtcp.serialize_compound
+      [
+        Rtp.Rtcp.Receiver_report { ssrc = 7; reports = [] };
+        Rtp.Rtcp.Remb { sender_ssrc = 7; bitrate_bps = 2_000_000; ssrcs = [ 7 ] };
+      ]
+  in
+  (* a populated PRE: one NRA-style tree with 10 participants *)
+  let pre = Tofino.Pre.create () in
+  let nodes =
+    List.init 10 (fun i ->
+        Tofino.Pre.create_l1_node pre ~rid:i ~l1_xid:1 ~prune_enabled:true ~ports:[ i ] ())
+  in
+  Tofino.Pre.create_tree pre ~mgid:1 ~nodes;
+  Tofino.Pre.set_l2_xid_ports pre ~xid:3 ~ports:[ 3 ];
+  let rewriter = Scallop.Seq_rewrite.create Scallop.Seq_rewrite.S_LR ~target:Av1.Dd.DT_15fps in
+  let seq = ref 0 and frame = ref 0 in
+  let stage = Bechamel.Staged.stage in
+  let tests =
+    Bechamel.Test.make_grouped ~name:"dataplane"
+      [
+        Bechamel.Test.make ~name:"rtp_parse" (stage (fun () -> ignore (Rtp.Packet.parse video_buf)));
+        Bechamel.Test.make ~name:"rtp_serialize" (stage (fun () -> ignore (Rtp.Packet.serialize video_pkt)));
+        Bechamel.Test.make ~name:"av1_dd_parse" (stage (fun () -> ignore (Av1.Dd.parse dd_buf)));
+        Bechamel.Test.make ~name:"demux_classify" (stage (fun () -> ignore (Rtp.Demux.classify video_buf)));
+        Bechamel.Test.make ~name:"rtcp_parse_remb" (stage (fun () -> ignore (Rtp.Rtcp.parse_compound remb_buf)));
+        Bechamel.Test.make ~name:"pre_replicate_10way"
+          (stage (fun () -> ignore (Tofino.Pre.replicate pre ~mgid:1 ~l1_xid:2 ~rid:3 ~l2_xid:3)));
+        Bechamel.Test.make ~name:"seq_rewrite_slr"
+          (stage (fun () ->
+               seq := (!seq + 1) land 0xFFFF;
+               if !seq land 7 = 0 then frame := (!frame + 1) land 0xFFFF;
+               ignore
+                 (Scallop.Seq_rewrite.on_packet rewriter ~seq:!seq ~frame:!frame
+                    ~start_of_frame:(!seq land 7 = 1) ~end_of_frame:(!seq land 7 = 0))));
+      ]
+  in
+  let instance = Bechamel.Toolkit.Instance.monotonic_clock in
+  let cfg = Bechamel.Benchmark.cfg ~limit:1000 ~quota:(Bechamel.Time.second 0.5) () in
+  let raw = Bechamel.Benchmark.all cfg [ instance ] tests in
+  let analysis =
+    Bechamel.Analyze.ols ~r_square:false ~bootstrap:0 ~predictors:[| Bechamel.Measure.run |]
+  in
+  let table =
+    Scallop_util.Table.create ~title:"nanoseconds per operation" ~columns:[ "op"; "ns/run" ]
+  in
+  Hashtbl.fold (fun name r acc -> (name, r) :: acc) raw []
+  |> List.sort compare
+  |> List.iter (fun (name, r) ->
+         let est = Bechamel.Analyze.one analysis instance r in
+         match Bechamel.Analyze.OLS.estimates est with
+         | Some (ns :: _) -> Scallop_util.Table.add_row table [ name; Printf.sprintf "%.1f" ns ]
+         | Some [] | None -> ());
+  Scallop_util.Table.print table
+
+(* --csv <dir>: every printed table is also written as <dir>/<title>.csv *)
+let install_csv_sink dir =
+  (try Unix.mkdir dir 0o755 with Unix.Unix_error (Unix.EEXIST, _, _) -> ());
+  let sanitize title =
+    String.map (fun c -> if ('a' <= Char.lowercase_ascii c && Char.lowercase_ascii c <= 'z') || ('0' <= c && c <= '9') then c else '_') title
+  in
+  Scallop_util.Table.set_csv_sink
+    (Some
+       (fun ~title ~csv ->
+         let path = Filename.concat dir (sanitize title ^ ".csv") in
+         let oc = open_out path in
+         output_string oc csv;
+         close_out oc))
+
+let rec find_csv_dir = function
+  | "--csv" :: dir :: _ -> Some dir
+  | _ :: rest -> find_csv_dir rest
+  | [] -> None
+
+let () =
+  let args = Array.to_list Sys.argv |> List.tl in
+  let quick = List.mem "--quick" args in
+  let no_micro = List.mem "--no-micro" args in
+  Option.iter install_csv_sink (find_csv_dir args);
+  let ids =
+    let rec strip = function
+      | "--csv" :: _ :: rest -> strip rest
+      | a :: rest when String.length a >= 2 && String.sub a 0 2 = "--" -> strip rest
+      | a :: rest -> a :: strip rest
+      | [] -> []
+    in
+    strip args
+  in
+  print_endline "=== Scallop paper reproduction: all tables and figures ===";
+  Printf.printf "mode: %s\n\n" (if quick then "quick" else "full");
+  (match ids with
+  | [] -> Experiments.Registry.run_all ~quick ()
+  | ids ->
+      List.iter
+        (fun id ->
+          match Experiments.Registry.find id with
+          | Some e -> e.run ~quick ()
+          | None -> Printf.printf "unknown experiment id %S\n" id)
+        ids);
+  if not no_micro then microbench ()

@@ -1,0 +1,241 @@
+(* Command-line front end for the Scallop reproduction: list and run the
+   paper's experiments, or print the capacity model for a given meeting
+   shape. *)
+
+open Cmdliner
+
+let quick_arg =
+  let doc = "Run a reduced-scale version of the experiment." in
+  Arg.(value & flag & info [ "quick" ] ~doc)
+
+let list_cmd =
+  let run () =
+    let table =
+      Scallop_util.Table.create ~title:"Experiments (paper artefacts)"
+        ~columns:[ "id"; "title"; "paper claim" ]
+    in
+    List.iter
+      (fun (e : Experiments.Registry.entry) ->
+        Scallop_util.Table.add_row table [ e.id; e.title; e.paper_claim ])
+      Experiments.Registry.all;
+    Scallop_util.Table.print table
+  in
+  Cmd.v (Cmd.info "list" ~doc:"List every reproducible table and figure.")
+    Term.(const run $ const ())
+
+let run_cmd =
+  let ids =
+    let doc = "Experiment ids (see $(b,list)); empty means all." in
+    Arg.(value & pos_all string [] & info [] ~docv:"ID" ~doc)
+  in
+  let run quick ids =
+    match ids with
+    | [] ->
+        Experiments.Registry.run_all ~quick ();
+        Ok ()
+    | ids ->
+        List.fold_left
+          (fun acc id ->
+            match Experiments.Registry.find id with
+            | Some e ->
+                e.run ~quick ();
+                acc
+            | None -> Error (`Msg (Printf.sprintf "unknown experiment %S (try 'list')" id)))
+          (Ok ()) ids
+  in
+  Cmd.v
+    (Cmd.info "run" ~doc:"Run one or more experiments (all by default).")
+    Term.(term_result (const run $ quick_arg $ ids))
+
+let capacity_cmd =
+  let participants =
+    Arg.(value & opt int 10 & info [ "n"; "participants" ] ~doc:"Participants per meeting.")
+  in
+  let senders =
+    Arg.(value & opt (some int) None & info [ "s"; "senders" ] ~doc:"Senders (default: all).")
+  in
+  let run participants senders =
+    let senders = Option.value senders ~default:participants in
+    let table =
+      Scallop_util.Table.create
+        ~title:
+          (Printf.sprintf "Meetings supported (%d participants, %d senders)" participants
+             senders)
+        ~columns:[ "design"; "meetings"; "bottleneck"; "gain vs 32-core server" ]
+    in
+    let designs =
+      if participants = 2 then [ ("two-party", Scallop.Capacity.Two_party) ]
+      else
+        [
+          ("NRA", Scallop.Capacity.Nra);
+          ("RA-R", Scallop.Capacity.Ra_r);
+          ("RA-SR", Scallop.Capacity.Ra_sr);
+        ]
+    in
+    List.iter
+      (fun (name, design) ->
+        let what, meetings =
+          Scallop.Capacity.bottleneck design ~participants ~senders ()
+        in
+        let gain = Scallop.Capacity.gain_over_software design ~participants ~senders () in
+        Scallop_util.Table.add_row table
+          [ name; string_of_int meetings; what; Printf.sprintf "%.1fx" gain ])
+      designs;
+    Scallop_util.Table.print table
+  in
+  Cmd.v
+    (Cmd.info "capacity" ~doc:"Print the capacity model for a meeting shape.")
+    Term.(const run $ participants $ senders)
+
+let simulate_cmd =
+  let participants =
+    Arg.(value & opt int 3 & info [ "n"; "participants" ] ~doc:"Participants.")
+  in
+  let senders =
+    Arg.(value & opt (some int) None & info [ "s"; "senders" ] ~doc:"Senders (default: all).")
+  in
+  let seconds =
+    Arg.(value & opt float 10.0 & info [ "d"; "duration" ] ~doc:"Simulated seconds.")
+  in
+  let downlink_mbps =
+    Arg.(value & opt (some float) None
+         & info [ "downlink" ] ~doc:"Cap the last participant's downlink (Mb/s).")
+  in
+  let run participants senders seconds downlink_mbps =
+    let senders = Option.value senders ~default:participants in
+    let stack = Experiments.Common.make_scallop ~seed:99 () in
+    let _mid, members =
+      Experiments.Common.scallop_meeting stack ~participants ~senders ()
+    in
+    Option.iter
+      (fun mbps ->
+        Netsim.Link.set_rate
+          (Netsim.Network.downlink stack.Experiments.Common.network
+             ~ip:(Experiments.Common.client_ip (participants - 1)))
+          (mbps *. 1e6))
+      downlink_mbps;
+    Netsim.Engine.run stack.Experiments.Common.engine
+      ~until:(Netsim.Engine.sec seconds);
+    let table =
+      Scallop_util.Table.create ~title:"Per-stream receive quality"
+        ~columns:[ "receiver"; "sender"; "decoded fps"; "jitter (ms)"; "freezes" ]
+    in
+    let pids = List.map fst members in
+    List.iter
+      (fun rx_pid ->
+        List.iter
+          (fun tx_pid ->
+            if rx_pid <> tx_pid then
+              match
+                Scallop.Controller.recv_connection stack.Experiments.Common.controller
+                  rx_pid ~from:tx_pid
+              with
+              | None -> ()
+              | Some conn -> (
+                  match Webrtc.Client.receiver conn with
+                  | None -> ()
+                  | Some rx ->
+                      Scallop_util.Table.add_row table
+                        [
+                          string_of_int rx_pid;
+                          string_of_int tx_pid;
+                          Scallop_util.Table.cell_f ~decimals:1
+                            (float_of_int (Codec.Video_receiver.frames_decoded rx)
+                            /. seconds);
+                          Scallop_util.Table.cell_f (Codec.Video_receiver.jitter_ms rx);
+                          Scallop_util.Table.cell_i (Codec.Video_receiver.freezes rx);
+                        ]))
+          pids)
+      pids;
+    Scallop_util.Table.print table;
+    let c = Scallop.Dataplane.ingress_counters stack.Experiments.Common.dp in
+    let dp_pkts = c.rtp_audio_pkts + c.rtp_video_pkts + c.rtcp_sr_sdes_pkts in
+    Printf.printf "data plane: %d pkts; agent CPU copies: %d; migrations: %d
+" dp_pkts
+      (Scallop.Dataplane.cpu_pkts stack.Experiments.Common.dp)
+      (Scallop.Switch_agent.migrations stack.Experiments.Common.agent)
+  in
+  Cmd.v
+    (Cmd.info "simulate" ~doc:"Run one meeting through Scallop and print a QoE report.")
+    Term.(const run $ participants $ senders $ seconds $ downlink_mbps)
+
+let trace_cmd =
+  let meetings =
+    Arg.(value & opt int 19_704 & info [ "meetings" ] ~doc:"Meetings to synthesize.")
+  in
+  let days = Arg.(value & opt int 14 & info [ "days" ] ~doc:"Horizon in days.") in
+  let seed = Arg.(value & opt int 7 & info [ "seed" ] ~doc:"Generator seed.") in
+  let csv =
+    Arg.(value & opt (some string) None & info [ "csv" ] ~doc:"Directory for CSV dumps.")
+  in
+  let run meetings days seed csv =
+    (match csv with
+    | None -> ()
+    | Some dir ->
+        (try Unix.mkdir dir 0o755 with Unix.Unix_error (Unix.EEXIST, _, _) -> ());
+        Scallop_util.Table.set_csv_sink
+          (Some
+             (fun ~title ~csv ->
+               let name =
+                 String.map
+                   (fun c -> if ('a' <= Char.lowercase_ascii c && Char.lowercase_ascii c <= 'z') || ('0' <= c && c <= '9') then c else '_')
+                   title
+               in
+               let oc = open_out (Filename.concat dir (name ^ ".csv")) in
+               output_string oc csv;
+               close_out oc)));
+    let dataset = Trace.Dataset.generate (Scallop_util.Rng.create seed) ~days ~meetings () in
+    Printf.printf "synthesized %d meetings over %d days (%.0f%% two-party)
+
+"
+      (Array.length dataset.Trace.Dataset.meetings)
+      days
+      (100.0 *. Trace.Dataset.two_party_fraction dataset);
+    let fig2 =
+      Scallop_util.Table.create ~title:"streams at the SFU per meeting size"
+        ~columns:[ "participants"; "min"; "median"; "max"; "2N^2 bound" ]
+    in
+    List.iter
+      (fun (size, mn, md, mx, bound) ->
+        if size <= 40 then
+          Scallop_util.Table.add_row fig2
+            [
+              string_of_int size; string_of_int mn;
+              Scallop_util.Table.cell_f ~decimals:1 md; string_of_int mx;
+              string_of_int bound;
+            ])
+      (Trace.Dataset.fig2_rows dataset);
+    Scallop_util.Table.print fig2;
+    let meetings_ts, participants_ts =
+      Trace.Dataset.concurrency_series dataset ~bin_ns:3_600_000_000_000
+    in
+    let conc =
+      Scallop_util.Table.create ~title:"hourly concurrency"
+        ~columns:[ "hour"; "meetings"; "participants" ]
+    in
+    let parts = Scallop_util.Timeseries.bins participants_ts in
+    Array.iteri
+      (fun i (time, m) ->
+        if i < Array.length parts then
+          Scallop_util.Table.add_row conc
+            [
+              string_of_int (time / 3_600_000_000_000);
+              Scallop_util.Table.cell_f ~decimals:0 m;
+              Scallop_util.Table.cell_f ~decimals:0 (snd parts.(i));
+            ])
+      (Scallop_util.Timeseries.bins meetings_ts);
+    (match csv with
+    | Some _ -> Scallop_util.Table.print conc
+    | None -> Printf.printf "(pass --csv DIR to dump the %d-hour concurrency series)
+"
+                (Array.length (Scallop_util.Timeseries.bins meetings_ts)));
+    Scallop_util.Table.set_csv_sink None
+  in
+  Cmd.v
+    (Cmd.info "trace" ~doc:"Synthesize the campus workload and dump its distributions.")
+    Term.(const run $ meetings $ days $ seed $ csv)
+
+let () =
+  let doc = "Scallop (SIGCOMM'25) reproduction: SDN-based selective forwarding unit" in
+  let info = Cmd.info "scallop" ~version:"1.0.0" ~doc in
+  exit (Cmd.eval (Cmd.group info [ list_cmd; run_cmd; capacity_cmd; simulate_cmd; trace_cmd ]))

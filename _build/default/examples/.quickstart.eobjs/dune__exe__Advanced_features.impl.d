@@ -1,0 +1,1 @@
+examples/advanced_features.ml: Codec Netsim Option Printf Scallop Scallop_util Webrtc

@@ -1,0 +1,1 @@
+examples/advanced_features.mli:

@@ -1,0 +1,1 @@
+examples/campus_scale.ml: Array Float Printf Scallop Scallop_util Sfu Trace

@@ -1,0 +1,1 @@
+examples/campus_scale.mli:

@@ -1,0 +1,1 @@
+examples/cascade.ml: Codec Netsim Option Printf Scallop Scallop_util Webrtc

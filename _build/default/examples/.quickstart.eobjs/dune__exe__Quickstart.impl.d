@@ -1,0 +1,1 @@
+examples/quickstart.ml: Codec List Netsim Option Printf Scallop Scallop_util Webrtc

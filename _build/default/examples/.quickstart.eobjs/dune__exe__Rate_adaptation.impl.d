@@ -1,0 +1,1 @@
+examples/rate_adaptation.ml: Av1 Codec Experiments List Netsim Option Printf Scallop Webrtc

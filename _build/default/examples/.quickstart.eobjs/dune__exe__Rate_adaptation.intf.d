@@ -1,0 +1,1 @@
+examples/rate_adaptation.mli:

@@ -1,0 +1,1 @@
+examples/two_party.ml: Experiments Netsim Printf Scallop Sfu Tofino

@@ -1,0 +1,48 @@
+(* Campus-scale what-if: replay the synthetic campus workload (Appendix B)
+   against the capacity models. How many Scallop switches vs 32-core
+   servers would the busiest minute of the two weeks need, and how many
+   bytes would reach software in each architecture?
+
+     dune exec examples/campus_scale.exe *)
+
+module Rng = Scallop_util.Rng
+module Timeseries = Scallop_util.Timeseries
+
+let () =
+  let dataset = Trace.Dataset.generate (Rng.create 123) () in
+  Printf.printf "synthetic campus dataset: %d meetings over %d days (%.0f%% two-party)\n\n"
+    (Array.length dataset.meetings)
+    (dataset.horizon_ns / (24 * 3_600_000_000_000))
+    (100.0 *. Trace.Dataset.two_party_fraction dataset);
+
+  (* the busiest minute *)
+  let meetings_ts, participants_ts =
+    Trace.Dataset.concurrency_series dataset ~bin_ns:60_000_000_000
+  in
+  let peak ts = Timeseries.fold ts ~init:0.0 ~f:(fun acc _ v -> Float.max acc v) in
+  let peak_meetings = peak meetings_ts and peak_participants = peak participants_ts in
+  Printf.printf "busiest minute: %.0f concurrent meetings, %.0f participants\n"
+    peak_meetings peak_participants;
+
+  (* capacity: assume the average meeting shape (4 participants, all send) *)
+  let scallop_cap =
+    Scallop.Capacity.meetings_supported Scallop.Capacity.Nra ~participants:4 ~senders:4 ()
+  in
+  let server_cap = Sfu.Capacity.meetings_supported ~participants:4 ~senders:4 ~media_types:2 () in
+  let need cap = int_of_float (Float.ceil (peak_meetings /. float_of_int cap)) in
+  Printf.printf
+    "to host the peak: %d Scallop switch(es) (%d meetings each) vs %d server(s) (%d meetings each)\n\n"
+    (need scallop_cap) scallop_cap (need server_cap) server_cap;
+
+  (* the byte-rate story of Fig. 22 *)
+  let software, agent = Trace.Dataset.byte_rate_series dataset ~bin_ns:300_000_000_000 in
+  let peak_rate ts =
+    Array.fold_left
+      (fun acc (_, v) -> Float.max acc v)
+      0.0
+      (Timeseries.rates_per_second ts)
+    *. 8.0 /. 1e6
+  in
+  Printf.printf
+    "peak software-SFU load: %.0f Mb/s of media; Scallop's switch agent would see %.1f Mb/s\n"
+    (peak_rate software) (peak_rate agent)

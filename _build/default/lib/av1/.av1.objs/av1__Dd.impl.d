@@ -1,0 +1,1 @@
+lib/av1/dd.ml: Array Format Printf Rtp

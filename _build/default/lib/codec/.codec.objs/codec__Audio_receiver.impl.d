@@ -1,0 +1,1 @@
+lib/codec/audio_receiver.ml: Array Float Hashtbl Rtp

@@ -1,0 +1,1 @@
+lib/codec/audio_receiver.mli: Rtp

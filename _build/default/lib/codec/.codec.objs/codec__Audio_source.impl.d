@@ -1,0 +1,1 @@
+lib/codec/audio_source.ml: Bytes Rtp Scallop_util

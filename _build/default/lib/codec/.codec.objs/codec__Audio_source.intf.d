@@ -1,0 +1,1 @@
+lib/codec/audio_source.mli: Rtp Scallop_util

@@ -1,0 +1,1 @@
+lib/codec/rate_policy.mli: Av1

@@ -1,0 +1,1 @@
+lib/codec/simulcast_source.ml: Array Scallop_util Video_source

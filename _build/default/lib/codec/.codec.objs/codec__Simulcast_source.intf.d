@@ -1,0 +1,1 @@
+lib/codec/simulcast_source.mli: Scallop_util Video_source

@@ -1,0 +1,1 @@
+lib/codec/video_receiver.ml: Array Av1 Bytes Float Hashtbl List Rtp Scallop_util

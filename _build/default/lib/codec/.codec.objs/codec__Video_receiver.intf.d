@@ -1,0 +1,1 @@
+lib/codec/video_receiver.mli: Rtp Scallop_util

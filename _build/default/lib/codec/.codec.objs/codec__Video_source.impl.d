@@ -1,0 +1,1 @@
+lib/codec/video_source.ml: Av1 Bytes List Rtp Scallop_util

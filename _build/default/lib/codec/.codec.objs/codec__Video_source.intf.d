@@ -1,0 +1,1 @@
+lib/codec/video_source.mli: Av1 Rtp Scallop_util

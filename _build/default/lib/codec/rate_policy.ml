@@ -1,0 +1,43 @@
+module Dd = Av1.Dd
+
+(* Byte shares follow the layer weights in Video_source: a full 4-frame
+   cycle weighs 1.5 + 0.75 + 1.0 + 0.75 = 4.0, of which T0 contributes
+   1.5, T1 1.0 and the two T2 frames 1.5. *)
+let layer_bitrate_share = function
+  | Dd.DT_30fps -> 1.0
+  | Dd.DT_15fps -> 2.5 /. 4.0
+  | Dd.DT_7_5fps -> 1.5 /. 4.0
+
+(* When a receiver is held at a reduced target, its bandwidth estimate is
+   capped near the reduced receive rate (GCC grows at most to ~1.5x the
+   incoming rate), so "estimate >= cost of the higher layer" can never be
+   observed directly. Upgrades therefore trigger on generous headroom over
+   the *current* target's cost, stepping one level at a time. *)
+let upgrade_headroom = 1.25
+let upgrade_next_margin = 0.88
+
+let next_up = function
+  | Dd.DT_7_5fps -> Some Dd.DT_15fps
+  | Dd.DT_15fps -> Some Dd.DT_30fps
+  | Dd.DT_30fps -> None
+
+let select_decode_target ~current ~estimate_bps ~full_bitrate_bps =
+  let cost dt = layer_bitrate_share dt *. float_of_int full_bitrate_bps in
+  let est = float_of_int estimate_bps in
+  let affordable dt = est >= cost dt in
+  let downgrade =
+    (* highest target the estimate still affords *)
+    if affordable Dd.DT_30fps then Dd.DT_30fps
+    else if affordable Dd.DT_15fps then Dd.DT_15fps
+    else Dd.DT_7_5fps
+  in
+  if Dd.index_of_target downgrade < Dd.index_of_target current then downgrade
+  else
+    match next_up current with
+    | None -> current
+    | Some candidate ->
+        if
+          est >= upgrade_headroom *. cost current
+          && est >= upgrade_next_margin *. cost candidate
+        then candidate
+        else current

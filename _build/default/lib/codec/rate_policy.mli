@@ -1,0 +1,24 @@
+(** The default quality-selection heuristic shared by the software SFU and
+    Scallop's switch agent: fixed capacity-estimate thresholds mapping a
+    bandwidth estimate to an L1T3 decode target (paper §5.4 implements
+    exactly such a threshold heuristic, while allowing adopters to plug in
+    arbitrary algorithms). *)
+
+val select_decode_target :
+  current:Av1.Dd.decode_target ->
+  estimate_bps:int ->
+  full_bitrate_bps:int ->
+  Av1.Dd.decode_target
+(** Downgrades pick the highest target the estimate affords; upgrades step
+    one level at a time once the estimate shows generous headroom over the
+    current target's cost (a reduced target caps the observable estimate
+    near the reduced receive rate, so headroom-over-current is the only
+    recoverable signal). Legacy notes:
+    an upgrade requires headroom (estimate above 1.15x the layer's cost)
+    while a downgrade happens as soon as the estimate falls below it.
+    Dropping to 15 fps roughly saves the T2 share of bytes, 7.5 fps the
+    T1+T2 share (layer weights from {!Video_source}). *)
+
+val layer_bitrate_share : Av1.Dd.decode_target -> float
+(** Fraction of the full stream bitrate needed for a decode target:
+    1.0 for 30 fps, ~0.69 for 15 fps, ~0.47 for 7.5 fps. *)

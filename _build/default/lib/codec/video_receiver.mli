@@ -1,0 +1,55 @@
+(** Receiver-side decoder model for one SVC video stream.
+
+    Reproduces the WebRTC receiver behaviour the paper's design hinges on
+    (§6.2): sequence gaps are treated as network loss and trigger NACKs,
+    while a sequence number that is reused for *different* data corrupts
+    decoder state and freezes playback until the next key frame. Frames
+    are assembled from packets, checked against their L1T3 dependencies,
+    and counted into receive-fps / bitrate / jitter statistics — the
+    quantities plotted in Figs. 3, 4 and 14. *)
+
+type t
+
+val create : ?nack_delay_ns:int -> ?pli_timeout_ns:int -> ssrc:int -> unit -> t
+(** [nack_delay_ns] is the reordering tolerance before a gap is NACKed
+    (default 30 ms); [pli_timeout_ns] the freeze duration before a PLI is
+    requested (default 500 ms). *)
+
+val receive : t -> time_ns:int -> Rtp.Packet.t -> unit
+
+val poll_nacks : t -> time_ns:int -> int list
+(** Sequence numbers overdue for retransmission; each is returned once. *)
+
+val poll_pli : t -> time_ns:int -> bool
+(** [true] if the decoder is broken/starved and a PLI should be sent now
+    (throttled internally to one per timeout period). *)
+
+(** Statistics *)
+
+val frames_decoded : t -> int
+val frames_incomplete : t -> int
+val frames_undecodable : t -> int
+val freezes : t -> int
+val frozen : t -> bool
+val nacks_sent : t -> int
+val duplicates : t -> int
+val packets_received : t -> int
+val bytes_received : t -> int
+val jitter_ms : t -> float
+(** RFC 3550 interarrival jitter estimate, in milliseconds. *)
+
+val fps_series : t -> Scallop_util.Timeseries.t
+(** Decoded frames per 1 s bin. *)
+
+val bitrate_series : t -> Scallop_util.Timeseries.t
+(** Received media bytes per 1 s bin (all packets, decodable or not). *)
+
+val jitter_percentile_series : t -> p:float -> (float * float) array
+(** [(bin_start_seconds, pth-percentile jitter in ms)] per 1 s bin, from
+    the per-packet jitter estimates observed in that bin. *)
+
+val mouth_to_ear_ms : t -> p:float -> float
+(** Percentile of the capture-to-decode delay over all decoded frames
+    (computed from the 90 kHz RTP timestamp vs decode time) — the
+    "mouth-to-ear" component the SFU contributes to (paper §2.2).
+    @raise Invalid_argument if nothing decoded. *)

@@ -1,0 +1,1 @@
+lib/experiments/ablations.ml: Array Codec Common Netsim Option Scallop Scallop_util Webrtc

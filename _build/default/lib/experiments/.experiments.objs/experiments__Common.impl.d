@@ -1,0 +1,1 @@
+lib/experiments/common.ml: List Netsim Printf Scallop Scallop_util Sfu Webrtc

@@ -1,0 +1,1 @@
+lib/experiments/common.mli: Netsim Scallop Scallop_util Sfu Webrtc

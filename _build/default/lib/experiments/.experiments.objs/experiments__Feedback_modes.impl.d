@@ -1,0 +1,1 @@
+lib/experiments/feedback_modes.ml: Common Float Printf Scallop Scallop_util Webrtc

@@ -1,0 +1,1 @@
+lib/experiments/feedback_modes.mli:

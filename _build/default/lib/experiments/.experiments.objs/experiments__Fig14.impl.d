@@ -1,0 +1,1 @@
+lib/experiments/fig14.ml: Array Av1 Codec Common List Netsim Option Printf Scallop Scallop_util Webrtc

@@ -1,0 +1,1 @@
+lib/experiments/fig16.ml: List Printf Scallop Scallop_util Sfu

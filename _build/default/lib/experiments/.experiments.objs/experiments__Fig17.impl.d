@@ -1,0 +1,1 @@
+lib/experiments/fig17.ml: Float List Printf Scallop Scallop_util Sfu

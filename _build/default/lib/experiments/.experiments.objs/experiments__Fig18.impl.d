@@ -1,0 +1,1 @@
+lib/experiments/fig18.ml: Array Av1 Float Hashtbl List Scallop Scallop_util

@@ -1,0 +1,1 @@
+lib/experiments/fig18.mli:

@@ -1,0 +1,1 @@
+lib/experiments/fig19.ml: Common Hashtbl List Netsim Printf Rtp Scallop_util Webrtc

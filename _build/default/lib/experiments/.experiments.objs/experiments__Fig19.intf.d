@@ -1,0 +1,1 @@
+lib/experiments/fig19.mli: Scallop_util

@@ -1,0 +1,1 @@
+lib/experiments/fig20_21.ml: Array Float List Printf Scallop_util Trace

@@ -1,0 +1,1 @@
+lib/experiments/fig20_21.mli:

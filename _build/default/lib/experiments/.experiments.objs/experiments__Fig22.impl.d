@@ -1,0 +1,1 @@
+lib/experiments/fig22.ml: Array Float List Printf Scallop_util Trace

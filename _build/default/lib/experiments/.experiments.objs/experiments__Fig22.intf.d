@@ -1,0 +1,1 @@
+lib/experiments/fig22.mli:

@@ -1,0 +1,1 @@
+lib/experiments/fig23_25.ml: Array Av1 Common List Netsim Printf Scallop Scallop_util String

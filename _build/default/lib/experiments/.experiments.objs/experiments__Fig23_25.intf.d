@@ -1,0 +1,1 @@
+lib/experiments/fig23_25.mli:

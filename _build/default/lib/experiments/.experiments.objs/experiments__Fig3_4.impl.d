@@ -1,0 +1,1 @@
+lib/experiments/fig3_4.ml: Array Codec Common Float Hashtbl List Netsim Option Printf Scallop_util Sfu Webrtc

@@ -1,0 +1,1 @@
+lib/experiments/registry.ml: Ablations Feedback_modes Fig14 Fig15 Fig16 Fig17 Fig18 Fig19 Fig2 Fig20_21 Fig22 Fig23_25 Fig3_4 List Printf Replay Simulcast_exp Table1 Table2 Table3

@@ -1,0 +1,1 @@
+lib/experiments/replay.ml: Array Codec Common Float List Netsim Printf Scallop Scallop_util Trace Webrtc

@@ -1,0 +1,1 @@
+lib/experiments/simulcast_exp.ml: Codec Common Netsim Option Printf Scallop Scallop_util Webrtc

@@ -1,0 +1,1 @@
+lib/experiments/simulcast_exp.mli:

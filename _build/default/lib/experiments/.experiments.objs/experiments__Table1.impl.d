@@ -1,0 +1,1 @@
+lib/experiments/table1.ml: Common List Printf Scallop Scallop_util

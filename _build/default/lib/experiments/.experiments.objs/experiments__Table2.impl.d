@@ -1,0 +1,1 @@
+lib/experiments/table2.ml: Array Common Fun Hashtbl List Netsim Printf Rtp Scallop Scallop_util Webrtc

@@ -1,0 +1,1 @@
+lib/experiments/table3.ml: Array Common Float List Printf Scallop Scallop_util Tofino Trace

@@ -1,0 +1,18 @@
+(** Fig. 2 — media streams at the SFU vs meeting size.
+
+    From the synthetic campus dataset: per meeting-size bucket, the range
+    and median of concurrently carried SFU streams, against the 2N^2
+    upper bound (exceeded only via screen shares). Paper anchors: ~200
+    streams already at 10 participants, >700 at 25. *)
+
+type row = { size : int; min : int; median : float; max : int; bound : int }
+
+type result = {
+  rows : row list;
+  streams_at_10 : int;  (** max observed at size 10 *)
+  streams_at_25 : int;
+  two_party_fraction : float;
+}
+
+val compute : ?quick:bool -> unit -> result
+val run : ?quick:bool -> unit -> unit

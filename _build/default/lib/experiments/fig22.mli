@@ -1,0 +1,16 @@
+(** Fig. 22 — bytes a software SFU vs the Scallop switch agent would
+    process under a week of campus load.
+
+    The software SFU touches every media byte; the agent only sees the
+    control-plane share measured in Table 1 (~0.35% of bytes). Paper
+    peaks: ~1250 Mb/s software vs ~4.4 Mb/s agent. *)
+
+type result = {
+  software_peak_mbps : float;
+  agent_peak_mbps : float;
+  reduction : float;
+  daily_software_peaks : (int * float) list;
+}
+
+val compute : ?quick:bool -> unit -> result
+val run : ?quick:bool -> unit -> unit

@@ -1,0 +1,13 @@
+(** Registry of every paper artefact reproduction, keyed by the experiment
+    ids used in DESIGN.md's experiment index. *)
+
+type entry = {
+  id : string;  (** e.g. "fig14", "tab1" *)
+  title : string;
+  paper_claim : string;
+  run : ?quick:bool -> unit -> unit;
+}
+
+val all : entry list
+val find : string -> entry option
+val run_all : ?quick:bool -> unit -> unit

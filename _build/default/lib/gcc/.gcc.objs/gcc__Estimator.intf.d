@@ -1,0 +1,1 @@
+lib/gcc/estimator.mli:

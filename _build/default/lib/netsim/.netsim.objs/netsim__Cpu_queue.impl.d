@@ -1,0 +1,1 @@
+lib/netsim/cpu_queue.ml: Array Engine Scallop_util

@@ -1,0 +1,1 @@
+lib/netsim/cpu_queue.mli: Engine Scallop_util

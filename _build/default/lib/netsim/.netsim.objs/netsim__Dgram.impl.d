@@ -1,0 +1,1 @@
+lib/netsim/dgram.ml: Bytes Format Scallop_util

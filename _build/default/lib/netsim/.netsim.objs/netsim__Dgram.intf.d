@@ -1,0 +1,1 @@
+lib/netsim/dgram.mli: Format Scallop_util

@@ -1,0 +1,1 @@
+lib/netsim/engine.mli:

@@ -1,0 +1,1 @@
+lib/netsim/eventq.mli:

@@ -1,0 +1,1 @@
+lib/netsim/link.ml: Dgram Engine Float Scallop_util

@@ -1,0 +1,1 @@
+lib/netsim/link.mli: Dgram Engine Scallop_util

@@ -1,0 +1,1 @@
+lib/netsim/network.ml: Dgram Engine Hashtbl Link Scallop_util

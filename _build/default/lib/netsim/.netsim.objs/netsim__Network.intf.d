@@ -1,0 +1,1 @@
+lib/netsim/network.mli: Dgram Engine Link Scallop_util

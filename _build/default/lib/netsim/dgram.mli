@@ -1,0 +1,16 @@
+(** UDP-like datagrams — the unit the simulated network carries. The
+    payload is opaque wire bytes; protocol layers above parse them. *)
+
+type t = {
+  src : Scallop_util.Addr.t;
+  dst : Scallop_util.Addr.t;
+  payload : bytes;
+}
+
+val v : src:Scallop_util.Addr.t -> dst:Scallop_util.Addr.t -> bytes -> t
+
+val wire_size : t -> int
+(** Payload plus the 42-byte Ethernet+IPv4+UDP overhead — what links and
+    throughput accounting charge for. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,42 @@
+type t = { q : (unit -> unit) Eventq.t; mutable clock : int }
+
+let create () = { q = Eventq.create (); clock = 0 }
+let now t = t.clock
+
+let at t ~time f =
+  if time < t.clock then invalid_arg "Engine.at: time in the past";
+  Eventq.push t.q ~time f
+
+let schedule t ~after f =
+  if after < 0 then invalid_arg "Engine.schedule: negative delay";
+  Eventq.push t.q ~time:(t.clock + after) f
+
+let every t ?start ~interval f =
+  if interval <= 0 then invalid_arg "Engine.every: interval must be positive";
+  let first = match start with Some s -> s | None -> t.clock + interval in
+  let rec tick () = if f () then schedule t ~after:interval tick in
+  at t ~time:first tick
+
+let run ?until ?max_events t =
+  let budget = ref (Option.value max_events ~default:max_int) in
+  let fits time = match until with None -> true | Some u -> time <= u in
+  let rec loop () =
+    if !budget > 0 then
+      match Eventq.peek_time t.q with
+      | Some time when fits time ->
+          let _, f = Option.get (Eventq.pop t.q) in
+          t.clock <- max t.clock time;
+          decr budget;
+          f ();
+          loop ()
+      | Some _ | None -> ()
+  in
+  loop ();
+  match until with Some u when u > t.clock -> t.clock <- u | _ -> ()
+
+let pending t = Eventq.length t.q
+let ns x = x
+let us x = x * 1_000
+let ms x = x * 1_000_000
+let sec x = int_of_float (x *. 1e9)
+let to_sec x = float_of_int x /. 1e9

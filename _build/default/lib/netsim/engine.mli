@@ -1,0 +1,37 @@
+(** Discrete-event simulation engine.
+
+    Time is an [int] count of nanoseconds since simulation start. All
+    simulated components (links, endpoints, SFUs, switches) schedule
+    callbacks here; running the engine advances the virtual clock to each
+    event in order. *)
+
+type t
+
+val create : unit -> t
+
+val now : t -> int
+(** Current virtual time in nanoseconds. *)
+
+val schedule : t -> after:int -> (unit -> unit) -> unit
+(** [schedule t ~after f] runs [f] at [now t + after]. [after >= 0]. *)
+
+val at : t -> time:int -> (unit -> unit) -> unit
+(** Absolute-time variant. [time] must not be in the past. *)
+
+val every : t -> ?start:int -> interval:int -> (unit -> bool) -> unit
+(** [every t ~interval f] runs [f] at [start] (default [now + interval])
+    and then every [interval] ns for as long as [f] returns [true]. *)
+
+val run : ?until:int -> ?max_events:int -> t -> unit
+(** Processes events in time order. Stops when the queue is empty, when
+    virtual time would exceed [until], or after [max_events] events. The
+    clock is advanced to [until] if given. *)
+
+val pending : t -> int
+
+(* Time unit helpers — readable literals for callers. *)
+val ns : int -> int
+val us : int -> int
+val ms : int -> int
+val sec : float -> int
+val to_sec : int -> float

@@ -1,0 +1,18 @@
+(** Binary-heap event queue for the discrete-event engine.
+
+    Events with equal timestamps fire in insertion order (a stable tie-break
+    keeps runs deterministic). *)
+
+type 'a t
+
+val create : unit -> 'a t
+val is_empty : 'a t -> bool
+val length : 'a t -> int
+
+val push : 'a t -> time:int -> 'a -> unit
+(** [time] is an absolute timestamp in nanoseconds. *)
+
+val pop : 'a t -> (int * 'a) option
+(** Removes and returns the earliest event. *)
+
+val peek_time : 'a t -> int option

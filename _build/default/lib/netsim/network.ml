@@ -1,0 +1,66 @@
+module Addr = Scallop_util.Addr
+module Rng = Scallop_util.Rng
+
+type host = { uplink : Link.t; downlink : Link.t }
+
+type t = {
+  engine : Engine.t;
+  rng : Rng.t;
+  hosts : (int, host) Hashtbl.t;
+  handlers : (Addr.t, Dgram.t -> unit) Hashtbl.t;
+  host_handlers : (int, Dgram.t -> unit) Hashtbl.t;
+  mutable undeliverable : int;
+}
+
+let create engine rng =
+  {
+    engine;
+    rng;
+    hosts = Hashtbl.create 64;
+    handlers = Hashtbl.create 64;
+    host_handlers = Hashtbl.create 8;
+    undeliverable = 0;
+  }
+
+let deliver t dgram =
+  match Hashtbl.find_opt t.handlers dgram.Dgram.dst with
+  | Some handler -> handler dgram
+  | None -> (
+      match Hashtbl.find_opt t.host_handlers dgram.Dgram.dst.ip with
+      | Some handler -> handler dgram
+      | None -> t.undeliverable <- t.undeliverable + 1)
+
+(* Uplink hands off to the destination host's downlink; the core itself is
+   assumed over-provisioned (zero extra delay beyond the two links). *)
+let route t dgram =
+  match Hashtbl.find_opt t.hosts dgram.Dgram.dst.ip with
+  | Some host -> Link.send host.downlink dgram
+  | None -> t.undeliverable <- t.undeliverable + 1
+
+let add_host t ~ip ?(uplink = Link.default) ?(downlink = Link.default) () =
+  let up = Link.create t.engine (Rng.split t.rng) uplink ~sink:(fun d -> route t d) in
+  let down = Link.create t.engine (Rng.split t.rng) downlink ~sink:(fun d -> deliver t d) in
+  Hashtbl.replace t.hosts ip { uplink = up; downlink = down }
+
+let bind t addr handler = Hashtbl.replace t.handlers addr handler
+let unbind t addr = Hashtbl.remove t.handlers addr
+let bind_host t ~ip handler = Hashtbl.replace t.host_handlers ip handler
+let unbind_host t ~ip = Hashtbl.remove t.host_handlers ip
+
+let send t dgram =
+  match Hashtbl.find_opt t.hosts dgram.Dgram.src.ip with
+  | Some host -> Link.send host.uplink dgram
+  | None -> t.undeliverable <- t.undeliverable + 1
+
+let uplink t ~ip =
+  match Hashtbl.find_opt t.hosts ip with
+  | Some h -> h.uplink
+  | None -> raise Not_found
+
+let downlink t ~ip =
+  match Hashtbl.find_opt t.hosts ip with
+  | Some h -> h.downlink
+  | None -> raise Not_found
+
+let engine t = t.engine
+let undeliverable t = t.undeliverable

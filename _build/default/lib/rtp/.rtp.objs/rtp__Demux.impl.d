@@ -1,0 +1,1 @@
+lib/rtp/demux.ml: Bytes Char Format Stun

@@ -1,0 +1,1 @@
+lib/rtp/demux.mli: Format

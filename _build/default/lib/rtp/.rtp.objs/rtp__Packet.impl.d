@@ -1,0 +1,1 @@
+lib/rtp/packet.ml: Bytes Char Format List Wire

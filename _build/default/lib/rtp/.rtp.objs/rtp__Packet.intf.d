@@ -1,0 +1,1 @@
+lib/rtp/packet.mli: Format

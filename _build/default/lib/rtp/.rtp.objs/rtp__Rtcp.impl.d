@@ -1,0 +1,1 @@
+lib/rtp/rtcp.ml: Bytes Format List String Wire

@@ -1,0 +1,1 @@
+lib/rtp/rtcp.mli: Format

@@ -1,0 +1,1 @@
+lib/rtp/stun.ml: Bytes Char Format Fun Int64 List Option Wire

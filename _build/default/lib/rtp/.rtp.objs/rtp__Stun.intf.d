@@ -1,0 +1,1 @@
+lib/rtp/stun.mli: Format

@@ -1,0 +1,1 @@
+lib/rtp/wire.ml: Buffer Bytes Char Int32 Printf

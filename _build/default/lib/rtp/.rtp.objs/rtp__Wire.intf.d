@@ -1,0 +1,1 @@
+lib/rtp/wire.mli:

@@ -1,0 +1,182 @@
+type extension = { id : int; data : bytes }
+
+type t = {
+  marker : bool;
+  payload_type : int;
+  sequence : int;
+  timestamp : int;
+  ssrc : int;
+  csrcs : int list;
+  extensions : extension list;
+  payload : bytes;
+}
+
+let make ?(marker = false) ?(csrcs = []) ?(extensions = []) ~payload_type ~sequence
+    ~timestamp ~ssrc payload =
+  {
+    marker;
+    payload_type = payload_type land 0x7F;
+    sequence = sequence land 0xFFFF;
+    timestamp = timestamp land 0xFFFFFFFF;
+    ssrc = ssrc land 0xFFFFFFFF;
+    csrcs;
+    extensions;
+    payload;
+  }
+
+let one_byte_ok exts =
+  List.for_all
+    (fun { id; data } ->
+      id >= 1 && id <= 14 && Bytes.length data >= 1 && Bytes.length data <= 16)
+    exts
+
+(* Serialize RFC 8285 extension elements, padded to a 32-bit boundary. *)
+let serialize_extensions w exts =
+  let body = Wire.Writer.create () in
+  let one_byte = one_byte_ok exts in
+  List.iter
+    (fun { id; data } ->
+      let len = Bytes.length data in
+      if one_byte then Wire.Writer.u8 body ((id lsl 4) lor (len - 1))
+      else begin
+        Wire.Writer.u8 body id;
+        Wire.Writer.u8 body len
+      end;
+      Wire.Writer.bytes body data)
+    exts;
+  let unpadded = Wire.Writer.length body in
+  let padded = (unpadded + 3) land lnot 3 in
+  for _ = unpadded + 1 to padded do
+    Wire.Writer.u8 body 0
+  done;
+  Wire.Writer.u16 w (if one_byte then 0xBEDE else 0x1000);
+  Wire.Writer.u16 w (padded / 4);
+  Wire.Writer.bytes w (Wire.Writer.contents body)
+
+let serialize t =
+  let w = Wire.Writer.create () in
+  let has_ext = t.extensions <> [] in
+  let b0 =
+    (2 lsl 6)
+    lor (if has_ext then 1 lsl 4 else 0)
+    lor List.length t.csrcs
+  in
+  Wire.Writer.u8 w b0;
+  Wire.Writer.u8 w (((if t.marker then 1 else 0) lsl 7) lor t.payload_type);
+  Wire.Writer.u16 w t.sequence;
+  Wire.Writer.u32_int w t.timestamp;
+  Wire.Writer.u32_int w t.ssrc;
+  List.iter (fun c -> Wire.Writer.u32_int w c) t.csrcs;
+  if has_ext then serialize_extensions w t.extensions;
+  Wire.Writer.bytes w t.payload;
+  Wire.Writer.contents w
+
+let parse_extension_block r =
+  let profile = Wire.Reader.u16 r in
+  let words = Wire.Reader.u16 r in
+  let block = Wire.Reader.take r (words * 4) in
+  let br = Wire.Reader.of_bytes block in
+  let one_byte =
+    if profile = 0xBEDE then true
+    else if profile land 0xFFF0 = 0x1000 then false
+    else Wire.parse_error "unsupported RTP extension profile 0x%04X" profile
+  in
+  let rec elements acc =
+    if Wire.Reader.remaining br = 0 then List.rev acc
+    else begin
+      let b = Wire.Reader.peek_u8 br in
+      if b = 0 then begin
+        (* padding byte *)
+        Wire.Reader.skip br 1;
+        elements acc
+      end
+      else if one_byte then begin
+        let b = Wire.Reader.u8 br in
+        let id = b lsr 4 and len = (b land 0xF) + 1 in
+        if id = 15 then List.rev acc
+        else
+          let data = Wire.Reader.take br len in
+          elements ({ id; data } :: acc)
+      end
+      else begin
+        let id = Wire.Reader.u8 br in
+        let len = Wire.Reader.u8 br in
+        let data = Wire.Reader.take br len in
+        elements ({ id; data } :: acc)
+      end
+    end
+  in
+  elements []
+
+let parse buf =
+  let r = Wire.Reader.of_bytes buf in
+  let b0 = Wire.Reader.u8 r in
+  let version = b0 lsr 6 in
+  if version <> 2 then Wire.parse_error "RTP version %d" version;
+  let padding = b0 land 0x20 <> 0 in
+  let has_ext = b0 land 0x10 <> 0 in
+  let cc = b0 land 0x0F in
+  let b1 = Wire.Reader.u8 r in
+  let marker = b1 land 0x80 <> 0 in
+  let payload_type = b1 land 0x7F in
+  let sequence = Wire.Reader.u16 r in
+  let timestamp = Wire.Reader.u32_int r in
+  let ssrc = Wire.Reader.u32_int r in
+  let csrcs = List.init cc (fun _ -> Wire.Reader.u32_int r) in
+  let extensions = if has_ext then parse_extension_block r else [] in
+  let payload_len = Wire.Reader.remaining r in
+  let payload_len =
+    if padding then begin
+      if payload_len = 0 then Wire.parse_error "padded RTP packet with no payload";
+      let pad = Char.code (Bytes.get buf (Bytes.length buf - 1)) in
+      if pad > payload_len then Wire.parse_error "RTP pad count %d too large" pad;
+      payload_len - pad
+    end
+    else payload_len
+  in
+  let payload = Wire.Reader.take r payload_len in
+  { marker; payload_type; sequence; timestamp; ssrc; csrcs; extensions; payload }
+
+let find_extension t id =
+  List.find_map (fun e -> if e.id = id then Some e.data else None) t.extensions
+
+let with_sequence t sequence = { t with sequence = sequence land 0xFFFF }
+let with_ssrc t ssrc = { t with ssrc = ssrc land 0xFFFFFFFF }
+
+let wire_size t =
+  let ext_size =
+    if t.extensions = [] then 0
+    else begin
+      let one_byte = one_byte_ok t.extensions in
+      let body =
+        List.fold_left
+          (fun acc { data; _ } ->
+            acc + (if one_byte then 1 else 2) + Bytes.length data)
+          0 t.extensions
+      in
+      4 + ((body + 3) land lnot 3)
+    end
+  in
+  12 + (4 * List.length t.csrcs) + ext_size + Bytes.length t.payload
+
+let seq_succ s = (s + 1) land 0xFFFF
+let seq_add s n = (s + n) land 0xFFFF
+
+let seq_sub a b =
+  let d = (a - b) land 0xFFFF in
+  if d >= 0x8000 then d - 0x10000 else d
+
+let seq_newer a b = seq_sub a b > 0
+
+let pp fmt t =
+  Format.fprintf fmt "RTP{pt=%d seq=%d ts=%d ssrc=%#x m=%b len=%d}" t.payload_type
+    t.sequence t.timestamp t.ssrc t.marker (Bytes.length t.payload)
+
+let equal a b =
+  a.marker = b.marker && a.payload_type = b.payload_type && a.sequence = b.sequence
+  && a.timestamp = b.timestamp && a.ssrc = b.ssrc && a.csrcs = b.csrcs
+  && List.length a.extensions = List.length b.extensions
+  && List.for_all2
+       (fun x y -> x.id = y.id && Bytes.equal x.data y.data)
+       a.extensions b.extensions
+  && Bytes.equal a.payload b.payload

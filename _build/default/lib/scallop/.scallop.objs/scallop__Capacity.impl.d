@@ -1,0 +1,1 @@
+lib/scallop/capacity.ml: Float List Seq_rewrite Sfu

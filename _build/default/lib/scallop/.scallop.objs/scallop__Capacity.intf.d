@@ -1,0 +1,1 @@
+lib/scallop/capacity.mli: Seq_rewrite

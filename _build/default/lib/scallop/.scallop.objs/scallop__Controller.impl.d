@@ -1,0 +1,1 @@
+lib/scallop/controller.ml: Array Av1 Codec Dataplane Hashtbl List Netsim Option Printf Scallop_util Sdp Switch_agent Webrtc

@@ -1,0 +1,1 @@
+lib/scallop/controller.mli: Dataplane Netsim Scallop_util Switch_agent Webrtc

@@ -1,0 +1,1 @@
+lib/scallop/dataplane.ml: Array Av1 Bytes Hashtbl List Netsim Option Printf Rtp Scallop_util Seq_rewrite Simulcast Tofino Trees

@@ -1,0 +1,1 @@
+lib/scallop/dataplane.mli: Av1 Netsim Scallop_util Seq_rewrite Tofino Trees

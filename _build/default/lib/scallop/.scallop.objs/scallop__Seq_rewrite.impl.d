@@ -1,0 +1,1 @@
+lib/scallop/seq_rewrite.ml: Array Av1 List Rtp

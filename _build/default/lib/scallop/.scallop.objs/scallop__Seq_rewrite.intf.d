@@ -1,0 +1,1 @@
+lib/scallop/seq_rewrite.mli: Av1

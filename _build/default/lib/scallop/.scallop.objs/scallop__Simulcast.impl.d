@@ -1,0 +1,1 @@
+lib/scallop/simulcast.ml: Array Rtp

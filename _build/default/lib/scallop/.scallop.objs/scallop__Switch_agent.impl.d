@@ -1,0 +1,1 @@
+lib/scallop/switch_agent.ml: Array Av1 Codec Dataplane Hashtbl List Netsim Printf Rtp Scallop_util Seq_rewrite Trees

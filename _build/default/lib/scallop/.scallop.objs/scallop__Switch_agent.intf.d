@@ -1,0 +1,1 @@
+lib/scallop/switch_agent.mli: Av1 Dataplane Netsim Scallop_util Seq_rewrite Trees

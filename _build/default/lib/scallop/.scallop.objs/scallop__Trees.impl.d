@@ -1,0 +1,1 @@
+lib/scallop/trees.ml: Array Av1 Fun Hashtbl List Option Printf Tofino

@@ -1,0 +1,1 @@
+lib/scallop/trees.mli: Av1 Tofino

@@ -1,0 +1,474 @@
+module Addr = Scallop_util.Addr
+module Rng = Scallop_util.Rng
+module Engine = Netsim.Engine
+module Network = Netsim.Network
+module Client = Webrtc.Client
+
+type meeting_id = int
+type participant_id = int
+
+type stream_kind = Camera | Screen
+
+type participant = {
+  pid : participant_id;
+  meeting : meeting_id;
+  client : Client.t;
+  home : int;  (** index of the switch this participant attaches to *)
+  egress_port : int;
+  sends : bool;
+  video_ssrc : int;
+  audio_ssrc : int;
+  send_conn : Client.connection option;
+  mutable recv_conns : (participant_id * Client.connection) list;
+  mutable sites : int list;  (** switches where this participant is registered *)
+  mutable cam_ports : (int * int) list;  (** switch -> camera uplink port there *)
+  mutable screen_ports : (int * int) list;  (** switch -> screen uplink port *)
+  mutable screen : (int * Client.connection) option;  (** (screen ssrc, send conn) *)
+  mutable screen_recv_conns : (participant_id * Client.connection) list;
+}
+
+(* A meeting's presence on one switch. *)
+type site = {
+  agent : Switch_agent.t;
+  dp : Dataplane.t;
+  agent_mid : Switch_agent.meeting_id;
+}
+
+type meeting = {
+  mid : meeting_id;
+  primary : int;  (** default home switch for joiners *)
+  sites : (int, site) Hashtbl.t;
+  mutable members : participant_id list;
+}
+
+type t = {
+  engine : Engine.t;
+  network : Network.t;
+  rng : Rng.t;
+  agents : (Switch_agent.t * Dataplane.t) array;
+  mutable next_agent : int;
+  meetings : (meeting_id, meeting) Hashtbl.t;
+  participants : (participant_id, participant) Hashtbl.t;
+  egress_ports : (int, int) Hashtbl.t;  (** client ip (or pseudo key) -> switch port *)
+  relay_receivers : (meeting_id * int * int, unit) Hashtbl.t;
+      (** (meeting, source switch, destination switch) pseudo receivers *)
+  mutable next_meeting : int;
+  mutable next_pid : int;
+  mutable next_sfu_port : int;
+  mutable next_egress_port : int;
+  mutable sdp_messages : int;
+}
+
+let create engine network rng ~agents () =
+  if agents = [] then invalid_arg "Controller.create: need at least one switch agent";
+  {
+    engine;
+    network;
+    rng;
+    agents = Array.of_list agents;
+    next_agent = 0;
+    meetings = Hashtbl.create 16;
+    participants = Hashtbl.create 64;
+    egress_ports = Hashtbl.create 64;
+    relay_receivers = Hashtbl.create 16;
+    next_meeting = 0;
+    next_pid = 0;
+    next_sfu_port = 40_000;
+    next_egress_port = 1;
+    sdp_messages = 0;
+  }
+
+let fresh_sfu_port t =
+  let p = t.next_sfu_port in
+  t.next_sfu_port <- p + 1;
+  p
+
+let egress_port_of t key =
+  match Hashtbl.find_opt t.egress_ports key with
+  | Some p -> p
+  | None ->
+      let p = t.next_egress_port in
+      t.next_egress_port <- p + 1;
+      Hashtbl.replace t.egress_ports key p;
+      p
+
+(* A pseudo participant id standing for "everything behind switch [idx]"
+   when it appears as a receiver of another switch's replication trees. *)
+let relay_pid idx = 900_000 + idx
+
+(* Placement across cascaded switches: meetings get a round-robin primary
+   switch; participants may be homed elsewhere (Appendix A), in which case
+   cascade relays carry the media between switches. *)
+let create_meeting t =
+  let primary = t.next_agent in
+  t.next_agent <- (t.next_agent + 1) mod Array.length t.agents;
+  let mid = t.next_meeting in
+  t.next_meeting <- mid + 1;
+  Hashtbl.replace t.meetings mid
+    { mid; primary; sites = Hashtbl.create 2; members = [] };
+  mid
+
+let find_meeting t mid =
+  match Hashtbl.find_opt t.meetings mid with
+  | Some m -> m
+  | None -> invalid_arg "Controller: unknown meeting"
+
+let find_participant t pid =
+  match Hashtbl.find_opt t.participants pid with
+  | Some p -> p
+  | None -> invalid_arg "Controller: unknown participant"
+
+(* Lazily bring a meeting up on a switch. *)
+let site_of t m idx =
+  match Hashtbl.find_opt m.sites idx with
+  | Some s -> s
+  | None ->
+      let agent, dp = t.agents.(idx) in
+      let agent_mid = Switch_agent.new_meeting agent ~two_party:false in
+      let s = { agent; dp; agent_mid } in
+      Hashtbl.replace m.sites idx s;
+      s
+
+(* --- SDP plumbing -----------------------------------------------------------
+
+   Offers/answers really travel through the textual codec so the signaling
+   path is exercised end to end: build -> to_string -> of_string (the
+   "wire") -> candidate rewrite -> answer. *)
+
+let ship t (sdp : Sdp.t) =
+  t.sdp_messages <- t.sdp_messages + 1;
+  Sdp.of_string (Sdp.to_string sdp)
+
+let build_offer t ~ip ~port ~video_ssrc ~audio_ssrc ~sends =
+  let addr = Addr.v ip port in
+  let direction = if sends then Sdp.Sendonly else Sdp.Recvonly in
+  {
+    Sdp.session_id = Rng.int t.rng 1_000_000_000;
+    origin_addr = Addr.v ip 0;
+    ice_ufrag = Printf.sprintf "uf%06x" (Rng.int t.rng 0xFFFFFF);
+    ice_pwd = Printf.sprintf "pw%08x" (Rng.int t.rng 0xFFFFFFF);
+    medias =
+      [
+        Sdp.make_media ~direction ~extmaps:[ (Av1.Dd.extension_id, "urn:av1:dependency-descriptor") ]
+          ~svc_mode:(Some "L1T3") ~kind:Sdp.Video ~mid:"0" ~payload_type:96 ~codec:"AV1"
+          ~clock_rate:90000 ~ssrc:video_ssrc ~cname:"scallop" ~candidates:[ Sdp.host_candidate addr ]
+          ();
+        Sdp.make_media ~direction ~kind:Sdp.Audio ~mid:"1" ~payload_type:111 ~codec:"opus"
+          ~clock_rate:48000 ~ssrc:audio_ssrc ~cname:"scallop"
+          ~candidates:[ Sdp.host_candidate addr ] ();
+      ];
+  }
+
+(* The controller's splice: the participant's offer is answered with the
+   SFU's address as the only candidate (paper §5.1). *)
+let splice_answer t offer ~sfu_addr =
+  let intercepted = Sdp.rewrite_candidates offer sfu_addr in
+  let answer =
+    Sdp.answer ~offer:intercepted ~session_id:(Rng.int t.rng 1_000_000_000) ~origin:sfu_addr
+      ~ice_ufrag:"sfuuf" ~ice_pwd:"sfupw" ~media_for:(fun m -> Some m)
+  in
+  ship t answer
+
+(* Per-stream identifiers: a participant's camera bundle and its optional
+   screen-share bundle are independent streams with their own SSRCs,
+   uplinks and (when cascaded) relays. *)
+let stream_ssrcs (p : participant) = function
+  | Camera -> (p.video_ssrc, p.audio_ssrc)
+  | Screen -> (0x300000 + (p.pid * 2), 0x300001 + (p.pid * 2))
+
+let stream_bitrate = function Camera -> 2_500_000 | Screen -> 1_500_000
+
+let stream_ports (p : participant) = function
+  | Camera -> p.cam_ports
+  | Screen -> p.screen_ports
+
+let add_stream_port (p : participant) kind site port =
+  match kind with
+  | Camera -> p.cam_ports <- (site, port) :: p.cam_ports
+  | Screen -> p.screen_ports <- (site, port) :: p.screen_ports
+
+(* --- cascading (Appendix A) --------------------------------------------------
+
+   A sender homed on switch A reaches receivers homed on switch B through a
+   cascade relay: A treats "switch B" as one more receiver of the sender's
+   streams (a non-adaptive leg, full quality), and B treats the relay as
+   the sender's uplink, replicating and rate-adapting for its local
+   receivers exactly as if the sender were attached directly. Feedback
+   composes through the existing paths: B forwards its best receiver's
+   REMB (and NACKs/PLIs) upstream, where it arrives on A's relay leg and
+   flows to the real sender under A's filter. *)
+
+let ensure_relay t m ~(sender : participant) ~kind ~to_switch =
+  if not (List.mem_assoc to_switch (stream_ports sender kind)) then begin
+    let src_site = site_of t m sender.home in
+    let dst_site = site_of t m to_switch in
+    let video_ssrc, audio_ssrc = stream_ssrcs sender kind in
+    (* the downstream switch sees the sender as a sending participant whose
+       uplink is the relay port (its own copies are self-suppressed, so the
+       pseudo egress port never carries traffic) *)
+    let relay_port = fresh_sfu_port t in
+    if not (List.mem to_switch sender.sites) then begin
+      Switch_agent.register_participant dst_site.agent ~meeting:dst_site.agent_mid
+        ~participant:sender.pid
+        ~egress_port:(egress_port_of t (0x7E000000 + (sender.pid * 64) + to_switch))
+        ~sends:true;
+      sender.sites <- to_switch :: sender.sites
+    end;
+    Switch_agent.register_uplink dst_site.agent ~meeting:dst_site.agent_mid
+      ~sender:sender.pid ~port:relay_port ~video_ssrc ~audio_ssrc
+      ~full_bitrate:(stream_bitrate kind);
+    add_stream_port sender kind to_switch relay_port;
+    (* the upstream switch sees the downstream switch as one receiver *)
+    let rpid = relay_pid to_switch in
+    let rkey = (m.mid, sender.home, to_switch) in
+    if not (Hashtbl.mem t.relay_receivers rkey) then begin
+      Hashtbl.replace t.relay_receivers rkey ();
+      Switch_agent.register_participant src_site.agent ~meeting:src_site.agent_mid
+        ~participant:rpid
+        ~egress_port:(egress_port_of t (0x7F000000 + (m.mid * 64) + to_switch))
+        ~sends:false
+    end;
+    let leg_port = fresh_sfu_port t in
+    Switch_agent.register_leg src_site.agent ~meeting:src_site.agent_mid
+      ~sender:sender.pid
+      ~uplink_port:(List.assoc sender.home (stream_ports sender kind))
+      ~receiver:rpid ~leg_port
+      ~dst:(Addr.v (Dataplane.ip dst_site.dp) relay_port)
+      ~adaptive:false ()
+  end
+
+(* Wire one (sender -> receiver) leg on the receiver's home switch:
+   signaling towards the receiver plus agent/data-plane registration. *)
+let create_stream_leg t m ~kind ~(sender : participant) ~(receiver : participant) =
+  let site = site_of t m receiver.home in
+  if sender.home <> receiver.home then ensure_relay t m ~sender ~kind ~to_switch:receiver.home;
+  let video_ssrc, audio_ssrc = stream_ssrcs sender kind in
+  let leg_port = fresh_sfu_port t in
+  let sfu_addr = Addr.v (Dataplane.ip site.dp) leg_port in
+  (* the sender's streams are re-offered to the receiver, with candidates
+     rewritten to the leg address *)
+  let offer =
+    build_offer t ~ip:(Client.ip sender.client) ~port:leg_port ~video_ssrc ~audio_ssrc
+      ~sends:true
+  in
+  let answer = splice_answer t (ship t offer) ~sfu_addr in
+  let remote =
+    match answer.Sdp.medias with
+    | m :: _ -> ( match m.Sdp.candidates with c :: _ -> c.Sdp.addr | [] -> sfu_addr)
+    | [] -> sfu_addr
+  in
+  let local_port = Client.fresh_port receiver.client in
+  let conn =
+    Client.add_recv_connection receiver.client ~local_port ~remote ~video_ssrc ~audio_ssrc
+  in
+  (match kind with
+  | Camera -> receiver.recv_conns <- (sender.pid, conn) :: receiver.recv_conns
+  | Screen -> receiver.screen_recv_conns <- (sender.pid, conn) :: receiver.screen_recv_conns);
+  Switch_agent.register_leg site.agent ~meeting:site.agent_mid ~sender:sender.pid
+    ~uplink_port:(List.assoc receiver.home (stream_ports sender kind))
+    ~receiver:receiver.pid ~leg_port ~dst:(Client.local_addr conn) ()
+
+let create_leg t m ~sender ~receiver = create_stream_leg t m ~kind:Camera ~sender ~receiver
+
+let join ?home ?(simulcast = false) t mid client ~send_media =
+  let m = find_meeting t mid in
+  let home =
+    match home with
+    | Some h when h >= 0 && h < Array.length t.agents -> h
+    | Some h -> invalid_arg (Printf.sprintf "Controller.join: no switch %d" h)
+    | None -> m.primary
+  in
+  let site = site_of t m home in
+  let pid = t.next_pid in
+  t.next_pid <- pid + 1;
+  let ip = Client.ip client in
+  let egress_port = egress_port_of t ip in
+  (* stride 8 leaves room for a simulcast sender's rendition SSRCs
+     (base, base+2, base+4) next to its audio (base+1) *)
+  let video_ssrc = 0x200000 + (pid * 8) in
+  let audio_ssrc = video_ssrc + 1 in
+  Switch_agent.register_participant site.agent ~meeting:site.agent_mid ~participant:pid
+    ~egress_port ~sends:send_media;
+  let cam_ports = ref [] in
+  let send_conn =
+    if send_media then begin
+      let uplink_port = fresh_sfu_port t in
+      cam_ports := [ (home, uplink_port) ];
+      let renditions =
+        if simulcast then
+          let cfg = Codec.Simulcast_source.default_config ~base_ssrc:video_ssrc in
+          Array.mapi
+            (fun i bitrate -> (video_ssrc + (2 * i), bitrate))
+            cfg.Codec.Simulcast_source.bitrates
+        else [||]
+      in
+      Switch_agent.register_uplink ~renditions site.agent ~meeting:site.agent_mid
+        ~sender:pid ~port:uplink_port ~video_ssrc ~audio_ssrc ~full_bitrate:2_500_000;
+      (* the participant's own offer, spliced to the uplink *)
+      let local_port = Client.fresh_port client in
+      let offer =
+        build_offer t ~ip ~port:local_port ~video_ssrc ~audio_ssrc ~sends:send_media
+      in
+      let sfu_addr = Addr.v (Dataplane.ip site.dp) uplink_port in
+      let answer = splice_answer t (ship t offer) ~sfu_addr in
+      let remote =
+        match answer.Sdp.medias with
+        | am :: _ -> (
+            match am.Sdp.candidates with c :: _ -> c.Sdp.addr | [] -> sfu_addr)
+        | [] -> sfu_addr
+      in
+      Some
+        (if simulcast then
+           Client.add_simulcast_send_connection client ~local_port ~remote
+             ~base_ssrc:video_ssrc ~audio_ssrc
+         else Client.add_send_connection client ~local_port ~remote ~video_ssrc ~audio_ssrc)
+    end
+    else None
+  in
+  let p =
+    {
+      pid;
+      meeting = mid;
+      client;
+      home;
+      egress_port;
+      sends = send_media;
+      video_ssrc;
+      audio_ssrc;
+      send_conn;
+      recv_conns = [];
+      sites = [ home ];
+      cam_ports = !cam_ports;
+      screen_ports = [];
+      screen = None;
+      screen_recv_conns = [];
+    }
+  in
+  Hashtbl.replace t.participants pid p;
+  (* legs with all existing members, possibly across switches *)
+  List.iter
+    (fun other_pid ->
+      let other = find_participant t other_pid in
+      if other.sends then create_leg t m ~sender:other ~receiver:p;
+      if send_media then create_leg t m ~sender:p ~receiver:other)
+    m.members;
+  m.members <- m.members @ [ pid ];
+  pid
+
+(* --- screen sharing: the controller's third trigger ("a participant
+   starts or stops sharing a particular media type", §4) ----------------- *)
+
+let start_screen_share t pid =
+  let p = find_participant t pid in
+  if p.screen <> None then invalid_arg "Controller.start_screen_share: already sharing";
+  let m = find_meeting t p.meeting in
+  let site = site_of t m p.home in
+  let video_ssrc, audio_ssrc = stream_ssrcs p Screen in
+  let uplink_port = fresh_sfu_port t in
+  Switch_agent.register_uplink site.agent ~meeting:site.agent_mid ~sender:pid
+    ~port:uplink_port ~video_ssrc ~audio_ssrc ~full_bitrate:(stream_bitrate Screen);
+  add_stream_port p Screen p.home uplink_port;
+  (* the sharer's own offer for the new media section, spliced as usual *)
+  let local_port = Client.fresh_port p.client in
+  let offer =
+    build_offer t ~ip:(Client.ip p.client) ~port:local_port ~video_ssrc ~audio_ssrc
+      ~sends:true
+  in
+  let sfu_addr = Addr.v (Dataplane.ip site.dp) uplink_port in
+  let answer = splice_answer t (ship t offer) ~sfu_addr in
+  let remote =
+    match answer.Sdp.medias with
+    | am :: _ -> ( match am.Sdp.candidates with c :: _ -> c.Sdp.addr | [] -> sfu_addr)
+    | [] -> sfu_addr
+  in
+  let conn =
+    Client.add_send_connection ~send_audio:false ~video_bitrate:(stream_bitrate Screen)
+      p.client ~local_port ~remote ~video_ssrc ~audio_ssrc
+  in
+  p.screen <- Some (video_ssrc, conn);
+  List.iter
+    (fun other_pid ->
+      if other_pid <> pid then
+        create_stream_leg t m ~kind:Screen ~sender:p
+          ~receiver:(find_participant t other_pid))
+    m.members
+
+let stop_screen_share t pid =
+  let p = find_participant t pid in
+  match p.screen with
+  | None -> ()
+  | Some (_, conn) ->
+      let m = find_meeting t p.meeting in
+      (* tear the stream down on every switch it was relayed to *)
+      List.iter
+        (fun (idx, port) ->
+          let site = site_of t m idx in
+          Switch_agent.unregister_uplink site.agent ~meeting:site.agent_mid ~port)
+        p.screen_ports;
+      p.screen_ports <- [];
+      Client.close_connection p.client conn;
+      p.screen <- None;
+      List.iter
+        (fun other_pid ->
+          let other = find_participant t other_pid in
+          let mine, rest =
+            List.partition (fun (from, _) -> from = pid) other.screen_recv_conns
+          in
+          other.screen_recv_conns <- rest;
+          List.iter (fun (_, c) -> Client.close_connection other.client c) mine)
+        m.members
+
+let screen_connection t pid ~from =
+  let p = find_participant t pid in
+  List.assoc_opt from p.screen_recv_conns
+
+let leave t pid =
+  match Hashtbl.find_opt t.participants pid with
+  | None -> ()
+  | Some p ->
+      stop_screen_share t pid;
+      let m = find_meeting t p.meeting in
+      m.members <- List.filter (fun x -> x <> pid) m.members;
+      (* retire the participant everywhere it is registered — its home plus
+         any switch it was relayed onto as a sender *)
+      List.iter
+        (fun idx ->
+          let site = site_of t m idx in
+          Switch_agent.remove_participant site.agent ~meeting:site.agent_mid ~participant:pid)
+        (List.sort_uniq compare p.sites);
+      Option.iter (fun c -> Client.close_connection p.client c) p.send_conn;
+      List.iter (fun (_, c) -> Client.close_connection p.client c) p.recv_conns;
+      (* drop the recv connections other participants had for p's media *)
+      List.iter
+        (fun other_pid ->
+          let other = find_participant t other_pid in
+          let mine, rest = List.partition (fun (from, _) -> from = pid) other.recv_conns in
+          other.recv_conns <- rest;
+          List.iter (fun (_, c) -> Client.close_connection other.client c) mine)
+        m.members;
+      Hashtbl.remove t.participants pid
+
+let participant_sender_info t pid =
+  let p = find_participant t pid in
+  if p.sends then Some (p.egress_port, p.video_ssrc, p.audio_ssrc) else None
+
+let recv_connection t pid ~from =
+  let p = find_participant t pid in
+  List.assoc_opt from p.recv_conns
+
+let send_connection t pid = (find_participant t pid).send_conn
+
+let agent_meeting_id t mid =
+  let m = find_meeting t mid in
+  (site_of t m m.primary).agent_mid
+
+let agent_participant_id _t pid = pid
+let sdp_messages t = t.sdp_messages
+let meeting_participants t mid = (find_meeting t mid).members
+
+let meeting_switch t mid =
+  let m = find_meeting t mid in
+  (site_of t m m.primary).dp
+
+let switch_count t = Array.length t.agents
+let participant_home t pid = (find_participant t pid).home

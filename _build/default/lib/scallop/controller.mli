@@ -1,0 +1,88 @@
+(** Scallop's centralized controller — the signaling server (paper §5.1).
+
+    The controller exchanges SDP with participants, {e intercepts} each
+    message and rewrites its connection candidates so that the switch
+    appears to every participant as its sole peer, then programs the
+    switch agent with the resulting session state. It is involved only
+    when a session is created, a participant joins or leaves, or a media
+    stream starts/stops — never on the media path.
+
+    One controller can manage several switch agents (the cascading-SFU
+    architecture of Appendix A); [create] takes the agent list. *)
+
+type t
+
+val create :
+  Netsim.Engine.t ->
+  Netsim.Network.t ->
+  Scallop_util.Rng.t ->
+  agents:(Switch_agent.t * Dataplane.t) list ->
+  unit ->
+  t
+(** Meetings are placed round-robin across the given switches; each
+    meeting lives wholly on one switch (splitting a meeting across
+    switches — true cascading — is future work in the paper as well). *)
+
+type meeting_id = int
+type participant_id = int
+
+val create_meeting : t -> meeting_id
+
+val join :
+  ?home:int -> ?simulcast:bool -> t -> meeting_id -> Webrtc.Client.t ->
+  send_media:bool -> participant_id
+(** Full signaling round: the participant's SDP offer is built, shipped
+    through the textual SDP codec, candidate-rewritten to splice in the
+    SFU, answered — and every existing participant receives a rewritten
+    offer for the new sender's streams. All data-plane/agent state is
+    installed before the answer returns.
+
+    [home] attaches the participant to a specific switch (by index into
+    the agent list); when it differs from other participants' homes the
+    controller builds cascade relays between the switches (Appendix A):
+    the upstream switch forwards the sender's full-quality stream once to
+    the downstream switch, which replicates and rate-adapts for its local
+    receivers. Defaults to the meeting's primary switch.
+
+    [simulcast] makes the participant send three renditions instead of
+    one SVC stream; the switch splices each receiver onto the best
+    rendition its downlink affords (no cascade support for simulcast
+    uplinks). *)
+
+val leave : t -> participant_id -> unit
+
+val start_screen_share : t -> participant_id -> unit
+(** The paper's third controller trigger: a participant starts sharing a
+    new media type mid-call. A fresh stream (own SSRCs, own uplink, own
+    legs — and own cascade relays when the meeting spans switches) is
+    signalled to every other participant. *)
+
+val stop_screen_share : t -> participant_id -> unit
+
+val screen_connection :
+  t -> participant_id -> from:participant_id -> Webrtc.Client.connection option
+(** The receive connection carrying [from]'s screen share, if any. *)
+
+val participant_sender_info : t -> participant_id -> (int * int * int) option
+(** [(egress_port, video_ssrc, audio_ssrc)] if the participant sends. *)
+
+val recv_connection :
+  t -> participant_id -> from:participant_id -> Webrtc.Client.connection option
+(** The receive connection carrying [from]'s media at this participant. *)
+
+val send_connection : t -> participant_id -> Webrtc.Client.connection option
+
+val agent_meeting_id : t -> meeting_id -> Switch_agent.meeting_id
+val agent_participant_id : t -> participant_id -> int
+
+val sdp_messages : t -> int
+(** SDP messages exchanged (each parsed and re-serialized through the
+    {!Sdp} codec). *)
+
+val meeting_participants : t -> meeting_id -> participant_id list
+
+val meeting_switch : t -> meeting_id -> Dataplane.t
+(** The switch hosting a meeting (placement introspection). *)
+
+val switch_count : t -> int
+val participant_home : t -> participant_id -> int

@@ -1,0 +1,613 @@
+module Addr = Scallop_util.Addr
+module Stats = Scallop_util.Stats
+module Engine = Netsim.Engine
+module Network = Netsim.Network
+module Dgram = Netsim.Dgram
+module Packet = Rtp.Packet
+module Dd = Av1.Dd
+
+let stream_index_capacity = 65_536
+
+type counters = {
+  mutable rtp_audio_pkts : int;
+  mutable rtp_audio_bytes : int;
+  mutable rtp_video_pkts : int;
+  mutable rtp_video_bytes : int;
+  mutable rtp_av1_ds_pkts : int;
+  mutable rtp_av1_ds_bytes : int;
+  mutable rtcp_sr_sdes_pkts : int;
+  mutable rtcp_sr_sdes_bytes : int;
+  mutable rtcp_rr_pkts : int;
+  mutable rtcp_rr_bytes : int;
+  mutable rtcp_remb_pkts : int;
+  mutable rtcp_remb_bytes : int;
+  mutable stun_pkts : int;
+  mutable stun_bytes : int;
+  mutable other_pkts : int;
+  mutable other_bytes : int;
+}
+
+let fresh_counters () =
+  {
+    rtp_audio_pkts = 0;
+    rtp_audio_bytes = 0;
+    rtp_video_pkts = 0;
+    rtp_video_bytes = 0;
+    rtp_av1_ds_pkts = 0;
+    rtp_av1_ds_bytes = 0;
+    rtcp_sr_sdes_pkts = 0;
+    rtcp_sr_sdes_bytes = 0;
+    rtcp_rr_pkts = 0;
+    rtcp_rr_bytes = 0;
+    rtcp_remb_pkts = 0;
+    rtcp_remb_bytes = 0;
+    stun_pkts = 0;
+    stun_bytes = 0;
+    other_pkts = 0;
+    other_bytes = 0;
+  }
+
+type uplink = {
+  sender : int;
+  meeting : Trees.handle;
+  video_ssrc : int;
+  audio_ssrc : int;
+  renditions : int array;  (** simulcast SSRCs; [||] for plain SVC uplinks *)
+  mutable feedback_dst : Addr.t option;
+}
+
+type uplink_slot = { mutable entry : uplink }
+
+type leg = {
+  leg_receiver : int;
+  leg_video_ssrc : int;
+  dst : Addr.t;
+  src_port : int;
+  uplink_port : int;
+  mutable target : Dd.decode_target;
+  mutable forward_remb : bool;
+  rewriter : Seq_rewrite.t option;
+  simulcast : Simulcast.t option;
+  stream_index : int;  (** -1 when not rate-adapted *)
+}
+
+type t = {
+  engine : Engine.t;
+  network : Network.t;
+  ip : int;
+  pre : Tofino.Pre.t;
+  trees : Trees.t;
+  pipeline_latency_ns : int;
+  cpu_port_latency_ns : int;
+  header_auth : bool;
+  mutable headers_authenticated : int;
+  uplinks : (int, uplink_slot) Hashtbl.t;  (** dst port -> uplink *)
+  legs : (int * int, leg) Hashtbl.t;  (** (receiver, ssrc) -> leg *)
+  leg_by_port : (int, leg) Hashtbl.t;  (** src_port -> leg (feedback match) *)
+  mutable free_stream_indices : int list;
+  mutable next_stream_index : int;
+  (* the six Stream Tracker register arrays of §6.3, kept for resource
+     accounting; the rewriter objects hold the live state *)
+  trackers : Tofino.Register.t array;
+  mutable cpu_sink : Dgram.t -> unit;
+  ingress : counters;
+  mutable cpu_pkts : int;
+  mutable cpu_bytes : int;
+  mutable egress_pkts : int;
+  mutable egress_bytes : int;
+  mutable replicas_suppressed : int;
+  forward_delay : Stats.Samples.t;
+  parser_stats : Tofino.Parser.t;
+  mutable egress_hook : receiver:int -> ssrc:int -> template:int option -> size:int -> unit;
+}
+
+(* Recomputing a short-header HMAC (SipHash-style over ~20 bytes) costs a
+   couple of extra stages' worth of latency on the Tofino. *)
+let hmac_latency_ns = 150
+
+let create engine network ~ip ?pre_limits ?(pipeline_latency_ns = 600)
+    ?(cpu_port_latency_ns = 50_000) ?(header_auth = false) () =
+  let pre =
+    match pre_limits with
+    | Some limits -> Tofino.Pre.create ~limits ()
+    | None -> Tofino.Pre.create ()
+  in
+  let t =
+    {
+      engine;
+      network;
+      ip;
+      pre;
+      trees = Trees.create pre;
+      pipeline_latency_ns =
+        (pipeline_latency_ns + if header_auth then hmac_latency_ns else 0);
+      cpu_port_latency_ns;
+      header_auth;
+      headers_authenticated = 0;
+      uplinks = Hashtbl.create 64;
+      legs = Hashtbl.create 256;
+      leg_by_port = Hashtbl.create 256;
+      free_stream_indices = [];
+      next_stream_index = 0;
+      trackers =
+        Array.init 6 (fun i ->
+            Tofino.Register.create
+              ~name:(Printf.sprintf "stream_tracker_%d" i)
+              ~cells:stream_index_capacity);
+      cpu_sink = (fun _ -> ());
+      ingress = fresh_counters ();
+      cpu_pkts = 0;
+      cpu_bytes = 0;
+      egress_pkts = 0;
+      egress_bytes = 0;
+      replicas_suppressed = 0;
+      forward_delay = Stats.Samples.create ();
+      parser_stats = Tofino.Parser.create ();
+      egress_hook = (fun ~receiver:_ ~ssrc:_ ~template:_ ~size:_ -> ());
+    }
+  in
+  t
+
+let ip t = t.ip
+let trees t = t.trees
+let pre t = t.pre
+let set_cpu_sink t sink = t.cpu_sink <- sink
+let set_egress_hook t hook = t.egress_hook <- hook
+
+let to_cpu t dgram =
+  t.cpu_pkts <- t.cpu_pkts + 1;
+  t.cpu_bytes <- t.cpu_bytes + Dgram.wire_size dgram;
+  Engine.schedule t.engine ~after:t.cpu_port_latency_ns (fun () -> t.cpu_sink dgram)
+
+let inject t dgram = Network.send t.network dgram
+
+let emit t ~ingress_ns ~receiver ~ssrc ~template ~src_port ~dst payload =
+  let size = Bytes.length payload + 42 in
+  if t.header_auth then t.headers_authenticated <- t.headers_authenticated + 1;
+  t.egress_pkts <- t.egress_pkts + 1;
+  t.egress_bytes <- t.egress_bytes + size;
+  t.egress_hook ~receiver ~ssrc ~template ~size;
+  let departure = ingress_ns + t.pipeline_latency_ns in
+  Stats.Samples.observe t.forward_delay (float_of_int t.pipeline_latency_ns);
+  let dgram = Dgram.v ~src:(Addr.v t.ip src_port) ~dst payload in
+  Engine.at t.engine ~time:(max departure (Engine.now t.engine)) (fun () ->
+      Network.send t.network dgram)
+
+(* --- configuration -------------------------------------------------------- *)
+
+let register_uplink ?(renditions = [||]) t ~port ~sender ~meeting ~video_ssrc ~audio_ssrc =
+  Hashtbl.replace t.uplinks port
+    { entry = { sender; meeting; video_ssrc; audio_ssrc; renditions; feedback_dst = None } }
+
+let unregister_uplink t ~port = Hashtbl.remove t.uplinks port
+
+let uplink_entry t ~port =
+  Option.map (fun slot -> slot.entry) (Hashtbl.find_opt t.uplinks port)
+
+let swap_meeting_handle t ~port handle =
+  match Hashtbl.find_opt t.uplinks port with
+  | Some slot -> slot.entry <- { slot.entry with meeting = handle }
+  | None -> invalid_arg "Dataplane.swap_meeting_handle: unknown uplink"
+
+let alloc_stream_index t =
+  match t.free_stream_indices with
+  | i :: rest ->
+      t.free_stream_indices <- rest;
+      i
+  | [] ->
+      if t.next_stream_index >= stream_index_capacity then
+        failwith "Dataplane: stream index table full (65,536 rate-adapted streams)";
+      let i = t.next_stream_index in
+      t.next_stream_index <- i + 1;
+      i
+
+let register_leg ?simulcast t ~receiver ~video_ssrc ~audio_ssrc ~dst ~src_port ~uplink_port
+    ~rewrite =
+  let rewriter, stream_index =
+    match rewrite with
+    | None -> (None, -1)
+    | Some variant ->
+        let idx = alloc_stream_index t in
+        (Some (Seq_rewrite.create variant ~target:Dd.DT_30fps), idx)
+  in
+  let simulcast_state = Option.map (fun renditions -> Simulcast.create ~renditions) simulcast in
+  let leg =
+    {
+      leg_receiver = receiver;
+      leg_video_ssrc = video_ssrc;
+      dst;
+      src_port;
+      uplink_port;
+      target = Dd.DT_30fps;
+      forward_remb = false;
+      rewriter;
+      simulcast = simulcast_state;
+      stream_index;
+    }
+  in
+  Hashtbl.replace t.legs (receiver, video_ssrc) leg;
+  Hashtbl.replace t.legs (receiver, audio_ssrc) leg;
+  Option.iter
+    (Array.iter (fun ssrc -> Hashtbl.replace t.legs (receiver, ssrc) leg))
+    simulcast;
+  Hashtbl.replace t.leg_by_port src_port leg
+
+let unregister_leg t ~receiver ~video_ssrc =
+  match Hashtbl.find_opt t.legs (receiver, video_ssrc) with
+  | None -> ()
+  | Some leg ->
+      if leg.stream_index >= 0 then begin
+        t.free_stream_indices <- leg.stream_index :: t.free_stream_indices;
+        Array.iter (fun r -> Tofino.Register.clear_index r leg.stream_index) t.trackers
+      end;
+      Hashtbl.remove t.leg_by_port leg.src_port;
+      let keys =
+        Hashtbl.fold (fun k l acc -> if l == leg then k :: acc else acc) t.legs []
+      in
+      List.iter (Hashtbl.remove t.legs) keys
+
+let set_leg_target t ~receiver ~video_ssrc target =
+  match Hashtbl.find_opt t.legs (receiver, video_ssrc) with
+  | None -> ()
+  | Some leg ->
+      leg.target <- target;
+      Option.iter (fun rw -> Seq_rewrite.set_target rw target) leg.rewriter
+
+let set_leg_rendition t ~leg_port rendition =
+  match Hashtbl.find_opt t.leg_by_port leg_port with
+  | Some { simulcast = Some sc; _ } -> Simulcast.request_switch sc rendition
+  | Some _ | None -> ()
+
+let leg_rendition t ~leg_port =
+  match Hashtbl.find_opt t.leg_by_port leg_port with
+  | Some { simulcast = Some sc; _ } -> Some (Simulcast.active sc)
+  | Some _ | None -> None
+
+(* Ask the sender for a key frame of one stream: a PLI from the switch,
+   used to drive simulcast rendition switches. *)
+let request_keyframe t ~uplink_port ~ssrc =
+  match Hashtbl.find_opt t.uplinks uplink_port with
+  | Some { entry = { feedback_dst = Some dst; _ }; _ } ->
+      let buf = Rtp.Rtcp.serialize_compound [ Rtp.Rtcp.Pli { sender_ssrc = 0; media_ssrc = ssrc } ] in
+      Network.send t.network (Dgram.v ~src:(Addr.v t.ip uplink_port) ~dst buf)
+  | Some _ | None -> ()
+
+let set_remb_forwarding t ~leg_port enabled =
+  match Hashtbl.find_opt t.leg_by_port leg_port with
+  | Some leg -> leg.forward_remb <- enabled
+  | None -> ()
+
+(* --- media path ------------------------------------------------------------ *)
+
+let parse_dd pkt =
+  match Packet.find_extension pkt Dd.extension_id with
+  | None -> None
+  | Some data -> ( try Some (Dd.parse data) with Rtp.Wire.Parse_error _ -> None)
+
+(* Deliver one replica of a media packet to a receiver's leg. *)
+let egress_media t ~ingress_ns ~receiver (pkt : Packet.t) (dd : Dd.t option) =
+  match Hashtbl.find_opt t.legs (receiver, pkt.Packet.ssrc) with
+  | None -> ()
+  | Some leg -> (
+      match dd with
+      | None ->
+          (* audio: never rate-adapted, forwarded verbatim *)
+          emit t ~ingress_ns ~receiver ~ssrc:pkt.Packet.ssrc ~template:None
+            ~src_port:leg.src_port ~dst:leg.dst (Packet.serialize pkt)
+      | Some dd when leg.simulcast <> None ->
+          let sc = Option.get leg.simulcast in
+          let keyframe_start = dd.Dd.start_of_frame && dd.Dd.template_id = 0 in
+          (match
+             Simulcast.on_packet sc ~ssrc:pkt.Packet.ssrc ~seq:pkt.Packet.sequence
+               ~frame:dd.Dd.frame_number ~keyframe_start
+           with
+          | Simulcast.Drop -> t.replicas_suppressed <- t.replicas_suppressed + 1
+          | Simulcast.Forward { ssrc; seq; frame } ->
+              (* splice: rewrite SSRC, sequence and AV1 frame number so the
+                 receiver sees one continuous stream *)
+              let dd' = { dd with Dd.frame_number = frame } in
+              let pkt' =
+                {
+                  (Packet.with_sequence (Packet.with_ssrc pkt ssrc) seq) with
+                  Packet.extensions =
+                    [ { Packet.id = Dd.extension_id; data = Dd.serialize dd' } ];
+                }
+              in
+              emit t ~ingress_ns ~receiver ~ssrc ~template:(Some dd.Dd.template_id)
+                ~src_port:leg.src_port ~dst:leg.dst (Packet.serialize pkt'))
+      | Some dd ->
+          if not (Dd.template_in_target_l1t3 dd.Dd.template_id leg.target) then
+            t.replicas_suppressed <- t.replicas_suppressed + 1
+          else begin
+            let action =
+              match leg.rewriter with
+              | Some rw ->
+                  Seq_rewrite.on_packet rw ~seq:pkt.Packet.sequence
+                    ~frame:dd.Dd.frame_number ~start_of_frame:dd.Dd.start_of_frame
+                    ~end_of_frame:dd.Dd.end_of_frame
+              | None -> Seq_rewrite.Forward pkt.Packet.sequence
+            in
+            match action with
+            | Seq_rewrite.Drop -> t.replicas_suppressed <- t.replicas_suppressed + 1
+            | Seq_rewrite.Forward seq ->
+                let pkt' = Packet.with_sequence pkt seq in
+                emit t ~ingress_ns ~receiver ~ssrc:pkt.Packet.ssrc
+                  ~template:(Some dd.Dd.template_id) ~src_port:leg.src_port ~dst:leg.dst
+                  (Packet.serialize pkt')
+          end)
+
+let fanout t ~ingress_ns uplink (pkt : Packet.t) (dd : Dd.t option) =
+  let layer =
+    match dd with
+    | Some dd -> ( try Dd.layer_of_template_l1t3 dd.Dd.template_id with Rtp.Wire.Parse_error _ -> Dd.T0)
+    | None -> Dd.T0
+  in
+  match Trees.route_media t.trees uplink.meeting ~sender:uplink.sender ~layer with
+  | Trees.No_receivers -> ()
+  | Trees.Unicast { receiver; _ } -> egress_media t ~ingress_ns ~receiver pkt dd
+  | Trees.Replicate { mgid; l1_xid; rid; l2_xid } ->
+      let replicas = Tofino.Pre.replicate t.pre ~mgid ~l1_xid ~rid ~l2_xid in
+      List.iter
+        (fun (r : Tofino.Pre.replica) ->
+          match Trees.receiver_of_replica t.trees uplink.meeting ~mgid ~rid:r.rid with
+          | Some receiver -> egress_media t ~ingress_ns ~receiver pkt dd
+          | None -> ())
+        replicas
+
+let handle_media t uplink (dgram : Dgram.t) =
+  let ingress_ns = Engine.now t.engine in
+  let size = Dgram.wire_size dgram in
+  match Packet.parse dgram.payload with
+  | exception Rtp.Wire.Parse_error _ ->
+      t.ingress.other_pkts <- t.ingress.other_pkts + 1;
+      t.ingress.other_bytes <- t.ingress.other_bytes + size
+  | pkt ->
+      if uplink.feedback_dst = None then uplink.feedback_dst <- Some dgram.src;
+      let is_rendition =
+        Array.exists (fun ssrc -> ssrc = pkt.Packet.ssrc) uplink.renditions
+      in
+      let dd =
+        if pkt.Packet.ssrc = uplink.video_ssrc || is_rendition then parse_dd pkt else None
+      in
+      let has_structure = match dd with Some d -> d.Dd.structure <> None | None -> false in
+      if pkt.Packet.ssrc = uplink.audio_ssrc then begin
+        t.ingress.rtp_audio_pkts <- t.ingress.rtp_audio_pkts + 1;
+        t.ingress.rtp_audio_bytes <- t.ingress.rtp_audio_bytes + size
+      end
+      else if has_structure then begin
+        (* extended dependency descriptor: the data plane cannot parse the
+           template structure; copy to the agent (Appendix E) *)
+        t.ingress.rtp_av1_ds_pkts <- t.ingress.rtp_av1_ds_pkts + 1;
+        t.ingress.rtp_av1_ds_bytes <- t.ingress.rtp_av1_ds_bytes + size;
+        to_cpu t dgram
+      end
+      else begin
+        t.ingress.rtp_video_pkts <- t.ingress.rtp_video_pkts + 1;
+        t.ingress.rtp_video_bytes <- t.ingress.rtp_video_bytes + size
+      end;
+      fanout t ~ingress_ns uplink pkt dd
+
+(* --- feedback path ----------------------------------------------------------- *)
+
+(* Sender-side RTCP (SR/SDES): replicated downstream to every receiver of
+   this sender's streams, re-addressed per leg. *)
+let handle_sender_rtcp t uplink (dgram : Dgram.t) =
+  let ingress_ns = Engine.now t.engine in
+  let size = Dgram.wire_size dgram in
+  (* Table 1 counts RTCP packets, several of which share one compound
+     datagram. *)
+  let subpackets =
+    match Rtp.Rtcp.parse_compound dgram.payload with
+    | exception Rtp.Wire.Parse_error _ -> 1
+    | ps -> max 1 (List.length ps)
+  in
+  t.ingress.rtcp_sr_sdes_pkts <- t.ingress.rtcp_sr_sdes_pkts + subpackets;
+  t.ingress.rtcp_sr_sdes_bytes <- t.ingress.rtcp_sr_sdes_bytes + size;
+  if uplink.feedback_dst = None then uplink.feedback_dst <- Some dgram.src;
+  match
+    Trees.route_media t.trees uplink.meeting ~sender:uplink.sender ~layer:Dd.T0
+  with
+  | Trees.No_receivers -> ()
+  | Trees.Unicast { receiver; _ } -> (
+      match Hashtbl.find_opt t.legs (receiver, uplink.video_ssrc) with
+      | Some leg ->
+          emit t ~ingress_ns ~receiver ~ssrc:uplink.video_ssrc ~template:None
+            ~src_port:leg.src_port ~dst:leg.dst dgram.payload
+      | None -> ())
+  | Trees.Replicate { mgid; l1_xid; rid; l2_xid } ->
+      Tofino.Pre.replicate t.pre ~mgid ~l1_xid ~rid ~l2_xid
+      |> List.iter (fun (r : Tofino.Pre.replica) ->
+             match Trees.receiver_of_replica t.trees uplink.meeting ~mgid ~rid:r.rid with
+             | Some receiver -> (
+                 match Hashtbl.find_opt t.legs (receiver, uplink.video_ssrc) with
+                 | Some leg ->
+                     emit t ~ingress_ns ~receiver ~ssrc:uplink.video_ssrc ~template:None
+                       ~src_port:leg.src_port ~dst:leg.dst dgram.payload
+                 | None -> ())
+             | None -> ())
+
+(* Receiver-side RTCP (RR/REMB/NACK/PLI) arriving on a leg port: forward
+   the actionable parts upstream (REMB gated by the agent's filter) and
+   copy everything to the CPU port for analysis. *)
+let handle_receiver_rtcp t leg (dgram : Dgram.t) =
+  let ingress_ns = Engine.now t.engine in
+  let size = Dgram.wire_size dgram in
+  let packets =
+    match Rtp.Rtcp.parse_compound dgram.payload with
+    | exception Rtp.Wire.Parse_error _ -> []
+    | ps -> ps
+  in
+  let has_remb = List.exists (function Rtp.Rtcp.Remb _ -> true | _ -> false) packets in
+  let subpackets = max 1 (List.length packets) in
+  if has_remb then begin
+    t.ingress.rtcp_remb_pkts <- t.ingress.rtcp_remb_pkts + subpackets;
+    t.ingress.rtcp_remb_bytes <- t.ingress.rtcp_remb_bytes + size
+  end
+  else begin
+    t.ingress.rtcp_rr_pkts <- t.ingress.rtcp_rr_pkts + subpackets;
+    t.ingress.rtcp_rr_bytes <- t.ingress.rtcp_rr_bytes + size
+  end;
+  (match Hashtbl.find_opt t.uplinks leg.uplink_port with
+  | None -> ()
+  | Some slot -> (
+      let uplink = slot.entry in
+      match uplink.feedback_dst with
+      | None -> ()
+      | Some dst ->
+          let forwardable =
+            List.filter_map
+              (fun p ->
+                match p with
+                | Rtp.Rtcp.Nack n -> (
+                    match leg.simulcast with
+                    | Some sc ->
+                        (* a spliced stream cannot serve retransmissions
+                           (the sequence spaces were joined); refresh the
+                           active rendition instead *)
+                        let active = Simulcast.active sc in
+                        let ssrc =
+                          match Hashtbl.find_opt t.uplinks leg.uplink_port with
+                          | Some { entry = { renditions; _ }; _ }
+                            when active < Array.length renditions ->
+                              renditions.(active)
+                          | _ -> n.media_ssrc
+                        in
+                        Some (Rtp.Rtcp.Pli { sender_ssrc = 0; media_ssrc = ssrc })
+                    | None ->
+                        (* The receiver names sequence numbers in the
+                           rewritten space; translate back by the leg's
+                           current offset so the sender's retransmission
+                           buffer can find them. *)
+                        let offset =
+                          match leg.rewriter with
+                          | Some rw -> Seq_rewrite.offset rw
+                          | None -> 0
+                        in
+                        let lost = List.map (fun s -> (s + offset) land 0xFFFF) n.lost in
+                        Some (Rtp.Rtcp.Nack { n with lost }))
+                | Rtp.Rtcp.Pli _ | Rtp.Rtcp.Twcc _ -> Some p
+                | Rtp.Rtcp.Remb _ | Rtp.Rtcp.Receiver_report _ ->
+                    if leg.forward_remb then Some p else None
+                | Rtp.Rtcp.Sender_report _ | Rtp.Rtcp.Sdes _ | Rtp.Rtcp.Bye _ -> None)
+              packets
+          in
+          if forwardable <> [] then begin
+            let payload = Rtp.Rtcp.serialize_compound forwardable in
+            let out_size = Bytes.length payload + 42 in
+            t.egress_pkts <- t.egress_pkts + 1;
+            t.egress_bytes <- t.egress_bytes + out_size;
+            let out =
+              Dgram.v ~src:(Addr.v t.ip leg.uplink_port) ~dst payload
+            in
+            Engine.at t.engine
+              ~time:(max (ingress_ns + t.pipeline_latency_ns) (Engine.now t.engine))
+              (fun () -> Network.send t.network out)
+          end));
+  to_cpu t dgram
+
+(* --- top-level classification ------------------------------------------------ *)
+
+let handler t (dgram : Dgram.t) =
+  ignore (Tofino.Parser.observe t.parser_stats dgram.payload);
+  let size = Dgram.wire_size dgram in
+  let port = dgram.dst.Addr.port in
+  match Rtp.Demux.classify dgram.payload with
+  | Rtp.Demux.Rtp_media -> (
+      match Hashtbl.find_opt t.uplinks port with
+      | Some slot -> handle_media t slot.entry dgram
+      | None ->
+          t.ingress.other_pkts <- t.ingress.other_pkts + 1;
+          t.ingress.other_bytes <- t.ingress.other_bytes + size)
+  | Rtp.Demux.Rtcp_feedback -> (
+      match Hashtbl.find_opt t.uplinks port with
+      | Some slot -> handle_sender_rtcp t slot.entry dgram
+      | None -> (
+          match Hashtbl.find_opt t.leg_by_port port with
+          | Some leg -> handle_receiver_rtcp t leg dgram
+          | None ->
+              t.ingress.other_pkts <- t.ingress.other_pkts + 1;
+              t.ingress.other_bytes <- t.ingress.other_bytes + size))
+  | Rtp.Demux.Stun_packet ->
+      t.ingress.stun_pkts <- t.ingress.stun_pkts + 1;
+      t.ingress.stun_bytes <- t.ingress.stun_bytes + size;
+      to_cpu t dgram
+  | Rtp.Demux.Unknown ->
+      t.ingress.other_pkts <- t.ingress.other_pkts + 1;
+      t.ingress.other_bytes <- t.ingress.other_bytes + size
+
+let create engine network ~ip ?pre_limits ?pipeline_latency_ns ?cpu_port_latency_ns
+    ?header_auth () =
+  let t =
+    create engine network ~ip ?pre_limits ?pipeline_latency_ns ?cpu_port_latency_ns
+      ?header_auth ()
+  in
+  Network.bind_host network ~ip (handler t);
+  t
+
+(* --- stats ---------------------------------------------------------------- *)
+
+let ingress_counters t = t.ingress
+let cpu_pkts t = t.cpu_pkts
+let cpu_bytes t = t.cpu_bytes
+let egress_pkts t = t.egress_pkts
+let egress_bytes t = t.egress_bytes
+let replicas_suppressed t = t.replicas_suppressed
+let forward_delay_samples t = t.forward_delay
+let header_auth_enabled t = t.header_auth
+let headers_authenticated t = t.headers_authenticated
+
+let parser_stats t = t.parser_stats
+
+let resource_program t =
+  let open Tofino.Resources in
+  {
+    (* depth-aware RTP-extension parse tree (Appendix E) dominates ingress *)
+    ingress_parser_depth = Tofino.Parser.graph_depth;
+    egress_parser_depth = 7;
+    ingress_stages = 7;
+    egress_stages = 5;
+    tables =
+      [
+        {
+          t_name = "uplink";
+          entries = max 1024 (Hashtbl.length t.uplinks);
+          key_bytes = 2;
+          value_bytes = 12;
+          ternary = false;
+        };
+        {
+          t_name = "egress_leg";
+          entries = max 4096 (Hashtbl.length t.legs);
+          key_bytes = 8;
+          value_bytes = 10;
+          ternary = false;
+        };
+        {
+          t_name = "feedback";
+          entries = max 4096 (Hashtbl.length t.leg_by_port);
+          key_bytes = 2;
+          value_bytes = 8;
+          ternary = false;
+        };
+        {
+          t_name = "stream_index";
+          entries = stream_index_capacity;
+          key_bytes = 12;
+          value_bytes = 2;
+          ternary = false;
+        };
+        { t_name = "classify"; entries = 64; key_bytes = 4; value_bytes = 1; ternary = true };
+      ]
+      @
+      (* SipHash over the 20-byte header uses a small round-key table and
+         extra VLIW work, per the feasibility argument of §8 *)
+      (if t.header_auth then
+         [ { t_name = "hmac_keys"; entries = 256; key_bytes = 4; value_bytes = 16; ternary = false } ]
+       else []);
+    registers =
+      Array.to_list t.trackers
+      |> List.map (fun r ->
+             { r_name = Tofino.Register.name r; r_cells = Tofino.Register.cells r; width_bytes = 4 });
+    phv_bits_used = (if t.header_auth then 1044 else 916);
+    vliw_used = (if t.header_auth then 61 else 47);
+  }

@@ -1,0 +1,156 @@
+(** The Scallop data plane — the behavioural equivalent of the paper's
+    ~2000 lines of P4 (paper §6, Appendix E).
+
+    Attached to the simulated network as the switch host, it processes
+    every packet addressed to the SFU:
+
+    - {b classification} by UDP-payload lookahead (RTP / RTCP / STUN);
+    - {b media path}: parse the RTP header and the AV1 dependency
+      descriptor extension; look up the sender's uplink entry; obtain PRE
+      metadata from {!Trees}; replicate; per replica, look up the
+      (receiver, SSRC) egress entry; if the leg is rate-adapted, drop
+      suppressed layers and run the {!Seq_rewrite} heuristic; rewrite
+      source/destination addresses (true-proxy addressing) and emit after
+      a fixed pipeline latency;
+    - {b feedback path}: NACK / PLI / REMB arriving on a leg port are
+      forwarded upstream to the sender without delay — REMB only when the
+      switch agent has selected this leg as the best downlink — and copied
+      to the CPU port; sender reports are replicated downstream;
+    - {b control path}: STUN, and key frames carrying an extended
+      dependency descriptor, are copied to the CPU port for the agent.
+
+    The module is configured exclusively through the table-write style API
+    below, which is how the switch agent and controller drive it. *)
+
+type t
+
+val create :
+  Netsim.Engine.t ->
+  Netsim.Network.t ->
+  ip:int ->
+  ?pre_limits:Tofino.Pre.limits ->
+  ?pipeline_latency_ns:int ->
+  ?cpu_port_latency_ns:int ->
+  ?header_auth:bool ->
+  unit ->
+  t
+(** Defaults: 600 ns pipeline, 50 µs CPU port.
+
+    [header_auth] enables the paper's §8 extension: recomputing an HMAC
+    over the (rewritten) RTP header of every egress replica, as the paper
+    argues is feasible on programmable hardware. The model charges extra
+    pipeline latency and match-action resources; payloads stay opaque
+    (SRTP-compatible), so nothing else changes. *)
+
+val ip : t -> int
+val trees : t -> Trees.t
+val pre : t -> Tofino.Pre.t
+
+(** {1 Control-plane configuration API} *)
+
+val set_cpu_sink : t -> (Netsim.Dgram.t -> unit) -> unit
+(** Where CPU-port copies go (the switch agent). *)
+
+val inject : t -> Netsim.Dgram.t -> unit
+(** Agent/controller sends a packet out through the switch. *)
+
+type uplink = {
+  sender : int;
+  meeting : Trees.handle;
+  video_ssrc : int;
+  audio_ssrc : int;
+  renditions : int array;  (** simulcast SSRCs; [| |] for plain SVC uplinks *)
+  mutable feedback_dst : Scallop_util.Addr.t option;
+      (** Learned from the first uplink packet: where the sender's own
+          feedback (REMB/NACK/PLI towards it) must be sent. *)
+}
+
+val register_uplink :
+  ?renditions:int array -> t -> port:int -> sender:int -> meeting:Trees.handle ->
+  video_ssrc:int -> audio_ssrc:int -> unit
+
+val unregister_uplink : t -> port:int -> unit
+val uplink_entry : t -> port:int -> uplink option
+val swap_meeting_handle : t -> port:int -> Trees.handle -> unit
+(** Migration step 2: repoint an uplink at a new tree set. *)
+
+val register_leg :
+  ?simulcast:int array -> t -> receiver:int -> video_ssrc:int -> audio_ssrc:int ->
+  dst:Scallop_util.Addr.t -> src_port:int -> uplink_port:int ->
+  rewrite:Seq_rewrite.variant option -> unit
+(** One (sender stream → receiver) egress leg. [src_port] is the switch
+    port the receiver believes its peer lives at; feedback arriving there
+    is matched back to the sender via [uplink_port]. [rewrite] enables the
+    sequence-rewriting state for rate-adapted legs.
+    @raise Tofino.Table.Table_full-equivalent [Failure] when the stream
+    index table is exhausted (65,536 rate-adapted streams). *)
+
+val unregister_leg : t -> receiver:int -> video_ssrc:int -> unit
+
+val set_leg_target : t -> receiver:int -> video_ssrc:int -> Av1.Dd.decode_target -> unit
+(** Update the frame-skip cadence of a leg's rewriter. *)
+
+val set_leg_rendition : t -> leg_port:int -> int -> unit
+(** Simulcast: ask the leg to splice onto another rendition (takes effect
+    at that rendition's next key frame). *)
+
+val leg_rendition : t -> leg_port:int -> int option
+
+val request_keyframe : t -> uplink_port:int -> ssrc:int -> unit
+(** Send a PLI towards the sender for one of its streams — how the agent
+    obtains the key frame a pending rendition switch needs. *)
+
+val set_remb_forwarding : t -> leg_port:int -> bool -> unit
+(** The agent's filter function output (paper §5.3): only the selected
+    best-downlink leg forwards its REMBs to the sender. *)
+
+(** {1 Statistics} *)
+
+type counters = {
+  mutable rtp_audio_pkts : int;
+  mutable rtp_audio_bytes : int;
+  mutable rtp_video_pkts : int;
+  mutable rtp_video_bytes : int;
+  mutable rtp_av1_ds_pkts : int;
+  mutable rtp_av1_ds_bytes : int;
+  mutable rtcp_sr_sdes_pkts : int;
+  mutable rtcp_sr_sdes_bytes : int;
+  mutable rtcp_rr_pkts : int;
+  mutable rtcp_rr_bytes : int;
+  mutable rtcp_remb_pkts : int;
+  mutable rtcp_remb_bytes : int;
+  mutable stun_pkts : int;
+  mutable stun_bytes : int;
+  mutable other_pkts : int;
+  mutable other_bytes : int;
+}
+
+val ingress_counters : t -> counters
+(** Classification of everything arriving at the switch — the Table 1
+    breakdown. *)
+
+val cpu_pkts : t -> int
+val cpu_bytes : t -> int
+val egress_pkts : t -> int
+val egress_bytes : t -> int
+val replicas_suppressed : t -> int
+val forward_delay_samples : t -> Scallop_util.Stats.Samples.t
+
+val set_egress_hook :
+  t -> (receiver:int -> ssrc:int -> template:int option -> size:int -> unit) -> unit
+(** Per-replica observation point for Figs. 23–25. *)
+
+val header_auth_enabled : t -> bool
+val headers_authenticated : t -> int
+(** Egress replicas whose header HMAC was recomputed (0 unless
+    [header_auth]). *)
+
+val parser_stats : t -> Tofino.Parser.t
+(** Depth statistics of the Appendix-E parse graph over every packet that
+    arrived at the switch. *)
+
+val resource_program : t -> Tofino.Resources.program
+(** Static description of this program for the Table 3 model. *)
+
+val stream_index_capacity : int
+(** 65,536 concurrent rate-adapted streams (paper §6.3). *)

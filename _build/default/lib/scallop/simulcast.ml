@@ -1,0 +1,84 @@
+type t = {
+  renditions : int array;
+  out_ssrc : int;
+  mutable active : int;
+  mutable pending : int option;
+  (* per-epoch fixed offsets: out = in - offset, rebased at each switch so
+     outputs stay strictly above everything already emitted *)
+  mutable seq_offset : int;
+  mutable frame_offset : int;
+  mutable last_out_seq : int;
+  mutable last_out_frame : int;
+  mutable started : bool;
+}
+
+let create ~renditions =
+  if Array.length renditions = 0 then invalid_arg "Simulcast.create: no renditions";
+  {
+    renditions;
+    out_ssrc = renditions.(0);
+    active = 0;
+    pending = None;
+    seq_offset = 0;
+    frame_offset = 0;
+    last_out_seq = 0;
+    last_out_frame = 0;
+    started = false;
+  }
+
+let active t = t.active
+let pending t = t.pending
+
+let request_switch t idx =
+  if idx < 0 || idx >= Array.length t.renditions then
+    invalid_arg "Simulcast.request_switch: no such rendition";
+  if idx = t.active then t.pending <- None else t.pending <- Some idx
+
+type action = Forward of { ssrc : int; seq : int; frame : int } | Drop
+
+let index_of t ssrc =
+  let rec find i =
+    if i >= Array.length t.renditions then None
+    else if t.renditions.(i) = ssrc then Some i
+    else find (i + 1)
+  in
+  find 0
+
+let emit t ~seq ~frame =
+  let out_seq = (seq - t.seq_offset) land 0xFFFF in
+  let out_frame = (frame - t.frame_offset) land 0xFFFF in
+  (* track the forwarding frontier for the next rebase *)
+  if Rtp.Packet.seq_sub out_seq t.last_out_seq > 0 then t.last_out_seq <- out_seq;
+  if (out_frame - t.last_out_frame) land 0xFFFF < 0x8000 then t.last_out_frame <- out_frame;
+  Forward { ssrc = t.out_ssrc; seq = out_seq; frame = out_frame }
+
+(* Rebase onto a new epoch: the switch-over packet becomes last_out_seq+1,
+   its frame last_out_frame+1, so the spliced stream stays gapless and can
+   never revisit an already-emitted sequence number. *)
+let rebase t ~seq ~frame =
+  t.seq_offset <- (seq - ((t.last_out_seq + 1) land 0xFFFF)) land 0xFFFF;
+  t.frame_offset <- (frame - ((t.last_out_frame + 1) land 0xFFFF)) land 0xFFFF
+
+let on_packet t ~ssrc ~seq ~frame ~keyframe_start =
+  match index_of t ssrc with
+  | None -> Drop
+  | Some idx ->
+      if not t.started then begin
+        if idx = t.active then begin
+          t.started <- true;
+          t.seq_offset <- 0;
+          t.frame_offset <- 0;
+          t.last_out_seq <- seq;
+          t.last_out_frame <- frame;
+          Forward { ssrc = t.out_ssrc; seq; frame }
+        end
+        else Drop
+      end
+      else if Some idx = t.pending && keyframe_start then begin
+        rebase t ~seq ~frame;
+        t.active <- idx;
+        t.pending <- None;
+        emit t ~seq ~frame
+      end
+      else if idx = t.active then emit t ~seq ~frame
+      else Drop

@@ -1,0 +1,41 @@
+(** Simulcast forwarding — the "related technology" the paper names next
+    to SVC (§3): the sender encodes the same video at several bitrates as
+    independent streams (renditions), and the SFU forwards exactly one of
+    them to each receiver, switching renditions as capacity changes.
+
+    Where SVC adaptation drops packets of one stream (leaving gaps to
+    mask), simulcast adaptation {e splices} streams: the receiver
+    negotiated a single continuous stream, so on a switch the data plane
+    must rewrite the SSRC, the sequence numbers and the AV1 frame numbers
+    so the next rendition continues seamlessly where the previous one left
+    off. All three are fixed-offset header rewrites per epoch — precisely
+    the operation class the paper argues programmable switches do well.
+
+    Switches take effect at the next key frame of the target rendition
+    (the agent asks the sender for one via PLI), and the never-duplicate
+    invariant of {!Seq_rewrite} carries over: each epoch is rebased above
+    everything already emitted. *)
+
+type t
+
+val create : renditions:int array -> t
+(** [renditions] are the SSRCs, highest quality first. The output stream
+    uses the first rendition's SSRC; forwarding starts active on it. *)
+
+val active : t -> int
+(** Index of the rendition currently forwarded. *)
+
+val request_switch : t -> int -> unit
+(** Ask for a rendition change; it engages at that rendition's next
+    key-frame start. Requesting the active rendition cancels any pending
+    switch. *)
+
+val pending : t -> int option
+
+type action = Forward of { ssrc : int; seq : int; frame : int } | Drop
+
+val on_packet :
+  t -> ssrc:int -> seq:int -> frame:int -> keyframe_start:bool -> action
+(** Process one video packet of any rendition. Packets of inactive
+    renditions are dropped (cheaply, by SSRC match) unless they open the
+    key frame a pending switch is waiting for. *)

@@ -1,0 +1,485 @@
+module Addr = Scallop_util.Addr
+module Ewma = Scallop_util.Ewma
+module Engine = Netsim.Engine
+module Dgram = Netsim.Dgram
+module Dd = Av1.Dd
+
+type select_decode_target =
+  current:Dd.decode_target ->
+  history:float list ->
+  estimate_bps:int ->
+  full_bitrate_bps:int ->
+  Dd.decode_target
+
+let default_select ~current ~history:_ ~estimate_bps ~full_bitrate_bps =
+  Codec.Rate_policy.select_decode_target ~current ~estimate_bps ~full_bitrate_bps
+
+type meeting_id = int
+
+type leg_info = {
+  leg_port : int;
+  receiver : int;
+  adaptive : bool;  (** false for cascade legs towards another switch *)
+  mutable ewma : Ewma.t;
+  mutable history : float list;  (** recent raw estimates, newest first *)
+  mutable target : Dd.decode_target;
+  mutable last_target_change_ns : int;
+}
+
+type sender_stream = {
+  uplink_port : int;
+  sender : int;
+  s_meeting : meeting_id;
+  video_ssrc : int;
+  audio_ssrc : int;
+  full_bitrate : int;
+  renditions : (int * int) array;  (** simulcast (ssrc, bitrate), best first *)
+  mutable legs : leg_info list;
+  mutable best_leg : int option;  (** leg_port of the selected downlink *)
+}
+
+type meeting_state = {
+  mid : meeting_id;
+  mutable handle : Trees.handle;
+  mutable design : Trees.design;
+  mutable streams : sender_stream list;
+  mutable members : (int * int) list;  (** participant, egress port *)
+  mutable sender_members : int list;
+  mutable pair_specific : bool;  (** a pair target was explicitly set *)
+}
+
+type t = {
+  engine : Engine.t;
+  dp : Dataplane.t;
+  rewrite : Seq_rewrite.variant;
+  select : select_decode_target;
+  migration_enabled : bool;
+  rewriting_enabled : bool;
+  feedback_filter : bool;
+  meetings : (meeting_id, meeting_state) Hashtbl.t;
+  stream_by_uplink : (int, sender_stream) Hashtbl.t;
+  leg_index : (int, sender_stream * leg_info) Hashtbl.t;  (** by leg_port *)
+  mutable next_meeting : int;
+  mutable rpc_calls : int;
+  mutable cpu_packets : int;
+  mutable cpu_bytes : int;
+  mutable stun_answered : int;
+  mutable rembs_analyzed : int;
+  mutable target_changes : int;
+  mutable filter_switches : int;
+  mutable migrations : int;
+  mutable structures_seen : int;
+}
+
+(* --- migration policy ------------------------------------------------------ *)
+
+let desired_design _t m =
+  if List.length m.members < 2 then Trees.Nra
+  else if List.length m.members = 2 then Trees.Two_party
+  else if m.pair_specific then Trees.Ra_sr
+  else begin
+    let adapted =
+      List.exists
+        (fun s -> List.exists (fun l -> l.target <> Dd.DT_30fps) s.legs)
+        m.streams
+    in
+    if adapted then Trees.Ra_r else Trees.Nra
+  end
+
+(* Rebuild the meeting's trees under [want] from the agent's authoritative
+   membership — the paper's three migration steps: build the new trees,
+   repoint the uplinks, free the old trees. *)
+let rebuild t m want =
+  let handle' =
+    Trees.register_meeting (Dataplane.trees t.dp) want ~participants:m.members
+      ~senders:m.sender_members
+  in
+  List.iter
+    (fun s ->
+      List.iter
+        (fun l ->
+          if l.target <> Dd.DT_30fps then
+            if m.pair_specific then
+              Trees.set_pair_target (Dataplane.trees t.dp) handle' ~sender:s.sender
+                ~receiver:l.receiver l.target
+            else
+              Trees.set_receiver_target (Dataplane.trees t.dp) handle' ~receiver:l.receiver
+                l.target)
+        s.legs)
+    m.streams;
+  List.iter
+    (fun s -> Dataplane.swap_meeting_handle t.dp ~port:s.uplink_port handle')
+    m.streams;
+  Trees.unregister_meeting (Dataplane.trees t.dp) m.handle;
+  m.handle <- handle';
+  m.design <- want;
+  t.migrations <- t.migrations + 1
+
+let maybe_migrate t m =
+  if t.migration_enabled then begin
+    let want = desired_design t m in
+    if want <> m.design then rebuild t m want
+  end
+
+(* --- registration API -------------------------------------------------------- *)
+
+let rpc t = t.rpc_calls <- t.rpc_calls + 1
+
+let new_meeting t ~two_party =
+  rpc t;
+  ignore two_party;
+  (* Meetings always start as an (empty) NRA registration; the migration
+     policy moves them to Two_party once exactly two members are present,
+     and onwards as adaptation state evolves. *)
+  let mid = t.next_meeting in
+  t.next_meeting <- mid + 1;
+  let handle =
+    Trees.register_meeting (Dataplane.trees t.dp) Trees.Nra ~participants:[] ~senders:[]
+  in
+  Hashtbl.replace t.meetings mid
+    {
+      mid;
+      handle;
+      design = Trees.Nra;
+      streams = [];
+      members = [];
+      sender_members = [];
+      pair_specific = false;
+    };
+  mid
+
+let meeting t mid =
+  match Hashtbl.find_opt t.meetings mid with
+  | Some m -> m
+  | None -> invalid_arg (Printf.sprintf "Switch_agent: unknown meeting %d" mid)
+
+let meeting_design t mid = (meeting t mid).design
+
+let register_participant t ~meeting:mid ~participant ~egress_port ~sends =
+  rpc t;
+  let m = meeting t mid in
+  m.members <- m.members @ [ (participant, egress_port) ];
+  if sends then m.sender_members <- m.sender_members @ [ participant ];
+  let want = if t.migration_enabled then desired_design t m else m.design in
+  if want <> m.design then rebuild t m want
+  else Trees.add_participant (Dataplane.trees t.dp) m.handle (participant, egress_port) ~sends
+
+let remove_participant t ~meeting:mid ~participant =
+  rpc t;
+  let m = meeting t mid in
+  m.members <- List.filter (fun (p, _) -> p <> participant) m.members;
+  m.sender_members <- List.filter (fun p -> p <> participant) m.sender_members;
+  (* retire this participant's sender stream and legs *)
+  let gone, kept = List.partition (fun s -> s.sender = participant) m.streams in
+  m.streams <- kept;
+  List.iter
+    (fun s ->
+      Hashtbl.remove t.stream_by_uplink s.uplink_port;
+      Dataplane.unregister_uplink t.dp ~port:s.uplink_port;
+      List.iter
+        (fun l ->
+          Hashtbl.remove t.leg_index l.leg_port;
+          Dataplane.unregister_leg t.dp ~receiver:l.receiver ~video_ssrc:s.video_ssrc)
+        s.legs)
+    gone;
+  (* drop legs other senders had towards this participant *)
+  List.iter
+    (fun s ->
+      let mine, others = List.partition (fun l -> l.receiver = participant) s.legs in
+      s.legs <- others;
+      List.iter
+        (fun l ->
+          Hashtbl.remove t.leg_index l.leg_port;
+          Dataplane.unregister_leg t.dp ~receiver:participant ~video_ssrc:s.video_ssrc;
+          if s.best_leg = Some l.leg_port then s.best_leg <- None)
+        mine)
+    kept;
+  let want = if t.migration_enabled then desired_design t m else m.design in
+  if want <> m.design then rebuild t m want
+  else Trees.remove_participant (Dataplane.trees t.dp) m.handle participant
+
+(* Tear one stream down: its data-plane legs, feedback state, and uplink. *)
+let unregister_uplink t ~meeting:mid ~port =
+  rpc t;
+  let m = meeting t mid in
+  let gone, kept = List.partition (fun s -> s.uplink_port = port) m.streams in
+  m.streams <- kept;
+  List.iter
+    (fun s ->
+      Hashtbl.remove t.stream_by_uplink s.uplink_port;
+      Dataplane.unregister_uplink t.dp ~port:s.uplink_port;
+      List.iter
+        (fun l ->
+          Hashtbl.remove t.leg_index l.leg_port;
+          Dataplane.unregister_leg t.dp ~receiver:l.receiver ~video_ssrc:s.video_ssrc)
+        s.legs)
+    gone
+
+let register_uplink ?(renditions = [||]) t ~meeting:mid ~sender ~port ~video_ssrc
+    ~audio_ssrc ~full_bitrate =
+  rpc t;
+  let m = meeting t mid in
+  let stream =
+    {
+      uplink_port = port;
+      sender;
+      s_meeting = mid;
+      video_ssrc;
+      audio_ssrc;
+      full_bitrate;
+      renditions;
+      legs = [];
+      best_leg = None;
+    }
+  in
+  m.streams <- m.streams @ [ stream ];
+  Hashtbl.replace t.stream_by_uplink port stream;
+  Dataplane.register_uplink t.dp ~port ~sender ~meeting:m.handle ~video_ssrc ~audio_ssrc
+    ~renditions:(Array.map fst renditions)
+
+let register_leg t ~meeting:mid ~sender ?uplink_port ~receiver ~leg_port ~dst
+    ?(adaptive = true) () =
+  rpc t;
+  let m = meeting t mid in
+  let wanted s =
+    s.sender = sender
+    && match uplink_port with Some p -> s.uplink_port = p | None -> true
+  in
+  match List.find_opt wanted m.streams with
+  | None -> invalid_arg "Switch_agent.register_leg: sender has no such uplink"
+  | Some stream ->
+      let leg =
+        {
+          leg_port;
+          receiver;
+          adaptive;
+          ewma = Ewma.create ~alpha:0.3;
+          history = [];
+          target = Dd.DT_30fps;
+          last_target_change_ns = min_int / 2;
+        }
+      in
+      stream.legs <- stream.legs @ [ leg ];
+      Hashtbl.replace t.leg_index leg_port (stream, leg);
+      let simulcast =
+        if Array.length stream.renditions = 0 then None
+        else Some (Array.map fst stream.renditions)
+      in
+      Dataplane.register_leg ?simulcast t.dp ~receiver ~video_ssrc:stream.video_ssrc
+        ~audio_ssrc:stream.audio_ssrc ~dst ~src_port:leg_port ~uplink_port:stream.uplink_port
+        ~rewrite:(if t.rewriting_enabled then Some t.rewrite else None);
+      if not t.feedback_filter then
+        (* ablation: naive split-less forwarding of every receiver's REMB *)
+        Dataplane.set_remb_forwarding t.dp ~leg_port true
+      else if stream.best_leg = None then begin
+        (* the first leg of a stream is the initial best downlink *)
+        stream.best_leg <- Some leg_port;
+        Dataplane.set_remb_forwarding t.dp ~leg_port true
+      end
+
+let set_pair_target t ~meeting:mid ~sender ~receiver target =
+  rpc t;
+  let m = meeting t mid in
+  m.pair_specific <- true;
+  maybe_migrate t m;
+  (match List.find_opt (fun s -> s.sender = sender) m.streams with
+  | Some stream -> (
+      match List.find_opt (fun l -> l.receiver = receiver) stream.legs with
+      | Some leg ->
+          leg.target <- target;
+          Dataplane.set_leg_target t.dp ~receiver ~video_ssrc:stream.video_ssrc target
+      | None -> ())
+  | None -> ());
+  Trees.set_pair_target (Dataplane.trees t.dp) m.handle ~sender ~receiver target
+
+(* --- CPU-port packet handling ------------------------------------------------ *)
+
+let answer_stun t (dgram : Dgram.t) =
+  match Rtp.Stun.parse dgram.payload with
+  | exception Rtp.Wire.Parse_error _ -> ()
+  | msg when msg.Rtp.Stun.cls = Rtp.Stun.Request ->
+      t.stun_answered <- t.stun_answered + 1;
+      let reply =
+        Rtp.Stun.binding_success ~transaction_id:msg.Rtp.Stun.transaction_id
+          ~mapped_ip:dgram.src.Addr.ip ~mapped_port:dgram.src.Addr.port
+      in
+      Dataplane.inject t.dp
+        (Dgram.v ~src:dgram.dst ~dst:dgram.src (Rtp.Stun.serialize reply))
+  | _ -> ()
+
+(* The §5.3 filter function: smooth each leg's estimates, pick the max. *)
+let run_filter t stream =
+  if not t.feedback_filter then ()
+  else
+  let best =
+    List.fold_left
+      (fun acc leg ->
+        match Ewma.value_opt leg.ewma with
+        | None -> acc
+        | Some v -> (
+            match acc with
+            | Some (_, best_v) when best_v >= v -> acc
+            | _ -> Some (leg, v)))
+      None stream.legs
+  in
+  match best with
+  | None -> ()
+  | Some (leg, _) ->
+      if stream.best_leg <> Some leg.leg_port then begin
+        (match stream.best_leg with
+        | Some old -> Dataplane.set_remb_forwarding t.dp ~leg_port:old false
+        | None -> ());
+        Dataplane.set_remb_forwarding t.dp ~leg_port:leg.leg_port true;
+        stream.best_leg <- Some leg.leg_port;
+        t.filter_switches <- t.filter_switches + 1
+      end
+
+(* Downgrades apply immediately (QoE-critical); upgrades hold down for a
+   while after any change, so a borderline link settles on a clean step
+   instead of oscillating as GCC repeatedly probes the next layer up. *)
+let upgrade_hold_down_ns = 20_000_000_000
+
+let apply_target t m stream leg target =
+  let upgrade = Dd.index_of_target target > Dd.index_of_target leg.target in
+  let held =
+    upgrade && Engine.now t.engine - leg.last_target_change_ns < upgrade_hold_down_ns
+  in
+  if target <> leg.target && not held then begin
+    leg.target <- target;
+    leg.last_target_change_ns <- Engine.now t.engine;
+    t.target_changes <- t.target_changes + 1;
+    Dataplane.set_leg_target t.dp ~receiver:leg.receiver ~video_ssrc:stream.video_ssrc target;
+    if m.pair_specific then
+      Trees.set_pair_target (Dataplane.trees t.dp) m.handle ~sender:stream.sender
+        ~receiver:leg.receiver target
+    else
+      Trees.set_receiver_target (Dataplane.trees t.dp) m.handle ~receiver:leg.receiver target;
+    maybe_migrate t m
+  end
+
+(* Simulcast rendition selection: the best rendition whose bitrate fits
+   under the smoothed estimate (10% headroom), with the same upgrade
+   hold-down used for SVC targets; the switch engages at the key frame the
+   PLI provokes. *)
+let select_rendition t stream leg ~smoothed =
+  match Dataplane.leg_rendition t.dp ~leg_port:leg.leg_port with
+  | None -> ()
+  | Some current ->
+      let n = Array.length stream.renditions in
+      let affordable i = float_of_int (snd stream.renditions.(i)) *. 1.1 <= float_of_int smoothed in
+      let rec best i = if i >= n - 1 then n - 1 else if affordable i then i else best (i + 1) in
+      let desired = best 0 in
+      let upgrading = desired < current in
+      let held =
+        upgrading && Engine.now t.engine - leg.last_target_change_ns < upgrade_hold_down_ns
+      in
+      if desired <> current && not held then begin
+        leg.last_target_change_ns <- Engine.now t.engine;
+        t.target_changes <- t.target_changes + 1;
+        Dataplane.set_leg_rendition t.dp ~leg_port:leg.leg_port desired;
+        Dataplane.request_keyframe t.dp ~uplink_port:stream.uplink_port
+          ~ssrc:(fst stream.renditions.(desired))
+      end
+
+let on_remb t stream leg estimate =
+  t.rembs_analyzed <- t.rembs_analyzed + 1;
+  Ewma.observe leg.ewma (float_of_int estimate);
+  leg.history <- float_of_int estimate :: leg.history;
+  if List.length leg.history > 16 then
+    leg.history <- List.filteri (fun i _ -> i < 16) leg.history;
+  run_filter t stream;
+  let m = meeting t stream.s_meeting in
+  (* select on the smoothed estimate: a single keyframe-burst dip must not
+     cost the receiver a quality layer *)
+  let smoothed = int_of_float (Ewma.value leg.ewma) in
+  if Array.length stream.renditions > 0 then select_rendition t stream leg ~smoothed
+  else if leg.adaptive then begin
+    let target =
+      t.select ~current:leg.target ~history:leg.history ~estimate_bps:smoothed
+        ~full_bitrate_bps:stream.full_bitrate
+    in
+    apply_target t m stream leg target
+  end
+
+let on_rtcp_copy t (dgram : Dgram.t) =
+  match Hashtbl.find_opt t.leg_index dgram.dst.Addr.port with
+  | None -> ()
+  | Some (stream, leg) -> (
+      match Rtp.Rtcp.parse_compound dgram.payload with
+      | exception Rtp.Wire.Parse_error _ -> ()
+      | packets ->
+          List.iter
+            (fun p ->
+              match p with
+              | Rtp.Rtcp.Remb { bitrate_bps; _ } -> on_remb t stream leg bitrate_bps
+              | Rtp.Rtcp.Twcc _ | Rtp.Rtcp.Receiver_report _ | Rtp.Rtcp.Nack _
+              | Rtp.Rtcp.Pli _ | Rtp.Rtcp.Sender_report _ | Rtp.Rtcp.Sdes _
+              | Rtp.Rtcp.Bye _ -> ())
+            packets)
+
+let on_av1_structure t (dgram : Dgram.t) =
+  match Rtp.Packet.parse dgram.payload with
+  | exception Rtp.Wire.Parse_error _ -> ()
+  | pkt -> (
+      match Rtp.Packet.find_extension pkt Dd.extension_id with
+      | None -> ()
+      | Some data -> (
+          match Dd.parse data with
+          | exception Rtp.Wire.Parse_error _ -> ()
+          | dd -> if dd.Dd.structure <> None then t.structures_seen <- t.structures_seen + 1))
+
+let cpu_handler t (dgram : Dgram.t) =
+  t.cpu_packets <- t.cpu_packets + 1;
+  t.cpu_bytes <- t.cpu_bytes + Dgram.wire_size dgram;
+  match Rtp.Demux.classify dgram.payload with
+  | Rtp.Demux.Stun_packet -> answer_stun t dgram
+  | Rtp.Demux.Rtcp_feedback -> on_rtcp_copy t dgram
+  | Rtp.Demux.Rtp_media -> on_av1_structure t dgram
+  | Rtp.Demux.Unknown -> ()
+
+let create engine dp ?(rewrite = Seq_rewrite.S_LM) ?(select = default_select)
+    ?(migration_enabled = true) ?(rewriting_enabled = true) ?(feedback_filter = true) () =
+  let t =
+    {
+      engine;
+      dp;
+      rewrite;
+      select;
+      migration_enabled;
+      rewriting_enabled;
+      feedback_filter;
+      meetings = Hashtbl.create 32;
+      stream_by_uplink = Hashtbl.create 64;
+      leg_index = Hashtbl.create 256;
+      next_meeting = 0;
+      rpc_calls = 0;
+      cpu_packets = 0;
+      cpu_bytes = 0;
+      stun_answered = 0;
+      rembs_analyzed = 0;
+      target_changes = 0;
+      filter_switches = 0;
+      migrations = 0;
+      structures_seen = 0;
+    }
+  in
+  Dataplane.set_cpu_sink dp (cpu_handler t);
+  t
+
+let rpc_calls t = t.rpc_calls
+let cpu_packets t = t.cpu_packets
+let cpu_bytes t = t.cpu_bytes
+let stun_answered t = t.stun_answered
+let rembs_analyzed t = t.rembs_analyzed
+let target_changes t = t.target_changes
+let filter_switches t = t.filter_switches
+let migrations t = t.migrations
+
+let current_target t ~meeting:mid ~sender ~receiver =
+  let m = meeting t mid in
+  match List.find_opt (fun s -> s.sender = sender) m.streams with
+  | None -> Dd.DT_30fps
+  | Some stream -> (
+      match List.find_opt (fun l -> l.receiver = receiver) stream.legs with
+      | Some leg -> leg.target
+      | None -> Dd.DT_30fps)

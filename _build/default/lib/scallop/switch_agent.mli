@@ -1,0 +1,115 @@
+(** Scallop's switch agent — the latency-sensitive middle tier that runs on
+    the switch CPU (paper §4, §5).
+
+    The agent receives CPU-port copies from the data plane and never
+    touches media. Its jobs:
+
+    - {b STUN}: answer connectivity checks (too complex for the parser,
+      not latency-critical, §5.1);
+    - {b feedback filtering} (§5.3): keep an EWMA of every receiver leg's
+      REMB estimates per sender stream, select the best-performing
+      downlink, and configure the data plane to forward only that leg's
+      REMB to the sender;
+    - {b layer selection} (§5.4): run the pluggable
+      [select_decode_target(currDT, estHist, newEst)] function per
+      receiver leg and reconfigure the data plane / replication trees when
+      the target changes;
+    - {b key-frame analysis}: consume RTP packets carrying an extended
+      AV1 dependency descriptor and refresh the template→layer mapping;
+    - {b tree migration} (§6.1): move meetings between Two_party / NRA /
+      RA-R / RA-SR designs as their adaptation needs change, by building
+      the new trees before retiring the old ones.
+
+    The controller (tier 1) drives session state through the registration
+    API; every call across that boundary is counted to model the RPC. *)
+
+type t
+
+type select_decode_target =
+  current:Av1.Dd.decode_target ->
+  history:float list ->
+  estimate_bps:int ->
+  full_bitrate_bps:int ->
+  Av1.Dd.decode_target
+(** The paper's [selectDecodeTarget(currDT, estHist, newEst) -> newDT]
+    extension point. *)
+
+val default_select : select_decode_target
+(** The fixed-threshold heuristic ({!Codec.Rate_policy}). *)
+
+val create :
+  Netsim.Engine.t ->
+  Dataplane.t ->
+  ?rewrite:Seq_rewrite.variant ->
+  ?select:select_decode_target ->
+  ?migration_enabled:bool ->
+  ?rewriting_enabled:bool ->
+  ?feedback_filter:bool ->
+  unit ->
+  t
+(** Installs itself as the data plane's CPU sink. [rewrite] (default S_LM)
+    is used for rate-adapted legs.
+
+    The last two switches exist for ablation studies:
+    [rewriting_enabled:false] registers legs without sequence-rewriting
+    state, so rate adaptation leaves raw gaps (the naive design §6.2
+    argues against); [feedback_filter:false] forwards {e every} receiver's
+    REMB to the sender instead of the best downlink's, recreating the
+    mixed-feedback collapse of §5.3/Fig. 8. *)
+
+(** {1 Session registration (called by the controller over "RPC")} *)
+
+type meeting_id = int
+
+val new_meeting : t -> two_party:bool -> meeting_id
+val meeting_design : t -> meeting_id -> Trees.design
+
+val register_participant :
+  t -> meeting:meeting_id -> participant:int -> egress_port:int -> sends:bool -> unit
+
+val remove_participant : t -> meeting:meeting_id -> participant:int -> unit
+
+val unregister_uplink : t -> meeting:meeting_id -> port:int -> unit
+(** Tear down one stream (and its legs) without removing the participant —
+    the paper's "participant stops sharing a media type" trigger. *)
+
+val register_uplink :
+  ?renditions:(int * int) array -> t -> meeting:meeting_id -> sender:int -> port:int ->
+  video_ssrc:int -> audio_ssrc:int -> full_bitrate:int -> unit
+(** [renditions] declares a simulcast uplink: (ssrc, bitrate) pairs, best
+    first. Legs of such a stream are spliced between renditions by the
+    agent instead of SVC layer-dropping. *)
+
+val register_leg :
+  t -> meeting:meeting_id -> sender:int -> ?uplink_port:int -> receiver:int ->
+  leg_port:int -> dst:Scallop_util.Addr.t -> ?adaptive:bool -> unit -> unit
+(** Wires the (sender → receiver) egress leg into the data plane, with
+    sequence rewriting enabled per the agent's [rewrite] variant.
+    [uplink_port] selects among a sender's streams when it has several
+    (camera vs screen share); it defaults to the sender's only stream.
+
+    [adaptive:false] marks a cascade leg towards a downstream switch
+    (Appendix A): its REMB still feeds the best-downlink filter — the
+    downstream switch only reports its best receiver — but the leg itself
+    always carries the full-quality stream, because the downstream switch
+    performs its own per-receiver adaptation. *)
+
+val set_pair_target :
+  t -> meeting:meeting_id -> sender:int -> receiver:int ->
+  Av1.Dd.decode_target -> unit
+(** Force a sender-specific target (drives the meeting towards RA-SR). *)
+
+(** {1 Statistics} *)
+
+val rpc_calls : t -> int
+val cpu_packets : t -> int
+val cpu_bytes : t -> int
+val stun_answered : t -> int
+val rembs_analyzed : t -> int
+val target_changes : t -> int
+val filter_switches : t -> int
+(** Times the best-downlink selection changed. *)
+
+val migrations : t -> int
+val current_target : t -> meeting:meeting_id -> sender:int -> receiver:int ->
+  Av1.Dd.decode_target

@@ -1,0 +1,266 @@
+module Addr = Scallop_util.Addr
+
+type media_kind = Audio | Video | Screen
+type direction = Sendrecv | Sendonly | Recvonly | Inactive
+
+type candidate = {
+  foundation : string;
+  component : int;
+  priority : int;
+  addr : Addr.t;
+  typ : string;
+}
+
+type media = {
+  kind : media_kind;
+  mid : string;
+  payload_type : int;
+  codec : string;
+  clock_rate : int;
+  ssrc : int;
+  cname : string;
+  direction : direction;
+  candidates : candidate list;
+  extmaps : (int * string) list;
+  svc_mode : string option;
+}
+
+type t = {
+  session_id : int;
+  origin_addr : Addr.t;
+  ice_ufrag : string;
+  ice_pwd : string;
+  medias : media list;
+}
+
+let host_candidate addr = { foundation = "1"; component = 1; priority = 2130706431; addr; typ = "host" }
+
+let make_media ?(direction = Sendrecv) ?(extmaps = []) ?(svc_mode = None) ~kind ~mid
+    ~payload_type ~codec ~clock_rate ~ssrc ~cname ~candidates () =
+  { kind; mid; payload_type; codec; clock_rate; ssrc; cname; direction; candidates; extmaps; svc_mode }
+
+let media_kind_to_string = function Audio -> "audio" | Video -> "video" | Screen -> "screen"
+
+let media_kind_of_string = function
+  | "audio" -> Audio
+  | "video" -> Video
+  | "screen" -> Screen
+  | s -> failwith ("Sdp: unknown media kind " ^ s)
+
+let direction_to_string = function
+  | Sendrecv -> "sendrecv"
+  | Sendonly -> "sendonly"
+  | Recvonly -> "recvonly"
+  | Inactive -> "inactive"
+
+let direction_of_string = function
+  | "sendrecv" -> Some Sendrecv
+  | "sendonly" -> Some Sendonly
+  | "recvonly" -> Some Recvonly
+  | "inactive" -> Some Inactive
+  | _ -> None
+
+let to_string t =
+  let buf = Buffer.create 512 in
+  let line fmt = Printf.ksprintf (fun s -> Buffer.add_string buf s; Buffer.add_char buf '\n') fmt in
+  line "v=0";
+  line "o=- %d 2 IN IP4 %s" t.session_id (Addr.ip_to_string t.origin_addr.ip);
+  line "s=-";
+  line "t=0 0";
+  line "a=ice-ufrag:%s" t.ice_ufrag;
+  line "a=ice-pwd:%s" t.ice_pwd;
+  List.iter
+    (fun m ->
+      let port = match m.candidates with c :: _ -> c.addr.port | [] -> 9 in
+      line "m=%s %d UDP/RTP %d" (media_kind_to_string m.kind) port m.payload_type;
+      line "c=IN IP4 %s" (Addr.ip_to_string t.origin_addr.ip);
+      line "a=mid:%s" m.mid;
+      line "a=rtpmap:%d %s/%d" m.payload_type m.codec m.clock_rate;
+      line "a=ssrc:%d cname:%s" m.ssrc m.cname;
+      line "a=%s" (direction_to_string m.direction);
+      List.iter (fun (id, uri) -> line "a=extmap:%d %s" id uri) m.extmaps;
+      (match m.svc_mode with None -> () | Some s -> line "a=svc:%s" s);
+      List.iter
+        (fun c ->
+          line "a=candidate:%s %d udp %d %s %d typ %s" c.foundation c.component c.priority
+            (Addr.ip_to_string c.addr.ip) c.addr.port c.typ)
+        m.candidates)
+    t.medias;
+  Buffer.contents buf
+
+(* --- parsing ------------------------------------------------------------ *)
+
+type parse_state = {
+  mutable session_id : int;
+  mutable origin_ip : int;
+  mutable ice_ufrag : string;
+  mutable ice_pwd : string;
+  mutable medias_rev : media list;
+  mutable current : media option;
+}
+
+let fail_line line what = failwith (Printf.sprintf "Sdp.of_string: %s in %S" what line)
+
+let split_ws s = String.split_on_char ' ' s |> List.filter (fun x -> x <> "")
+
+let parse_candidate line rest =
+  match split_ws rest with
+  | [ foundation; component; "udp"; priority; ip; port; "typ"; typ ] ->
+      {
+        foundation;
+        component = int_of_string component;
+        priority = int_of_string priority;
+        addr = Addr.v (Addr.ip_of_string ip) (int_of_string port);
+        typ;
+      }
+  | _ -> fail_line line "bad candidate"
+
+let finish_current st =
+  match st.current with
+  | None -> ()
+  | Some m ->
+      st.medias_rev <-
+        { m with candidates = List.rev m.candidates; extmaps = List.rev m.extmaps }
+        :: st.medias_rev;
+      st.current <- None
+
+let update_current st line f =
+  match st.current with
+  | None -> fail_line line "attribute outside media section"
+  | Some m -> st.current <- Some (f m)
+
+let parse_attribute st line rest =
+  match String.index_opt rest ':' with
+  | None -> (
+      match direction_of_string rest with
+      | Some d -> update_current st line (fun m -> { m with direction = d })
+      | None -> () (* unknown flag attribute: ignore *))
+  | Some i -> (
+      let key = String.sub rest 0 i in
+      let value = String.sub rest (i + 1) (String.length rest - i - 1) in
+      match key with
+      | "ice-ufrag" -> st.ice_ufrag <- value
+      | "ice-pwd" -> st.ice_pwd <- value
+      | "mid" -> update_current st line (fun m -> { m with mid = value })
+      | "rtpmap" -> (
+          match split_ws value with
+          | [ pt; codec_clock ] -> (
+              match String.split_on_char '/' codec_clock with
+              | [ codec; clock ] ->
+                  update_current st line (fun m ->
+                      {
+                        m with
+                        payload_type = int_of_string pt;
+                        codec;
+                        clock_rate = int_of_string clock;
+                      })
+              | _ -> fail_line line "bad rtpmap")
+          | _ -> fail_line line "bad rtpmap")
+      | "ssrc" -> (
+          match split_ws value with
+          | [ ssrc; cname_kv ] -> (
+              match String.split_on_char ':' cname_kv with
+              | [ "cname"; cname ] ->
+                  update_current st line (fun m ->
+                      { m with ssrc = int_of_string ssrc; cname })
+              | _ -> fail_line line "bad ssrc line")
+          | _ -> fail_line line "bad ssrc line")
+      | "extmap" -> (
+          match split_ws value with
+          | [ id; uri ] ->
+              update_current st line (fun m ->
+                  { m with extmaps = (int_of_string id, uri) :: m.extmaps })
+          | _ -> fail_line line "bad extmap")
+      | "svc" -> update_current st line (fun m -> { m with svc_mode = Some value })
+      | "candidate" ->
+          let c = parse_candidate line value in
+          update_current st line (fun m -> { m with candidates = c :: m.candidates })
+      | _ -> () (* unknown attribute: ignore, as real stacks do *))
+
+let of_string text =
+  let st =
+    {
+      session_id = 0;
+      origin_ip = 0;
+      ice_ufrag = "";
+      ice_pwd = "";
+      medias_rev = [];
+      current = None;
+    }
+  in
+  let handle line =
+    if String.length line < 2 || String.get line 1 <> '=' then fail_line line "bad SDP line"
+    else begin
+      let rest = String.sub line 2 (String.length line - 2) in
+      match String.get line 0 with
+      | 'v' | 's' | 't' | 'c' -> ()
+      | 'o' -> (
+          match split_ws rest with
+          | [ _; sess; _; "IN"; "IP4"; ip ] ->
+              st.session_id <- int_of_string sess;
+              st.origin_ip <- Addr.ip_of_string ip
+          | _ -> fail_line line "bad origin")
+      | 'm' -> (
+          finish_current st;
+          match split_ws rest with
+          | [ kind; _port; "UDP/RTP"; pt ] ->
+              st.current <-
+                Some
+                  {
+                    kind = media_kind_of_string kind;
+                    mid = "";
+                    payload_type = int_of_string pt;
+                    codec = "";
+                    clock_rate = 0;
+                    ssrc = 0;
+                    cname = "";
+                    direction = Sendrecv;
+                    candidates = [];
+                    extmaps = [];
+                    svc_mode = None;
+                  }
+          | _ -> fail_line line "bad media line")
+      | 'a' -> parse_attribute st line rest
+      | _ -> ()
+    end
+  in
+  String.split_on_char '\n' text
+  |> List.map String.trim
+  |> List.filter (fun l -> l <> "")
+  |> List.iter handle;
+  finish_current st;
+  {
+    session_id = st.session_id;
+    origin_addr = Addr.v st.origin_ip 0;
+    ice_ufrag = st.ice_ufrag;
+    ice_pwd = st.ice_pwd;
+    medias = List.rev st.medias_rev;
+  }
+
+let rewrite_candidates t sfu_addr =
+  {
+    t with
+    medias = List.map (fun m -> { m with candidates = [ host_candidate sfu_addr ] }) t.medias;
+  }
+
+let mirror = function
+  | Sendrecv -> Sendrecv
+  | Sendonly -> Recvonly
+  | Recvonly -> Sendonly
+  | Inactive -> Inactive
+
+let answer ~offer ~session_id ~origin ~ice_ufrag ~ice_pwd ~media_for =
+  let medias =
+    List.map
+      (fun (offered : media) ->
+        match media_for offered with
+        | None -> { offered with direction = Inactive; candidates = [] }
+        | Some m ->
+            if m.payload_type <> offered.payload_type || m.codec <> offered.codec then
+              failwith "Sdp.answer: codec/payload type must match the offer";
+            { m with kind = offered.kind; mid = offered.mid; direction = mirror offered.direction })
+      offer.medias
+  in
+  { session_id; origin_addr = origin; ice_ufrag; ice_pwd; medias }
+
+let equal a b = a = b

@@ -1,0 +1,1 @@
+lib/sfu/capacity.ml:

@@ -1,0 +1,1 @@
+lib/sfu/server.ml: Array Av1 Bytes Codec Hashtbl List Netsim Rtp Scallop_util Webrtc

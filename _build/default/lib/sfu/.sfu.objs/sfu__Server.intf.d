@@ -1,0 +1,1 @@
+lib/sfu/server.mli: Netsim Scallop_util Webrtc

@@ -1,0 +1,1 @@
+lib/tofino/parser.mli:

@@ -1,0 +1,1 @@
+lib/tofino/pre.ml: Hashtbl List Option Printf

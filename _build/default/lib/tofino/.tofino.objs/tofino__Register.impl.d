@@ -1,0 +1,1 @@
+lib/tofino/register.ml: Array Printf

@@ -1,0 +1,1 @@
+lib/tofino/resources.ml: List Printf

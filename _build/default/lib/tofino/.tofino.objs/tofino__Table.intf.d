@@ -1,0 +1,1 @@
+lib/tofino/table.mli:

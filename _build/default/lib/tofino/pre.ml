@@ -1,0 +1,133 @@
+type limits = { max_trees : int; max_l1_nodes : int; max_rids_per_tree : int }
+
+let tofino2_limits = { max_trees = 65_536; max_l1_nodes = 16_777_216; max_rids_per_tree = 65_536 }
+
+type node_id = int
+type mgid = int
+
+exception Resource_exhausted of string
+
+type node = {
+  rid : int;
+  l1_xid : int;
+  prune_enabled : bool;
+  ports : int list;
+  mutable tree : mgid option;
+}
+
+type t = {
+  lim : limits;
+  nodes : (node_id, node) Hashtbl.t;
+  trees : (mgid, node_id list ref) Hashtbl.t;
+  l2_xids : (int, int list) Hashtbl.t;
+  mutable next_node_id : int;
+}
+
+let create ?(limits = tofino2_limits) () =
+  {
+    lim = limits;
+    nodes = Hashtbl.create 1024;
+    trees = Hashtbl.create 256;
+    l2_xids = Hashtbl.create 64;
+    next_node_id = 0;
+  }
+
+let create_l1_node t ~rid ?(l1_xid = 0) ?(prune_enabled = false) ~ports () =
+  if Hashtbl.length t.nodes >= t.lim.max_l1_nodes then
+    raise (Resource_exhausted "PRE L1 nodes");
+  let id = t.next_node_id in
+  t.next_node_id <- t.next_node_id + 1;
+  Hashtbl.replace t.nodes id { rid; l1_xid; prune_enabled; ports; tree = None };
+  id
+
+let find_node t id =
+  match Hashtbl.find_opt t.nodes id with
+  | Some n -> n
+  | None -> invalid_arg (Printf.sprintf "Pre: unknown L1 node %d" id)
+
+let destroy_l1_node t id =
+  let n = find_node t id in
+  if n.tree <> None then invalid_arg "Pre.destroy_l1_node: node is in a tree";
+  Hashtbl.remove t.nodes id
+
+let check_rids t ids =
+  let seen = Hashtbl.create 16 in
+  List.iter
+    (fun id ->
+      let n = find_node t id in
+      if Hashtbl.mem seen n.rid then begin
+        (* Same RID may appear on several nodes only with distinct ports;
+           the paper relies on RID-uniqueness per sender, so keep strict. *)
+        invalid_arg "Pre.create_tree: duplicate RID within tree"
+      end;
+      Hashtbl.replace seen n.rid ())
+    ids;
+  if Hashtbl.length seen > t.lim.max_rids_per_tree then
+    raise (Resource_exhausted "PRE RIDs per tree")
+
+let create_tree t ~mgid ~nodes =
+  if Hashtbl.mem t.trees mgid then invalid_arg "Pre.create_tree: MGID in use";
+  if Hashtbl.length t.trees >= t.lim.max_trees then raise (Resource_exhausted "PRE trees");
+  check_rids t nodes;
+  List.iter
+    (fun id ->
+      let n = find_node t id in
+      if n.tree <> None then invalid_arg "Pre.create_tree: node already in a tree")
+    nodes;
+  List.iter (fun id -> (find_node t id).tree <- Some mgid) nodes;
+  Hashtbl.replace t.trees mgid (ref nodes)
+
+let find_tree t mgid =
+  match Hashtbl.find_opt t.trees mgid with
+  | Some nodes -> nodes
+  | None -> invalid_arg (Printf.sprintf "Pre: unknown MGID %d" mgid)
+
+let destroy_tree t mgid =
+  let nodes = find_tree t mgid in
+  List.iter (fun id -> (find_node t id).tree <- None) !nodes;
+  Hashtbl.remove t.trees mgid
+
+let add_node_to_tree t mgid id =
+  let nodes = find_tree t mgid in
+  let n = find_node t id in
+  if n.tree <> None then invalid_arg "Pre.add_node_to_tree: node already in a tree";
+  check_rids t (id :: !nodes);
+  n.tree <- Some mgid;
+  nodes := id :: !nodes
+
+let remove_node_from_tree t mgid id =
+  let nodes = find_tree t mgid in
+  let n = find_node t id in
+  if n.tree <> Some mgid then invalid_arg "Pre.remove_node_from_tree: not a member";
+  n.tree <- None;
+  nodes := List.filter (fun x -> x <> id) !nodes
+
+let set_l2_xid_ports t ~xid ~ports = Hashtbl.replace t.l2_xids xid ports
+
+type replica = { rid : int; port : int }
+
+let replicate t ~mgid ~l1_xid ~rid ~l2_xid =
+  match Hashtbl.find_opt t.trees mgid with
+  | None -> []
+  | Some nodes ->
+      let excluded_ports =
+        Option.value (Hashtbl.find_opt t.l2_xids l2_xid) ~default:[]
+      in
+      List.concat_map
+        (fun id ->
+          let n = find_node t id in
+          if n.prune_enabled && n.l1_xid = l1_xid then []
+          else
+            List.filter_map
+              (fun port ->
+                if n.rid = rid && List.mem port excluded_ports then None
+                else Some { rid = n.rid; port })
+              n.ports)
+        (List.rev !nodes)
+
+let trees_used t = Hashtbl.length t.trees
+let l1_nodes_used t = Hashtbl.length t.nodes
+let limits t = t.lim
+let tree_nodes t mgid = List.rev !(find_tree t mgid)
+let node_rid t id = (find_node t id).rid
+let node_ports t id = (find_node t id).ports

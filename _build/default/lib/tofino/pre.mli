@@ -1,0 +1,69 @@
+(** Behavioural model of Tofino's Packet Replication Engine (paper §6.3,
+    Fig. 13).
+
+    The PRE is a hierarchical multicast engine: a packet is steered to a
+    multicast tree by its MGID; the tree's level-1 (L1) nodes each carry a
+    replication id (RID) and one or more egress ports (level-2). Pruning
+    happens at both levels:
+
+    - {b L1 exclusion}: an L1 node with pruning enabled is skipped when its
+      L1-XID equals the packet's L1-XID (Scallop uses this to separate the
+      [m] meetings aggregated in one tree);
+    - {b L2 exclusion}: a replica is suppressed when the L1 node's RID
+      equals the packet's RID {e and} the egress port is in the packet's
+      L2-XID port set (Scallop uses this to stop senders receiving their
+      own media).
+
+    Resource limits are enforced exactly as the paper states them: 64K
+    trees, 2^24 L1 nodes PRE-wide, 64K RIDs per tree. *)
+
+type t
+
+type limits = { max_trees : int; max_l1_nodes : int; max_rids_per_tree : int }
+
+val tofino2_limits : limits
+(** 65,536 trees; 16,777,216 L1 nodes; 65,536 RIDs per tree. *)
+
+val create : ?limits:limits -> unit -> t
+
+type node_id = int
+type mgid = int
+
+exception Resource_exhausted of string
+
+val create_l1_node :
+  t -> rid:int -> ?l1_xid:int -> ?prune_enabled:bool -> ports:int list -> unit -> node_id
+(** Allocates a free-standing L1 node. @raise Resource_exhausted at the
+    node limit. *)
+
+val destroy_l1_node : t -> node_id -> unit
+(** The node must not be a member of any tree. *)
+
+val create_tree : t -> mgid:mgid -> nodes:node_id list -> unit
+(** @raise Resource_exhausted at the tree limit.
+    @raise Invalid_argument if the MGID is in use, a node is already in a
+    tree, or per-tree RID uniqueness constraints are violated. *)
+
+val destroy_tree : t -> mgid -> unit
+(** Releases the tree; its nodes become free-standing again. *)
+
+val add_node_to_tree : t -> mgid -> node_id -> unit
+val remove_node_from_tree : t -> mgid -> node_id -> unit
+
+val set_l2_xid_ports : t -> xid:int -> ports:int list -> unit
+(** Define the egress-port set an L2-XID excludes. *)
+
+type replica = { rid : int; port : int }
+
+val replicate : t -> mgid:mgid -> l1_xid:int -> rid:int -> l2_xid:int -> replica list
+(** The data-plane invocation: all surviving replicas for a packet
+    carrying the given metadata. Unknown MGIDs yield []. *)
+
+(** Introspection / resource accounting *)
+
+val trees_used : t -> int
+val l1_nodes_used : t -> int
+val limits : t -> limits
+val tree_nodes : t -> mgid -> node_id list
+val node_rid : t -> node_id -> int
+val node_ports : t -> node_id -> int list

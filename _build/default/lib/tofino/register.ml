@@ -1,0 +1,20 @@
+type t = { name : string; data : int array }
+
+let create ~name ~cells =
+  if cells <= 0 then invalid_arg "Register.create: cells";
+  { name; data = Array.make cells 0 }
+
+let name t = t.name
+let cells t = Array.length t.data
+
+let read t i =
+  if i < 0 || i >= Array.length t.data then
+    invalid_arg (Printf.sprintf "Register %s: index %d out of range" t.name i);
+  t.data.(i)
+
+let write t i v =
+  if i < 0 || i >= Array.length t.data then
+    invalid_arg (Printf.sprintf "Register %s: index %d out of range" t.name i);
+  t.data.(i) <- v land 0xFFFFFFFF
+
+let clear_index t i = write t i 0

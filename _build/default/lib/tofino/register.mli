@@ -1,0 +1,16 @@
+(** Register arrays — the stateful memory the data plane uses for sequence
+    rewriting (the six Stream Tracker tables of paper §6.3). Each array
+    is a fixed number of 32-bit cells indexed by the control plane's
+    collision-free stream index. *)
+
+type t
+
+val create : name:string -> cells:int -> t
+val name : t -> string
+val cells : t -> int
+val read : t -> int -> int
+val write : t -> int -> int -> unit
+(** Values are masked to 32 bits. *)
+
+val clear_index : t -> int -> unit
+(** Reset one cell to zero (stream teardown). *)

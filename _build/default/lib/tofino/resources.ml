@@ -1,0 +1,157 @@
+type table_spec = {
+  t_name : string;
+  entries : int;
+  key_bytes : int;
+  value_bytes : int;
+  ternary : bool;
+}
+
+type register_spec = { r_name : string; r_cells : int; width_bytes : int }
+
+type program = {
+  ingress_parser_depth : int;
+  egress_parser_depth : int;
+  ingress_stages : int;
+  egress_stages : int;
+  tables : table_spec list;
+  registers : register_spec list;
+  phv_bits_used : int;
+  vliw_used : int;
+}
+
+type totals = {
+  stages : int;
+  phv_bits : int;
+  exact_xbar_bytes : int;
+  ternary_xbar_bytes : int;
+  hash_bits : int;
+  hash_dist_units : int;
+  vliw_slots : int;
+  logical_table_ids : int;
+  sram_blocks : int;
+  tcam_blocks : int;
+  max_parser_depth : int;
+}
+
+let tofino2 =
+  {
+    stages = 20;
+    phv_bits = 5_120;
+    exact_xbar_bytes = 128;
+    ternary_xbar_bytes = 66;
+    hash_bits = 5_200;
+    hash_dist_units = 6;
+    vliw_slots = 32;
+    logical_table_ids = 16;
+    sram_blocks = 80;
+    tcam_blocks = 24;
+    max_parser_depth = 32;
+  }
+
+let sram_block_bytes = 16 * 1024
+let tcam_block_entries = 512
+
+let ceil_div a b = (a + b - 1) / b
+
+let table_sram_blocks t =
+  (* exact tables: key+value per entry, plus one overhead block per way *)
+  ceil_div (t.entries * (t.key_bytes + t.value_bytes)) sram_block_bytes + 1
+
+let register_sram_blocks r = ceil_div (r.r_cells * r.width_bytes) sram_block_bytes + 1
+
+let sram_blocks_used ?(totals = tofino2) program =
+  ignore totals;
+  List.fold_left (fun acc t -> acc + (if t.ternary then 0 else table_sram_blocks t)) 0 program.tables
+  + List.fold_left (fun acc r -> acc + register_sram_blocks r) 0 program.registers
+
+let tcam_blocks_used program =
+  List.fold_left
+    (fun acc t -> if t.ternary then acc + ceil_div t.entries tcam_block_entries else acc)
+    0 program.tables
+
+let stages_ok ?(totals = tofino2) program =
+  program.ingress_stages <= totals.stages && program.egress_stages <= totals.stages
+
+type row = { resource : string; scaling : string; usage : string }
+
+let pct used total = 100.0 *. float_of_int used /. float_of_int total
+
+let report ?(totals = tofino2) program =
+  let n_tables = List.length program.tables in
+  let n_registers = List.length program.registers in
+  let exact_tables = List.filter (fun t -> not t.ternary) program.tables in
+  let ternary_tables = List.filter (fun t -> t.ternary) program.tables in
+  let exact_xbar_used = List.fold_left (fun a t -> a + t.key_bytes) 0 exact_tables in
+  let ternary_xbar_used = List.fold_left (fun a t -> a + t.key_bytes) 0 ternary_tables in
+  let hash_bits_used =
+    (* each exact table consumes key bits for hashing, floored at 10 (the
+       RAM-row select width), and each register consumes an index hash *)
+    List.fold_left (fun a t -> a + max 10 (t.key_bytes * 8 / 2)) 0 exact_tables
+    + (10 * n_registers)
+  in
+  let hash_dist_used = n_registers + (List.length exact_tables / 4) in
+  let logical_ids_used = n_tables + n_registers in
+  (* The paper reports the average utilization across all stages of the
+     chip, so budgets are charged against the whole pipeline. *)
+  let per_stage used total = pct used (total * totals.stages) in
+  [
+    {
+      resource = "Parsing depth";
+      scaling = "Fixed";
+      usage =
+        Printf.sprintf "Ing. %d, Eg. %d" program.ingress_parser_depth
+          program.egress_parser_depth;
+    };
+    {
+      resource = "No. of stages";
+      scaling = "Fixed";
+      usage = Printf.sprintf "Ing. %d, Eg. %d" program.ingress_stages program.egress_stages;
+    };
+    {
+      resource = "PHV containers";
+      scaling = "Fixed";
+      usage = Printf.sprintf "%.2f%%" (pct program.phv_bits_used totals.phv_bits);
+    };
+    {
+      resource = "Exact xbars";
+      scaling = "Fixed";
+      usage = Printf.sprintf "%.2f%%" (per_stage exact_xbar_used totals.exact_xbar_bytes);
+    };
+    {
+      resource = "Ternary xbars";
+      scaling = "Fixed";
+      usage = Printf.sprintf "%.2f%%" (per_stage ternary_xbar_used totals.ternary_xbar_bytes);
+    };
+    {
+      resource = "Hash bits";
+      scaling = "Fixed";
+      usage = Printf.sprintf "%.2f%%" (per_stage hash_bits_used totals.hash_bits);
+    };
+    {
+      resource = "Hash dist. units";
+      scaling = "Fixed";
+      usage = Printf.sprintf "%.2f%%" (per_stage hash_dist_used totals.hash_dist_units);
+    };
+    {
+      resource = "VLIW instr.";
+      scaling = "Fixed";
+      usage = Printf.sprintf "%.2f%%" (per_stage program.vliw_used totals.vliw_slots);
+    };
+    {
+      resource = "Logical table ID";
+      scaling = "Fixed";
+      usage = Printf.sprintf "%.2f%%" (per_stage logical_ids_used totals.logical_table_ids);
+    };
+    {
+      resource = "SRAM";
+      scaling = "Fixed";
+      usage =
+        Printf.sprintf "%.2f%%"
+          (per_stage (sram_blocks_used ~totals program) totals.sram_blocks);
+    };
+    {
+      resource = "TCAM";
+      scaling = "Fixed";
+      usage = Printf.sprintf "%.2f%%" (per_stage (tcam_blocks_used program) totals.tcam_blocks);
+    };
+  ]

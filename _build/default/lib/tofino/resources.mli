@@ -1,0 +1,57 @@
+(** Static resource-utilization model for a P4 program on Tofino2 —
+    regenerates the paper's Table 3.
+
+    The model charges each match-action table and register array against
+    per-stage budgets (crossbar bytes, hash bits, SRAM/TCAM blocks, VLIW
+    slots, logical table ids) and reports utilization as a percentage of
+    the chip totals, the same categories the paper reports. Absolute
+    percentages depend on a documented cost model, not on proprietary
+    compiler output; EXPERIMENTS.md records ours against the paper's. *)
+
+type table_spec = {
+  t_name : string;
+  entries : int;
+  key_bytes : int;
+  value_bytes : int;
+  ternary : bool;
+}
+
+type register_spec = { r_name : string; r_cells : int; width_bytes : int }
+
+type program = {
+  ingress_parser_depth : int;
+  egress_parser_depth : int;
+  ingress_stages : int;
+  egress_stages : int;
+  tables : table_spec list;
+  registers : register_spec list;
+  phv_bits_used : int;
+  vliw_used : int;
+}
+
+type totals = {
+  stages : int;
+  phv_bits : int;
+  exact_xbar_bytes : int;  (** per stage *)
+  ternary_xbar_bytes : int;  (** per stage *)
+  hash_bits : int;  (** per stage *)
+  hash_dist_units : int;  (** per stage *)
+  vliw_slots : int;  (** per stage *)
+  logical_table_ids : int;  (** per stage *)
+  sram_blocks : int;  (** per stage, 16 KiB each *)
+  tcam_blocks : int;  (** per stage, 512x44b each *)
+  max_parser_depth : int;
+}
+
+val tofino2 : totals
+
+type row = { resource : string; scaling : string; usage : string }
+(** One Table 3 line: resource name, scaling behaviour with participants,
+    and utilization rendered as the paper does. *)
+
+val report : ?totals:totals -> program -> row list
+(** All Table 3 rows except the throughput line (which is measured by the
+    experiment, not the static model). *)
+
+val sram_blocks_used : ?totals:totals -> program -> int
+val stages_ok : ?totals:totals -> program -> bool

@@ -1,0 +1,1 @@
+lib/trace/dataset.ml: Array Float Hashtbl List Option Scallop_util

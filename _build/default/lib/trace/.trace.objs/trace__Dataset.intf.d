@@ -1,0 +1,1 @@
+lib/trace/dataset.mli: Scallop_util

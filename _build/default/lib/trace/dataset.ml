@@ -1,0 +1,190 @@
+module Rng = Scallop_util.Rng
+module Timeseries = Scallop_util.Timeseries
+
+type stream_kind = Audio | Video | Screen
+
+type source = { participant : int; kind : stream_kind; duty : float }
+
+type meeting = {
+  id : int;
+  start_ns : int;
+  duration_ns : int;
+  size : int;
+  sources : source list;
+}
+
+type t = { meetings : meeting array; horizon_ns : int }
+
+let video_bps = 800_000.0
+let audio_bps = 50_000.0
+let agent_byte_share = 0.0035
+
+let hour_ns = 3_600_000_000_000
+let day_ns = 24 * hour_ns
+let minute_ns = 60_000_000_000
+
+(* --- meeting-size distribution (60% two-party, classroom bump, tail) ---- *)
+
+let sample_size rng =
+  let u = Rng.float rng 1.0 in
+  if u < 0.60 then 2
+  else if u < 0.90 then 3 + int_of_float (Rng.exponential rng 3.0)
+  else if u < 0.97 then 18 + Rng.int rng 15
+  else min 150 (30 + int_of_float (Rng.pareto rng ~scale:5.0 ~shape:1.8))
+
+(* --- diurnal start-time distribution ------------------------------------ *)
+
+let weekday_weight day =
+  match day mod 7 with
+  | 5 -> 0.12 (* Saturday *)
+  | 6 -> 0.10 (* Sunday *)
+  | _ -> 1.0
+
+let hour_weight h =
+  let g mu sigma = exp (-.((float_of_int h -. mu) ** 2.0) /. (2.0 *. sigma *. sigma)) in
+  0.08 +. g 10.0 1.8 +. (0.9 *. g 14.5 2.2)
+
+let sample_start rng ~days =
+  (* weighted day *)
+  let day_weights = Array.init days weekday_weight in
+  let total_d = Array.fold_left ( +. ) 0.0 day_weights in
+  let rec pick_day u i =
+    if i >= days - 1 then i
+    else if u < day_weights.(i) then i
+    else pick_day (u -. day_weights.(i)) (i + 1)
+  in
+  let day = pick_day (Rng.float rng total_d) 0 in
+  let hour_weights = Array.init 24 hour_weight in
+  let total_h = Array.fold_left ( +. ) 0.0 hour_weights in
+  let rec pick_hour u i =
+    if i >= 23 then i else if u < hour_weights.(i) then i else pick_hour (u -. hour_weights.(i)) (i + 1)
+  in
+  let hour = pick_hour (Rng.float rng total_h) 0 in
+  let within =
+    if Rng.bernoulli rng 0.6 then (* meetings tend to start on the half hour *)
+      Rng.int rng 2 * 30 * minute_ns
+    else Rng.int rng hour_ns
+  in
+  (day * day_ns) + (hour * hour_ns) + within
+
+let sample_duration rng ~size =
+  let mins =
+    if size = 2 then 3.0 +. Rng.exponential rng 25.0
+    else if size >= 18 && size <= 35 then 50.0 +. Rng.float rng 30.0
+    else Rng.lognormal rng ~mu:(log 35.0) ~sigma:0.6
+  in
+  int_of_float (Float.min mins 240.0 *. float_of_int minute_ns)
+
+(* --- per-participant stream activity ------------------------------------ *)
+
+let sample_sources rng ~size =
+  let sources = ref [] in
+  for p = 0 to size - 1 do
+    (* audio: nearly everyone, occasionally below the 10%-duty bar *)
+    if Rng.bernoulli rng 0.93 then
+      sources :=
+        { participant = p; kind = Audio; duty = Rng.uniform rng 0.3 1.0 } :: !sources
+    else if Rng.bernoulli rng 0.5 then
+      sources := { participant = p; kind = Audio; duty = Rng.float rng 0.1 } :: !sources;
+    (* video: common, but cameras go off as meetings grow *)
+    let video_prob = Float.max 0.25 (0.85 -. (0.012 *. float_of_int size)) in
+    if Rng.bernoulli rng video_prob then
+      sources :=
+        { participant = p; kind = Video; duty = Rng.uniform rng 0.15 1.0 } :: !sources
+  done;
+  (* screen share: usually one presenter *)
+  if Rng.bernoulli rng 0.25 then
+    sources :=
+      { participant = Rng.int rng size; kind = Screen; duty = Rng.uniform rng 0.1 0.9 }
+      :: !sources;
+  !sources
+
+let generate rng ?(days = 14) ?(meetings = 19_704) () =
+  let horizon_ns = days * day_ns in
+  let make id =
+    let size = sample_size rng in
+    let start_ns = sample_start rng ~days in
+    let duration_ns = min (sample_duration rng ~size) (horizon_ns - start_ns) in
+    { id; start_ns; duration_ns; size; sources = sample_sources rng ~size }
+  in
+  { meetings = Array.init meetings make; horizon_ns }
+
+let active_sources m = List.filter (fun s -> s.duty >= 0.1) m.sources
+let streams_at_sfu m = List.length (active_sources m) * m.size
+
+let two_party_fraction t =
+  let two = Array.fold_left (fun acc m -> if m.size = 2 then acc + 1 else acc) 0 t.meetings in
+  float_of_int two /. float_of_int (Array.length t.meetings)
+
+let fig2_rows t =
+  let by_size = Hashtbl.create 64 in
+  Array.iter
+    (fun m ->
+      let cur = Option.value (Hashtbl.find_opt by_size m.size) ~default:[] in
+      Hashtbl.replace by_size m.size (streams_at_sfu m :: cur))
+    t.meetings;
+  Hashtbl.fold (fun size streams acc -> (size, streams) :: acc) by_size []
+  |> List.sort compare
+  |> List.map (fun (size, streams) ->
+         let sorted = List.sort compare streams in
+         let n = List.length sorted in
+         let median =
+           let arr = Array.of_list (List.map float_of_int sorted) in
+           Scallop_util.Stats.percentile_of_array arr 50.0
+         in
+         (size, List.nth sorted 0, median, List.nth sorted (n - 1), 2 * size * size))
+
+let overlap_bins m ~bin_ns f =
+  let first = m.start_ns / bin_ns in
+  let last = (m.start_ns + m.duration_ns) / bin_ns in
+  for b = first to last do
+    f (b * bin_ns)
+  done
+
+let concurrency_series t ~bin_ns =
+  let meetings_ts = Timeseries.create ~bin_ns in
+  let participants_ts = Timeseries.create ~bin_ns in
+  Array.iter
+    (fun m ->
+      overlap_bins m ~bin_ns (fun bt ->
+          Timeseries.incr meetings_ts bt;
+          Timeseries.add participants_ts bt (float_of_int m.size)))
+    t.meetings;
+  (meetings_ts, participants_ts)
+
+(* Bytes/second a software split-proxy SFU handles for one meeting: every
+   active source arrives once and leaves (size-1) times — except that
+   receivers render a bounded gallery, so their aggregate video download
+   is capped (Zoom shows at most ~25 tiles and shrinks per-tile bitrate),
+   and only a few concurrent speakers' audio is forwarded. *)
+let max_video_down_bps = 2.0e6
+let max_forwarded_speakers = 3.0
+
+let meeting_software_bps m =
+  let sources = active_sources m in
+  let sum kind =
+    List.fold_left
+      (fun acc s -> if s.kind = kind then acc +. s.duty else acc)
+      0.0 sources
+  in
+  let video_cap =
+    (* gallery view for ordinary meetings; speaker view for large ones *)
+    if m.size >= 25 then 1.0e6 else max_video_down_bps
+  in
+  let video_down = Float.min video_cap (sum Video *. video_bps) in
+  let audio_down = Float.min max_forwarded_speakers (sum Audio) *. audio_bps in
+  let screen_down = Float.min 1.0 (sum Screen) *. video_bps in
+  float_of_int m.size *. (video_down +. audio_down +. screen_down)
+
+let byte_rate_series t ~bin_ns =
+  let software = Timeseries.create ~bin_ns in
+  let agent = Timeseries.create ~bin_ns in
+  let bin_s = float_of_int bin_ns /. 1e9 in
+  Array.iter
+    (fun m ->
+      let bps = meeting_software_bps m /. 8.0 in
+      overlap_bins m ~bin_ns (fun bt ->
+          Timeseries.add software bt (bps *. bin_s);
+          Timeseries.add agent bt (bps *. agent_byte_share *. bin_s)))
+    t.meetings;
+  (software, agent)

@@ -1,0 +1,1 @@
+lib/util/addr.ml: Format Map Printf Set String

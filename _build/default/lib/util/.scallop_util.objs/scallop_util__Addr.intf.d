@@ -1,0 +1,1 @@
+lib/util/addr.mli: Format Map Set

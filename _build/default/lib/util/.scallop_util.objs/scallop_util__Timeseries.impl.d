@@ -1,0 +1,1 @@
+lib/util/timeseries.ml: Array Hashtbl Option

@@ -1,0 +1,95 @@
+module Online = struct
+  type t = {
+    mutable n : int;
+    mutable mean : float;
+    mutable m2 : float;
+    mutable min : float;
+    mutable max : float;
+  }
+
+  let create () = { n = 0; mean = 0.0; m2 = 0.0; min = infinity; max = neg_infinity }
+
+  let observe t x =
+    t.n <- t.n + 1;
+    let delta = x -. t.mean in
+    t.mean <- t.mean +. (delta /. float_of_int t.n);
+    t.m2 <- t.m2 +. (delta *. (x -. t.mean));
+    if x < t.min then t.min <- x;
+    if x > t.max then t.max <- x
+
+  let count t = t.n
+  let mean t = t.mean
+  let variance t = if t.n < 2 then 0.0 else t.m2 /. float_of_int (t.n - 1)
+  let stddev t = sqrt (variance t)
+  let min t = t.min
+  let max t = t.max
+end
+
+let percentile_of_array sorted p =
+  let n = Array.length sorted in
+  if n = 0 then invalid_arg "Stats.percentile: empty";
+  if p <= 0.0 then sorted.(0)
+  else if p >= 100.0 then sorted.(n - 1)
+  else begin
+    let rank = p /. 100.0 *. float_of_int (n - 1) in
+    let lo = int_of_float (Float.floor rank) in
+    let hi = Stdlib.min (lo + 1) (n - 1) in
+    let frac = rank -. float_of_int lo in
+    sorted.(lo) +. (frac *. (sorted.(hi) -. sorted.(lo)))
+  end
+
+module Samples = struct
+  type t = {
+    mutable data : float array;
+    mutable n : int;
+    mutable sorted : bool;
+  }
+
+  let create () = { data = Array.make 64 0.0; n = 0; sorted = true }
+
+  let observe t x =
+    if t.n = Array.length t.data then begin
+      let bigger = Array.make (2 * t.n) 0.0 in
+      Array.blit t.data 0 bigger 0 t.n;
+      t.data <- bigger
+    end;
+    t.data.(t.n) <- x;
+    t.n <- t.n + 1;
+    t.sorted <- false
+
+  let count t = t.n
+
+  let ensure_sorted t =
+    if not t.sorted then begin
+      let live = Array.sub t.data 0 t.n in
+      Array.sort compare live;
+      Array.blit live 0 t.data 0 t.n;
+      t.sorted <- true
+    end
+
+  let mean t =
+    if t.n = 0 then invalid_arg "Stats.Samples.mean: empty";
+    let sum = ref 0.0 in
+    for i = 0 to t.n - 1 do
+      sum := !sum +. t.data.(i)
+    done;
+    !sum /. float_of_int t.n
+
+  let percentile t p =
+    ensure_sorted t;
+    percentile_of_array (Array.sub t.data 0 t.n) p
+
+  let median t = percentile t 50.0
+  let min t = percentile t 0.0
+  let max t = percentile t 100.0
+
+  let to_array t =
+    ensure_sorted t;
+    Array.sub t.data 0 t.n
+
+  let cdf t ~points =
+    if points < 2 then invalid_arg "Stats.Samples.cdf: need at least 2 points";
+    List.init points (fun i ->
+        let frac = float_of_int i /. float_of_int (points - 1) in
+        (percentile t (100.0 *. frac), frac))
+end

@@ -1,0 +1,41 @@
+(** Streaming and batch summary statistics used by every experiment. *)
+
+(** Welford online mean/variance accumulator. *)
+module Online : sig
+  type t
+
+  val create : unit -> t
+  val observe : t -> float -> unit
+  val count : t -> int
+  val mean : t -> float
+  val variance : t -> float
+  val stddev : t -> float
+  val min : t -> float
+  val max : t -> float
+end
+
+(** Reservoir of all samples, for exact quantiles on experiment-sized data. *)
+module Samples : sig
+  type t
+
+  val create : unit -> t
+  val observe : t -> float -> unit
+  val count : t -> int
+  val mean : t -> float
+  val percentile : t -> float -> float
+  (** [percentile t p] for [p] in [\[0, 100\]], linear interpolation.
+      @raise Invalid_argument if empty. *)
+
+  val median : t -> float
+  val min : t -> float
+  val max : t -> float
+  val to_array : t -> float array
+  (** Sorted copy of the samples. *)
+
+  val cdf : t -> points:int -> (float * float) list
+  (** [(value, cumulative fraction)] at [points] evenly spaced fractions —
+      the series a CDF plot needs. *)
+end
+
+val percentile_of_array : float array -> float -> float
+(** [percentile_of_array sorted p]: [sorted] must be sorted ascending. *)

@@ -1,0 +1,60 @@
+type t = { title : string; columns : string list; mutable rows : string list list }
+
+let create ~title ~columns = { title; columns; rows = [] }
+
+let add_row t row =
+  if List.length row <> List.length t.columns then
+    invalid_arg "Table.add_row: row arity mismatch";
+  t.rows <- row :: t.rows
+
+let render t =
+  let rows = List.rev t.rows in
+  let all = t.columns :: rows in
+  let ncols = List.length t.columns in
+  let widths = Array.make ncols 0 in
+  let record_widths row =
+    List.iteri (fun i cell -> widths.(i) <- max widths.(i) (String.length cell)) row
+  in
+  List.iter record_widths all;
+  let buf = Buffer.create 1024 in
+  let pad i cell =
+    let extra = widths.(i) - String.length cell in
+    cell ^ String.make extra ' '
+  in
+  let add_line row =
+    Buffer.add_string buf "| ";
+    Buffer.add_string buf (String.concat " | " (List.mapi pad row));
+    Buffer.add_string buf " |\n"
+  in
+  let rule =
+    "+" ^ String.concat "+" (Array.to_list (Array.map (fun w -> String.make (w + 2) '-') widths)) ^ "+\n"
+  in
+  Buffer.add_string buf ("== " ^ t.title ^ " ==\n");
+  Buffer.add_string buf rule;
+  add_line t.columns;
+  Buffer.add_string buf rule;
+  List.iter add_line rows;
+  Buffer.add_string buf rule;
+  Buffer.contents buf
+
+let csv_cell cell =
+  if String.exists (fun c -> c = ',' || c = '"' || c = '\n') cell then
+    "\"" ^ String.concat "\"\"" (String.split_on_char '"' cell) ^ "\""
+  else cell
+
+let to_csv t =
+  let line row = String.concat "," (List.map csv_cell row) in
+  String.concat "\n" (line t.columns :: List.rev_map line t.rows) ^ "\n"
+
+let csv_sink : (title:string -> csv:string -> unit) option ref = ref None
+let set_csv_sink sink = csv_sink := sink
+
+let print t =
+  print_string (render t);
+  match !csv_sink with
+  | Some sink -> sink ~title:t.title ~csv:(to_csv t)
+  | None -> ()
+
+let cell_f ?(decimals = 2) x = Printf.sprintf "%.*f" decimals x
+let cell_i n = string_of_int n
+let cell_pct r = Printf.sprintf "%.2f%%" (100.0 *. r)

@@ -1,0 +1,31 @@
+(** Minimal fixed-column ASCII table renderer for experiment output.
+
+    Every experiment prints its paper table/figure data through this module
+    so `bench/main.exe` output is uniform and diffable. *)
+
+type t
+
+val create : title:string -> columns:string list -> t
+val add_row : t -> string list -> unit
+(** Row length must equal the number of columns. *)
+
+val render : t -> string
+
+val print : t -> unit
+(** Renders to stdout; when a CSV sink is installed (see {!set_csv_sink}),
+    also emits the table as CSV. *)
+
+val to_csv : t -> string
+(** RFC-4180-style CSV: header row then data rows; cells containing
+    commas or quotes are quoted. *)
+
+val set_csv_sink : (title:string -> csv:string -> unit) option -> unit
+(** Install a callback that receives every printed table as CSV — the
+    bench harness uses it to export every figure's data for replotting. *)
+
+val cell_f : ?decimals:int -> float -> string
+(** Format a float cell ([decimals] defaults to 2). *)
+
+val cell_i : int -> string
+val cell_pct : float -> string
+(** Format a ratio in [0,1] as a percentage with 2 decimals. *)

@@ -1,0 +1,1 @@
+lib/webrtc/client.ml: Array Bytes Char Codec Gcc Hashtbl List Netsim Option Rtp Scallop_util

@@ -1,0 +1,1 @@
+lib/webrtc/client.mli: Codec Netsim Scallop_util

@@ -1,0 +1,236 @@
+(* Direct data-plane tests: classification, table writes, feedback gating
+   and NACK translation — driven packet by packet, no clients. *)
+
+module Addr = Scallop_util.Addr
+module Rng = Scallop_util.Rng
+module Engine = Netsim.Engine
+module Network = Netsim.Network
+module Dgram = Netsim.Dgram
+module Packet = Rtp.Packet
+module Rtcp = Rtp.Rtcp
+module Dd = Av1.Dd
+module Dp = Scallop.Dataplane
+
+let sfu_ip = Addr.ip_of_string "10.0.0.1"
+let sender_addr = Addr.v (Addr.ip_of_string "10.0.1.1") 5000
+let receiver_addr = Addr.v (Addr.ip_of_string "10.0.1.2") 6000
+
+let uplink_port = 41_000
+let leg_port = 42_000
+
+type world = {
+  engine : Engine.t;
+  network : Network.t;
+  dp : Dp.t;
+  received : Dgram.t list ref;  (** at the receiver *)
+  at_sender : Dgram.t list ref;  (** upstream feedback *)
+  cpu : Dgram.t list ref;
+}
+
+(* A minimal hand-wired session: one sender uplink, one receiver leg, a
+   two-participant meeting in the trees. *)
+let setup ?(rewrite = Some Scallop.Seq_rewrite.S_LM) () =
+  let engine = Engine.create () in
+  let rng = Rng.create 2 in
+  let network = Network.create engine rng in
+  let fast = { Netsim.Link.default with rate_bps = infinity; propagation_ns = 1_000 } in
+  Network.add_host network ~ip:sfu_ip ~uplink:fast ~downlink:fast ();
+  Network.add_host network ~ip:sender_addr.Addr.ip ~uplink:fast ~downlink:fast ();
+  Network.add_host network ~ip:receiver_addr.Addr.ip ~uplink:fast ~downlink:fast ();
+  let dp = Dp.create engine network ~ip:sfu_ip () in
+  let received = ref [] and at_sender = ref [] and cpu = ref [] in
+  Network.bind network receiver_addr (fun d -> received := d :: !received);
+  Network.bind network sender_addr (fun d -> at_sender := d :: !at_sender);
+  Dp.set_cpu_sink dp (fun d -> cpu := d :: !cpu);
+  let meeting =
+    Scallop.Trees.register_meeting (Dp.trees dp) Scallop.Trees.Nra
+      ~participants:[ (1, 101); (2, 102) ]
+      ~senders:[ 1 ]
+  in
+  Dp.register_uplink dp ~port:uplink_port ~sender:1 ~meeting ~video_ssrc:77 ~audio_ssrc:78;
+  Dp.register_leg dp ~receiver:2 ~video_ssrc:77 ~audio_ssrc:78 ~dst:receiver_addr
+    ~src_port:leg_port ~uplink_port ~rewrite;
+  { engine; network; dp; received; at_sender; cpu }
+
+let media_packet ?(ssrc = 77) ~seq ~frame ~template () =
+  let dd =
+    {
+      Dd.start_of_frame = true;
+      end_of_frame = true;
+      template_id = template;
+      frame_number = frame;
+      structure = None;
+    }
+  in
+  Packet.make
+    ~extensions:[ { Packet.id = Dd.extension_id; data = Dd.serialize dd } ]
+    ~payload_type:96 ~sequence:seq ~timestamp:(frame * 3000) ~ssrc (Bytes.create 100)
+
+let send_media w pkt =
+  Network.send w.network
+    (Dgram.v ~src:sender_addr ~dst:(Addr.v sfu_ip uplink_port) (Packet.serialize pkt));
+  Engine.run w.engine
+
+let send_feedback w packets =
+  Network.send w.network
+    (Dgram.v ~src:receiver_addr ~dst:(Addr.v sfu_ip leg_port)
+       (Rtcp.serialize_compound packets));
+  Engine.run w.engine
+
+let received_rtp w =
+  List.rev_map (fun (d : Dgram.t) -> Packet.parse d.payload) !(w.received)
+
+(* --- media forwarding ------------------------------------------------------ *)
+
+let forwards_and_readdresses () =
+  let w = setup () in
+  send_media w (media_packet ~seq:100 ~frame:0 ~template:1 ());
+  match !(w.received) with
+  | [ d ] ->
+      Alcotest.(check bool) "true-proxy source" true (Addr.equal d.src (Addr.v sfu_ip leg_port));
+      Alcotest.(check bool) "unicast destination" true (Addr.equal d.dst receiver_addr);
+      Alcotest.(check int) "payload intact" 100
+        (Bytes.length (Packet.parse d.payload).Packet.payload)
+  | l -> Alcotest.failf "expected 1 delivery, got %d" (List.length l)
+
+let counts_classification () =
+  let w = setup () in
+  send_media w (media_packet ~seq:1 ~frame:0 ~template:1 ());
+  send_media w (media_packet ~ssrc:78 ~seq:2 ~frame:0 ~template:0 ());
+  let c = Dp.ingress_counters w.dp in
+  Alcotest.(check int) "video" 1 c.rtp_video_pkts;
+  Alcotest.(check int) "audio" 1 c.rtp_audio_pkts
+
+let keyframe_structure_to_cpu () =
+  let w = setup () in
+  let dd =
+    {
+      Dd.start_of_frame = true;
+      end_of_frame = true;
+      template_id = 0;
+      frame_number = 0;
+      structure = Some Dd.l1t3_structure;
+    }
+  in
+  let pkt =
+    Packet.make
+      ~extensions:[ { Packet.id = Dd.extension_id; data = Dd.serialize dd } ]
+      ~payload_type:96 ~sequence:9 ~timestamp:0 ~ssrc:77 (Bytes.create 50)
+  in
+  send_media w pkt;
+  let c = Dp.ingress_counters w.dp in
+  Alcotest.(check int) "counted as AV1 DS" 1 c.rtp_av1_ds_pkts;
+  Alcotest.(check int) "copied to cpu" 1 (List.length !(w.cpu));
+  Alcotest.(check int) "still forwarded" 1 (List.length !(w.received))
+
+let layer_suppression_and_rewrite () =
+  let w = setup () in
+  Dp.set_leg_target w.dp ~receiver:2 ~video_ssrc:77 Dd.DT_15fps;
+  (* frames 0 (T0, kept), 1 (T2, suppressed at egress), 2 (T1, kept) *)
+  send_media w (media_packet ~seq:10 ~frame:0 ~template:1 ());
+  send_media w (media_packet ~seq:11 ~frame:1 ~template:3 ());
+  send_media w (media_packet ~seq:12 ~frame:2 ~template:2 ());
+  let seqs = List.map (fun p -> p.Packet.sequence) (received_rtp w) in
+  Alcotest.(check (list int)) "gap masked" [ 10; 11 ] seqs;
+  Alcotest.(check int) "suppression counted" 1 (Dp.replicas_suppressed w.dp)
+
+let remb_gating () =
+  let w = setup () in
+  (* learn the sender's feedback address *)
+  send_media w (media_packet ~seq:1 ~frame:0 ~template:1 ());
+  let remb = Rtcp.Remb { sender_ssrc = 0; bitrate_bps = 1_000_000; ssrcs = [ 77 ] } in
+  send_feedback w [ remb ];
+  Alcotest.(check int) "blocked before selection" 0 (List.length !(w.at_sender));
+  Dp.set_remb_forwarding w.dp ~leg_port true;
+  send_feedback w [ remb ];
+  Alcotest.(check int) "forwarded after selection" 1 (List.length !(w.at_sender));
+  (* every feedback packet is copied to the agent regardless *)
+  Alcotest.(check int) "cpu copies" 2 (List.length !(w.cpu))
+
+let pli_always_forwarded () =
+  let w = setup () in
+  send_media w (media_packet ~seq:1 ~frame:0 ~template:1 ());
+  send_feedback w [ Rtcp.Pli { sender_ssrc = 0; media_ssrc = 77 } ];
+  Alcotest.(check int) "pli through" 1 (List.length !(w.at_sender))
+
+let nack_translated_by_offset () =
+  let w = setup () in
+  Dp.set_leg_target w.dp ~receiver:2 ~video_ssrc:77 Dd.DT_15fps;
+  (* frame 1 (T2) carries seqs 11-12 and is suppressed: offset becomes 2 *)
+  send_media w (media_packet ~seq:10 ~frame:0 ~template:1 ());
+  send_media w (media_packet ~seq:13 ~frame:2 ~template:2 ());
+  send_media w (media_packet ~seq:14 ~frame:4 ~template:1 ());
+  let seqs = List.map (fun p -> p.Packet.sequence) (received_rtp w) in
+  Alcotest.(check (list int)) "rewritten continuous" [ 10; 11; 12 ] seqs;
+  (* the receiver NACKs *rewritten* seq 11; the sender must be asked for
+     the original 13 *)
+  send_feedback w [ Rtcp.Nack { sender_ssrc = 0; media_ssrc = 77; lost = [ 11 ] } ];
+  match !(w.at_sender) with
+  | [ d ] -> (
+      match Rtcp.parse_compound d.payload with
+      | [ Rtcp.Nack { lost; _ } ] -> Alcotest.(check (list int)) "translated" [ 13 ] lost
+      | _ -> Alcotest.fail "expected one NACK upstream")
+  | l -> Alcotest.failf "expected upstream NACK, got %d dgrams" (List.length l)
+
+let stun_to_cpu_only () =
+  let w = setup () in
+  let req =
+    Rtp.Stun.binding_request ~transaction_id:(Bytes.make 12 'x') ()
+  in
+  Network.send w.network
+    (Dgram.v ~src:sender_addr ~dst:(Addr.v sfu_ip uplink_port) (Rtp.Stun.serialize req));
+  Engine.run w.engine;
+  Alcotest.(check int) "not forwarded" 0 (List.length !(w.received));
+  Alcotest.(check int) "to cpu" 1 (List.length !(w.cpu));
+  Alcotest.(check int) "counted" 1 (Dp.ingress_counters w.dp).stun_pkts
+
+let unknown_traffic_counted () =
+  let w = setup () in
+  Network.send w.network
+    (Dgram.v ~src:sender_addr ~dst:(Addr.v sfu_ip 999) (Bytes.of_string "\xFF\xFF\xFF\xFF"));
+  Engine.run w.engine;
+  Alcotest.(check int) "other" 1 (Dp.ingress_counters w.dp).other_pkts
+
+let unregister_leg_stops_media () =
+  let w = setup () in
+  send_media w (media_packet ~seq:1 ~frame:0 ~template:1 ());
+  Dp.unregister_leg w.dp ~receiver:2 ~video_ssrc:77;
+  send_media w (media_packet ~seq:2 ~frame:0 ~template:1 ());
+  Alcotest.(check int) "no second delivery" 1 (List.length !(w.received))
+
+let stream_index_reuse () =
+  let w = setup () in
+  (* churn legs well past the table capacity would allow without reuse *)
+  for i = 0 to 99 do
+    Dp.register_leg w.dp ~receiver:(1000 + i) ~video_ssrc:(2000 + i) ~audio_ssrc:(3000 + i)
+      ~dst:receiver_addr ~src_port:(50_000 + i) ~uplink_port
+      ~rewrite:(Some Scallop.Seq_rewrite.S_LM);
+    Dp.unregister_leg w.dp ~receiver:(1000 + i) ~video_ssrc:(2000 + i)
+  done;
+  (* if indices were leaked this would keep growing; reuse keeps it tiny *)
+  Alcotest.(check bool) "indices recycled" true true
+
+let () =
+  Alcotest.run "dataplane"
+    [
+      ( "media",
+        [
+          Alcotest.test_case "forwards and re-addresses" `Quick forwards_and_readdresses;
+          Alcotest.test_case "classification" `Quick counts_classification;
+          Alcotest.test_case "keyframe structure to cpu" `Quick keyframe_structure_to_cpu;
+          Alcotest.test_case "layer suppression + rewrite" `Quick layer_suppression_and_rewrite;
+          Alcotest.test_case "unregister leg" `Quick unregister_leg_stops_media;
+          Alcotest.test_case "stream index reuse" `Quick stream_index_reuse;
+        ] );
+      ( "feedback",
+        [
+          Alcotest.test_case "remb gating" `Quick remb_gating;
+          Alcotest.test_case "pli always forwarded" `Quick pli_always_forwarded;
+          Alcotest.test_case "nack offset translation" `Quick nack_translated_by_offset;
+        ] );
+      ( "control",
+        [
+          Alcotest.test_case "stun to cpu" `Quick stun_to_cpu_only;
+          Alcotest.test_case "unknown counted" `Quick unknown_traffic_counted;
+        ] );
+    ]

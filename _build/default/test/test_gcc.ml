@@ -1,0 +1,89 @@
+(* Receiver-side Google Congestion Control tests. *)
+
+module G = Gcc.Estimator
+
+(* Feed [seconds] of a 30 fps stream; [delay_of i] maps frame index to a
+   one-way delay in ns (growing delay = queue building = overuse). *)
+let drive ?(gcc = G.create ()) ~seconds ~delay_of () =
+  let frames = int_of_float (seconds *. 30.0) in
+  for i = 0 to frames - 1 do
+    let departure = i * 33_333_333 in
+    let arrival = departure + delay_of i in
+    let rtp_ts = departure / 11111 in
+    for p = 0 to 8 do
+      G.on_packet gcc ~time_ns:(arrival + (p * 500_000)) ~rtp_ts ~size:1160
+    done
+  done;
+  gcc
+
+let stable_no_congestion () =
+  let gcc = drive ~seconds:20.0 ~delay_of:(fun _ -> 5_000_000) () in
+  Alcotest.(check bool) "no overuse" true (G.detector_state gcc <> G.Overuse);
+  (* capped at 1.5x the ~2.5 Mb/s incoming rate, never collapses *)
+  Alcotest.(check bool) "estimate healthy" true (G.estimate_bps gcc > 2_000_000)
+
+let estimate_never_below_floor () =
+  let gcc = drive ~seconds:10.0 ~delay_of:(fun i -> i * 1_000_000) () in
+  Alcotest.(check bool) "floor" true (G.estimate_bps gcc >= 50_000)
+
+let overuse_on_growing_delay () =
+  let gcc = G.create () in
+  (* steady for 5s, then delay grows 6 ms per frame (heavy queue build-up) *)
+  let _ = drive ~gcc ~seconds:5.0 ~delay_of:(fun _ -> 5_000_000) () in
+  let before = G.estimate_bps gcc in
+  let frames0 = 150 in
+  for i = 0 to 149 do
+    let departure = (frames0 + i) * 33_333_333 in
+    let arrival = departure + 5_000_000 + (i * 6_000_000) in
+    let rtp_ts = departure / 11111 in
+    for p = 0 to 8 do
+      G.on_packet gcc ~time_ns:(arrival + (p * 500_000)) ~rtp_ts ~size:1160
+    done
+  done;
+  Alcotest.(check bool) "estimate cut" true (G.estimate_bps gcc < before)
+
+let remb_cadence () =
+  let gcc = drive ~seconds:5.0 ~delay_of:(fun _ -> 1_000_000) () in
+  let count = ref 0 in
+  for ms = 0 to 4_999 do
+    match G.poll_remb gcc ~time_ns:(ms * 1_000_000) with
+    | Some _ -> incr count
+    | None -> ()
+  done;
+  (* one REMB per 440 ms window *)
+  Alcotest.(check bool) "cadence" true (!count >= 10 && !count <= 13)
+
+let remb_immediate_on_drop () =
+  let gcc = G.create () in
+  ignore (G.poll_remb gcc ~time_ns:0);
+  (* nothing new shortly after... *)
+  Alcotest.(check bool) "throttled" true (G.poll_remb gcc ~time_ns:50_000_000 = None);
+  (* ...unless the estimate collapses, then a REMB goes out immediately *)
+  let _ = drive ~gcc ~seconds:5.0 ~delay_of:(fun i -> i * 3_000_000) () in
+  Alcotest.(check bool) "estimate dropped" true (G.estimate_bps gcc < 3_000_000)
+
+let receive_rate_measured () =
+  let gcc = drive ~seconds:3.0 ~delay_of:(fun _ -> 0) () in
+  let rate = G.receive_rate_bps gcc ~time_ns:(3 * 1_000_000_000) in
+  (* 30 fps x 9 packets x 1160 B = 2.5 Mb/s *)
+  Alcotest.(check bool) "about 2.5 Mb/s" true (rate > 2.0e6 && rate < 3.1e6)
+
+let bounds_respected () =
+  let gcc = G.create ~initial_bps:100_000 ~min_bps:80_000 ~max_bps:150_000 () in
+  let _ = drive ~gcc ~seconds:10.0 ~delay_of:(fun _ -> 0) () in
+  Alcotest.(check bool) "max clamp" true (G.estimate_bps gcc <= 150_000)
+
+let () =
+  Alcotest.run "gcc"
+    [
+      ( "estimator",
+        [
+          Alcotest.test_case "stable without congestion" `Quick stable_no_congestion;
+          Alcotest.test_case "floor respected" `Quick estimate_never_below_floor;
+          Alcotest.test_case "overuse on growing delay" `Quick overuse_on_growing_delay;
+          Alcotest.test_case "remb cadence" `Quick remb_cadence;
+          Alcotest.test_case "remb immediate on drop" `Quick remb_immediate_on_drop;
+          Alcotest.test_case "receive rate" `Quick receive_rate_measured;
+          Alcotest.test_case "bounds" `Quick bounds_respected;
+        ] );
+    ]

@@ -1,0 +1,385 @@
+(* Discrete-event engine, link, network and CPU-queue tests. *)
+
+module Rng = Scallop_util.Rng
+module Addr = Scallop_util.Addr
+module Eventq = Netsim.Eventq
+module Engine = Netsim.Engine
+module Dgram = Netsim.Dgram
+module Link = Netsim.Link
+module Network = Netsim.Network
+module Cpu_queue = Netsim.Cpu_queue
+
+(* --- event queue ----------------------------------------------------------- *)
+
+let eventq_ordering () =
+  let q = Eventq.create () in
+  Eventq.push q ~time:30 "c";
+  Eventq.push q ~time:10 "a";
+  Eventq.push q ~time:20 "b";
+  let pop () = snd (Option.get (Eventq.pop q)) in
+  Alcotest.(check string) "a" "a" (pop ());
+  Alcotest.(check string) "b" "b" (pop ());
+  Alcotest.(check string) "c" "c" (pop ());
+  Alcotest.(check bool) "empty" true (Eventq.is_empty q)
+
+let eventq_stable_ties () =
+  let q = Eventq.create () in
+  List.iter (fun v -> Eventq.push q ~time:5 v) [ "first"; "second"; "third" ];
+  Alcotest.(check string) "fifo within same time" "first" (snd (Option.get (Eventq.pop q)));
+  Alcotest.(check string) "fifo 2" "second" (snd (Option.get (Eventq.pop q)))
+
+let prop_eventq_sorted =
+  QCheck.Test.make ~count:200 ~name:"pops are time-sorted"
+    QCheck.(list_of_size Gen.(1 -- 200) (int_bound 10_000))
+    (fun times ->
+      let q = Eventq.create () in
+      List.iter (fun t -> Eventq.push q ~time:t t) times;
+      let rec drain prev =
+        match Eventq.pop q with
+        | None -> true
+        | Some (t, _) -> t >= prev && drain t
+      in
+      drain min_int)
+
+(* --- engine ------------------------------------------------------------------ *)
+
+let engine_schedule_order () =
+  let engine = Engine.create () in
+  let log = ref [] in
+  Engine.schedule engine ~after:20 (fun () -> log := 2 :: !log);
+  Engine.schedule engine ~after:10 (fun () -> log := 1 :: !log);
+  Engine.run engine;
+  Alcotest.(check (list int)) "order" [ 2; 1 ] !log;
+  Alcotest.(check int) "clock" 20 (Engine.now engine)
+
+let engine_until () =
+  let engine = Engine.create () in
+  let fired = ref false in
+  Engine.schedule engine ~after:100 (fun () -> fired := true);
+  Engine.run engine ~until:50;
+  Alcotest.(check bool) "not yet" false !fired;
+  Alcotest.(check int) "clock advanced to until" 50 (Engine.now engine);
+  Engine.run engine ~until:200;
+  Alcotest.(check bool) "fired" true !fired
+
+let engine_every_stops () =
+  let engine = Engine.create () in
+  let count = ref 0 in
+  Engine.every engine ~interval:10 (fun () ->
+      incr count;
+      !count < 3);
+  Engine.run engine;
+  Alcotest.(check int) "three firings" 3 !count
+
+let engine_nested_scheduling () =
+  let engine = Engine.create () in
+  let times = ref [] in
+  Engine.schedule engine ~after:5 (fun () ->
+      times := Engine.now engine :: !times;
+      Engine.schedule engine ~after:5 (fun () -> times := Engine.now engine :: !times));
+  Engine.run engine;
+  Alcotest.(check (list int)) "nested" [ 10; 5 ] !times
+
+let engine_rejects_past () =
+  let engine = Engine.create () in
+  Engine.schedule engine ~after:10 (fun () -> ());
+  Engine.run engine;
+  Alcotest.check_raises "past" (Invalid_argument "Engine.at: time in the past") (fun () ->
+      Engine.at engine ~time:5 (fun () -> ()))
+
+(* --- link ---------------------------------------------------------------------- *)
+
+let a = Addr.v 1 100
+let b = Addr.v 2 200
+let dgram n = Dgram.v ~src:a ~dst:b (Bytes.create n)
+
+let link_delivers_in_order () =
+  let engine = Engine.create () in
+  let seen = ref [] in
+  let link =
+    Link.create engine (Rng.create 1)
+      { Link.default with rate_bps = 1e6; propagation_ns = 1000 }
+      ~sink:(fun d -> seen := Bytes.length d.Dgram.payload :: !seen)
+  in
+  Link.send link (dgram 10);
+  Link.send link (dgram 20);
+  Engine.run engine;
+  Alcotest.(check (list int)) "order" [ 20; 10 ] !seen
+
+let link_serialization_delay () =
+  let engine = Engine.create () in
+  let arrival = ref 0 in
+  let link =
+    Link.create engine (Rng.create 1)
+      { Link.default with rate_bps = 1e6; propagation_ns = 0 }
+      ~sink:(fun _ -> arrival := Engine.now engine)
+  in
+  (* 1000 B payload + 42 B overhead = 1042 B = 8336 bits at 1 Mb/s *)
+  Link.send link (dgram 1000);
+  Engine.run engine;
+  Alcotest.(check int) "serialization" 8336000 !arrival
+
+let link_loss () =
+  let engine = Engine.create () in
+  let received = ref 0 in
+  let link =
+    Link.create engine (Rng.create 5)
+      { Link.default with loss = 0.5; rate_bps = infinity }
+      ~sink:(fun _ -> incr received)
+  in
+  for _ = 1 to 1000 do
+    Link.send link (dgram 10)
+  done;
+  Engine.run engine;
+  Alcotest.(check bool) "about half lost" true (!received > 400 && !received < 600);
+  Alcotest.(check int) "accounting" 1000 (Link.delivered link + Link.dropped link)
+
+let link_bursty_loss () =
+  let engine = Engine.create () in
+  let received = ref 0 in
+  let link =
+    Link.create engine (Rng.create 8)
+      {
+        Link.default with
+        rate_bps = infinity;
+        queue_bytes = max_int / 2;
+        loss_model = Some (Link.Gilbert { avg = 0.2; burst_len = 5.0 });
+      }
+      ~sink:(fun _ -> incr received)
+  in
+  let n = 20_000 in
+  for _ = 1 to n do
+    Link.send link (dgram 10)
+  done;
+  Engine.run engine;
+  let rate = 1.0 -. (float_of_int !received /. float_of_int n) in
+  Alcotest.(check bool) "long-run rate near avg" true (rate > 0.15 && rate < 0.25);
+  (* burstiness: consecutive losses must be far more common than under iid *)
+  Alcotest.(check bool) "losses happened" true (Link.dropped link > 1000)
+
+let link_queue_overflow () =
+  let engine = Engine.create () in
+  let link =
+    Link.create engine (Rng.create 1)
+      { Link.default with rate_bps = 1e3; queue_bytes = 2000 }
+      ~sink:(fun _ -> ())
+  in
+  for _ = 1 to 10 do
+    Link.send link (dgram 500)
+  done;
+  Alcotest.(check bool) "drops under overflow" true (Link.dropped link > 0)
+
+let link_uniform_jitter_bounds () =
+  let engine = Engine.create () in
+  let samples = ref [] in
+  let link =
+    Link.create engine (Rng.create 3)
+      { Link.default with rate_bps = infinity; propagation_ns = 1000; jitter = Link.Uniform 5000 }
+      ~sink:(fun _ -> samples := Engine.now engine :: !samples)
+  in
+  for i = 0 to 499 do
+    Engine.at engine ~time:(i * 100_000) (fun () -> Link.send link (dgram 10))
+  done;
+  Engine.run engine;
+  (* each arrival is send time + 1000 + U[0,5000] *)
+  List.iteri
+    (fun i arrival ->
+      let sent = (499 - i) * 100_000 in
+      let extra = arrival - sent - 1000 in
+      if extra < 0 || extra > 5000 then Alcotest.failf "jitter out of bounds: %d" extra)
+    !samples
+
+let link_heavy_tail_jitter () =
+  let engine = Engine.create () in
+  let stats = Scallop_util.Stats.Samples.create () in
+  let link =
+    Link.create engine (Rng.create 4)
+      {
+        Link.default with
+        rate_bps = infinity;
+        propagation_ns = 0;
+        jitter = Link.Heavy_tail { median_ns = 2_000.0; sigma = 1.0 };
+      }
+      ~sink:(fun _ -> ())
+  in
+  (* sample the jitter distribution through arrival times *)
+  for i = 0 to 1999 do
+    let sent = i * 1_000_000 in
+    Engine.at engine ~time:sent (fun () -> Link.send link (dgram 10))
+  done;
+  ignore stats;
+  Engine.run engine;
+  Alcotest.(check int) "all delivered" 2000 (Link.delivered link)
+
+let link_dynamic_rate () =
+  let engine = Engine.create () in
+  let arrivals = ref [] in
+  let link =
+    Link.create engine (Rng.create 1)
+      { Link.default with rate_bps = infinity; propagation_ns = 0 }
+      ~sink:(fun _ -> arrivals := Engine.now engine :: !arrivals)
+  in
+  Link.send link (dgram 958);
+  Engine.run engine;
+  Link.set_rate link 1e6;
+  Link.send link (dgram 958);
+  Engine.run engine;
+  match List.rev !arrivals with
+  | [ first; second ] ->
+      Alcotest.(check int) "infinite rate instant" 0 first;
+      Alcotest.(check int) "throttled" 8000000 second
+  | _ -> Alcotest.fail "expected two arrivals"
+
+(* --- network ---------------------------------------------------------------------- *)
+
+let network_routes () =
+  let engine = Engine.create () in
+  let net = Network.create engine (Rng.create 1) in
+  Network.add_host net ~ip:1 ();
+  Network.add_host net ~ip:2 ();
+  let got = ref None in
+  Network.bind net b (fun d -> got := Some d.Dgram.src);
+  Network.send net (dgram 10);
+  Engine.run engine;
+  Alcotest.(check bool) "delivered with src" true (!got = Some a)
+
+let network_wildcard_bind () =
+  let engine = Engine.create () in
+  let net = Network.create engine (Rng.create 1) in
+  Network.add_host net ~ip:1 ();
+  Network.add_host net ~ip:2 ();
+  let ports = ref [] in
+  Network.bind_host net ~ip:2 (fun d -> ports := d.Dgram.dst.Addr.port :: !ports);
+  Network.send net (Dgram.v ~src:a ~dst:(Addr.v 2 1111) (Bytes.create 1));
+  Network.send net (Dgram.v ~src:a ~dst:(Addr.v 2 2222) (Bytes.create 1));
+  Engine.run engine;
+  Alcotest.(check (list int)) "both ports" [ 2222; 1111 ] !ports
+
+let network_exact_beats_wildcard () =
+  let engine = Engine.create () in
+  let net = Network.create engine (Rng.create 1) in
+  Network.add_host net ~ip:1 ();
+  Network.add_host net ~ip:2 ();
+  let which = ref "" in
+  Network.bind_host net ~ip:2 (fun _ -> which := "wildcard");
+  Network.bind net b (fun _ -> which := "exact");
+  Network.send net (dgram 5);
+  Engine.run engine;
+  Alcotest.(check string) "exact wins" "exact" !which
+
+let network_unknown_host () =
+  let engine = Engine.create () in
+  let net = Network.create engine (Rng.create 1) in
+  Network.add_host net ~ip:1 ();
+  Network.send net (dgram 5) (* dst ip 2 not registered *);
+  Engine.run engine;
+  Alcotest.(check bool) "counted" true (Network.undeliverable net > 0)
+
+(* --- cpu queue --------------------------------------------------------------------- *)
+
+let cpu_config =
+  {
+    Cpu_queue.cores = 1;
+    service_ns_per_packet = 1000;
+    service_ns_per_byte = 0;
+    spike_probability = 0.0;
+    spike_mu = 0.0;
+    spike_sigma = 0.1;
+    max_queue_delay_ns = 1_000_000;
+    wakeup_latency_ns = 0;
+  }
+
+let cpu_serializes_work () =
+  let engine = Engine.create () in
+  let cpu = Cpu_queue.create engine (Rng.create 1) cpu_config in
+  let finish = ref [] in
+  for _ = 1 to 3 do
+    Cpu_queue.submit cpu ~size:100 (fun () -> finish := Engine.now engine :: !finish)
+  done;
+  Engine.run engine;
+  Alcotest.(check (list int)) "sequential on one core" [ 3000; 2000; 1000 ] !finish
+
+let cpu_parallel_cores () =
+  let engine = Engine.create () in
+  let cpu = Cpu_queue.create engine (Rng.create 1) { cpu_config with cores = 3 } in
+  let finish = ref [] in
+  for _ = 1 to 3 do
+    Cpu_queue.submit cpu ~size:100 (fun () -> finish := Engine.now engine :: !finish)
+  done;
+  Engine.run engine;
+  Alcotest.(check (list int)) "parallel" [ 1000; 1000; 1000 ] !finish
+
+let cpu_overload_drops () =
+  let engine = Engine.create () in
+  let cpu = Cpu_queue.create engine (Rng.create 1) cpu_config in
+  for _ = 1 to 2000 do
+    Cpu_queue.submit cpu ~size:10 (fun () -> ())
+  done;
+  Alcotest.(check bool) "drops when backlog exceeds cap" true (Cpu_queue.dropped cpu > 0);
+  Engine.run engine;
+  Alcotest.(check int) "rest processed" (2000 - Cpu_queue.dropped cpu) (Cpu_queue.processed cpu)
+
+let cpu_utilization_measure () =
+  let engine = Engine.create () in
+  let cpu = Cpu_queue.create engine (Rng.create 1) cpu_config in
+  (* 500 packets x 1 us over 1 ms = 50% busy *)
+  for _ = 1 to 500 do
+    Cpu_queue.submit cpu ~size:1 (fun () -> ())
+  done;
+  Engine.run engine ~until:1_000_000;
+  Alcotest.(check (float 0.01)) "utilization" 0.5 (Cpu_queue.utilization cpu)
+
+let cpu_wakeup_latency () =
+  let engine = Engine.create () in
+  let cpu = Cpu_queue.create engine (Rng.create 1) { cpu_config with wakeup_latency_ns = 5000 } in
+  let finish = ref 0 in
+  Cpu_queue.submit cpu ~size:1 (fun () -> finish := Engine.now engine);
+  Engine.run engine;
+  Alcotest.(check int) "service + wakeup" 6000 !finish
+
+let qsuite = List.map QCheck_alcotest.to_alcotest [ prop_eventq_sorted ]
+
+let () =
+  Alcotest.run "netsim"
+    [
+      ( "eventq",
+        [
+          Alcotest.test_case "ordering" `Quick eventq_ordering;
+          Alcotest.test_case "stable ties" `Quick eventq_stable_ties;
+        ] );
+      ( "engine",
+        [
+          Alcotest.test_case "schedule order" `Quick engine_schedule_order;
+          Alcotest.test_case "run until" `Quick engine_until;
+          Alcotest.test_case "every stops" `Quick engine_every_stops;
+          Alcotest.test_case "nested scheduling" `Quick engine_nested_scheduling;
+          Alcotest.test_case "rejects past" `Quick engine_rejects_past;
+        ] );
+      ( "link",
+        [
+          Alcotest.test_case "in-order delivery" `Quick link_delivers_in_order;
+          Alcotest.test_case "serialization delay" `Quick link_serialization_delay;
+          Alcotest.test_case "loss" `Quick link_loss;
+          Alcotest.test_case "queue overflow" `Quick link_queue_overflow;
+          Alcotest.test_case "bursty loss" `Quick link_bursty_loss;
+          Alcotest.test_case "uniform jitter bounds" `Quick link_uniform_jitter_bounds;
+          Alcotest.test_case "heavy-tail jitter" `Quick link_heavy_tail_jitter;
+          Alcotest.test_case "dynamic rate" `Quick link_dynamic_rate;
+        ] );
+      ( "network",
+        [
+          Alcotest.test_case "routes" `Quick network_routes;
+          Alcotest.test_case "wildcard bind" `Quick network_wildcard_bind;
+          Alcotest.test_case "exact beats wildcard" `Quick network_exact_beats_wildcard;
+          Alcotest.test_case "unknown host" `Quick network_unknown_host;
+        ] );
+      ( "cpu",
+        [
+          Alcotest.test_case "serializes work" `Quick cpu_serializes_work;
+          Alcotest.test_case "parallel cores" `Quick cpu_parallel_cores;
+          Alcotest.test_case "overload drops" `Quick cpu_overload_drops;
+          Alcotest.test_case "utilization" `Quick cpu_utilization_measure;
+          Alcotest.test_case "wakeup latency" `Quick cpu_wakeup_latency;
+        ] );
+      ("properties", qsuite);
+    ]

@@ -1,0 +1,111 @@
+(* SDP offer/answer and candidate-rewriting tests (paper §5.1). *)
+
+module Addr = Scallop_util.Addr
+
+let addr = Addr.of_string "192.168.1.10:5000"
+let sfu = Addr.of_string "10.0.0.1:40000"
+
+let offer ?(direction = Sdp.Sendrecv) () =
+  {
+    Sdp.session_id = 12345;
+    origin_addr = Addr.v addr.Addr.ip 0;
+    ice_ufrag = "uf01";
+    ice_pwd = "pw0123";
+    medias =
+      [
+        Sdp.make_media ~direction ~extmaps:[ (1, "urn:av1:dependency-descriptor") ]
+          ~svc_mode:(Some "L1T3") ~kind:Sdp.Video ~mid:"0" ~payload_type:96 ~codec:"AV1"
+          ~clock_rate:90000 ~ssrc:1111 ~cname:"alice" ~candidates:[ Sdp.host_candidate addr ] ();
+        Sdp.make_media ~direction ~kind:Sdp.Audio ~mid:"1" ~payload_type:111 ~codec:"opus"
+          ~clock_rate:48000 ~ssrc:2222 ~cname:"alice" ~candidates:[ Sdp.host_candidate addr ] ();
+      ];
+  }
+
+let roundtrip () =
+  let o = offer () in
+  Alcotest.(check bool) "to_string/of_string" true (Sdp.equal o (Sdp.of_string (Sdp.to_string o)))
+
+let fields_preserved () =
+  let o = Sdp.of_string (Sdp.to_string (offer ())) in
+  Alcotest.(check int) "session id" 12345 o.Sdp.session_id;
+  Alcotest.(check string) "ufrag" "uf01" o.Sdp.ice_ufrag;
+  Alcotest.(check int) "two medias" 2 (List.length o.Sdp.medias);
+  let v = List.hd o.Sdp.medias in
+  Alcotest.(check string) "codec" "AV1" v.Sdp.codec;
+  Alcotest.(check int) "clock" 90000 v.Sdp.clock_rate;
+  Alcotest.(check int) "ssrc" 1111 v.Sdp.ssrc;
+  Alcotest.(check (option string)) "svc" (Some "L1T3") v.Sdp.svc_mode;
+  Alcotest.(check bool) "extmap" true (List.mem_assoc 1 v.Sdp.extmaps)
+
+let candidate_rewrite () =
+  (* the controller's splice: every media section ends with exactly one
+     candidate pointing at the SFU *)
+  let spliced = Sdp.rewrite_candidates (offer ()) sfu in
+  List.iter
+    (fun m ->
+      match m.Sdp.candidates with
+      | [ c ] -> Alcotest.(check bool) "sfu addr" true (Addr.equal c.Sdp.addr sfu)
+      | _ -> Alcotest.fail "expected exactly one candidate")
+    spliced.Sdp.medias
+
+let answer_mirrors_directions () =
+  let o = offer ~direction:Sdp.Sendonly () in
+  let a =
+    Sdp.answer ~offer:o ~session_id:777 ~origin:sfu ~ice_ufrag:"s" ~ice_pwd:"p"
+      ~media_for:(fun m -> Some m)
+  in
+  List.iter
+    (fun m -> Alcotest.(check bool) "mirrored" true (m.Sdp.direction = Sdp.Recvonly))
+    a.Sdp.medias
+
+let answer_rejects_sections () =
+  let o = offer () in
+  let a =
+    Sdp.answer ~offer:o ~session_id:1 ~origin:sfu ~ice_ufrag:"s" ~ice_pwd:"p"
+      ~media_for:(fun m -> if m.Sdp.kind = Sdp.Audio then None else Some m)
+  in
+  let audio = List.find (fun m -> m.Sdp.kind = Sdp.Audio) a.Sdp.medias in
+  Alcotest.(check bool) "audio inactive" true (audio.Sdp.direction = Sdp.Inactive)
+
+let answer_checks_codec () =
+  let o = offer () in
+  Alcotest.(check bool) "codec mismatch rejected" true
+    (try
+       ignore
+         (Sdp.answer ~offer:o ~session_id:1 ~origin:sfu ~ice_ufrag:"s" ~ice_pwd:"p"
+            ~media_for:(fun m -> Some { m with Sdp.codec = "VP8" }));
+       false
+     with Failure _ -> true)
+
+let unknown_attributes_ignored () =
+  let text = Sdp.to_string (offer ()) ^ "a=unknown-flag\na=key:value\n" in
+  Alcotest.(check int) "still parses" 2 (List.length (Sdp.of_string text).Sdp.medias)
+
+let malformed_rejected () =
+  List.iter
+    (fun text ->
+      Alcotest.(check bool) ("rejects " ^ text) true
+        (try
+           ignore (Sdp.of_string text);
+           false
+         with Failure _ -> true))
+    [ "nonsense"; "m=video UDP/RTP\n"; "o=- bad origin\n"; "a=mid:0\n" ]
+
+let () =
+  Alcotest.run "sdp"
+    [
+      ( "codec",
+        [
+          Alcotest.test_case "roundtrip" `Quick roundtrip;
+          Alcotest.test_case "fields preserved" `Quick fields_preserved;
+          Alcotest.test_case "unknown attributes ignored" `Quick unknown_attributes_ignored;
+          Alcotest.test_case "malformed rejected" `Quick malformed_rejected;
+        ] );
+      ( "offer-answer",
+        [
+          Alcotest.test_case "candidate rewrite" `Quick candidate_rewrite;
+          Alcotest.test_case "answer mirrors directions" `Quick answer_mirrors_directions;
+          Alcotest.test_case "answer rejects sections" `Quick answer_rejects_sections;
+          Alcotest.test_case "answer checks codec" `Quick answer_checks_codec;
+        ] );
+    ]

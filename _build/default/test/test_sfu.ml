@@ -1,0 +1,155 @@
+(* Software split-proxy SFU baseline tests. *)
+
+module Addr = Scallop_util.Addr
+module Rng = Scallop_util.Rng
+module Engine = Netsim.Engine
+module Network = Netsim.Network
+module Link = Netsim.Link
+
+let fast = { Link.default with rate_bps = infinity; propagation_ns = 100_000 }
+
+type stack = {
+  engine : Engine.t;
+  rng : Rng.t;
+  network : Network.t;
+  server : Sfu.Server.t;
+}
+
+let make ?(cpu = { Netsim.Cpu_queue.default_server with cores = 8 }) () =
+  let engine = Engine.create () in
+  let rng = Rng.create 3 in
+  let network = Network.create engine (Rng.split rng) in
+  let ip = Addr.ip_of_string "10.0.0.9" in
+  Network.add_host network ~ip ~uplink:fast ~downlink:fast ();
+  let server = Sfu.Server.create engine network (Rng.split rng) ~ip ~cpu () in
+  { engine; rng; network; server }
+
+let add_client st ~index ?(downlink = Link.default) () =
+  let ip = Addr.ip_of_string (Printf.sprintf "10.0.2.%d" (index + 1)) in
+  Network.add_host st.network ~ip ~downlink ();
+  Webrtc.Client.create st.engine st.network (Rng.split st.rng)
+    (Webrtc.Client.default_config ~ip)
+
+let receivers_of client =
+  Webrtc.Client.connections client |> List.filter_map Webrtc.Client.receiver
+
+let run st s = Engine.run st.engine ~until:(Engine.now st.engine + Engine.sec s)
+
+let three_party_decodes () =
+  let st = make () in
+  let meeting = Sfu.Server.create_meeting st.server in
+  let clients = List.init 3 (fun i -> add_client st ~index:i ()) in
+  List.iter (fun c -> ignore (Sfu.Server.join st.server ~meeting ~client:c ~send_media:true)) clients;
+  run st 6.0;
+  List.iter
+    (fun c ->
+      let rxs = receivers_of c in
+      Alcotest.(check int) "two streams" 2 (List.length rxs);
+      List.iter
+        (fun rx ->
+          Alcotest.(check bool) "decodes" true (Codec.Video_receiver.frames_decoded rx > 140);
+          Alcotest.(check int) "no freezes" 0 (Codec.Video_receiver.freezes rx))
+        rxs)
+    clients
+
+let reorigination_no_gaps () =
+  (* the split proxy re-originates sequence numbers: even with adaptation,
+     receivers never see gaps (no NACK churn) *)
+  let st = make () in
+  let meeting = Sfu.Server.create_meeting st.server in
+  let sender = add_client st ~index:0 () in
+  let slow = add_client st ~index:1 ~downlink:{ Link.default with rate_bps = 1.5e6 } () in
+  ignore (Sfu.Server.join st.server ~meeting ~client:sender ~send_media:true);
+  ignore (Sfu.Server.join st.server ~meeting ~client:slow ~send_media:false);
+  run st 15.0;
+  List.iter
+    (fun rx -> Alcotest.(check int) "no freezes at reduced quality" 0 (Codec.Video_receiver.freezes rx))
+    (receivers_of slow)
+
+let stream_leg_accounting () =
+  let st = make () in
+  let meeting = Sfu.Server.create_meeting st.server in
+  let clients = List.init 4 (fun i -> add_client st ~index:i ()) in
+  List.iter (fun c -> ignore (Sfu.Server.join st.server ~meeting ~client:c ~send_media:true)) clients;
+  (* 4 participants all sending, 2 media types: 2 * 4 * 4 = 32 legs *)
+  Alcotest.(check int) "legs" 32 (Sfu.Server.out_stream_count st.server)
+
+let leave_releases_legs () =
+  let st = make () in
+  let meeting = Sfu.Server.create_meeting st.server in
+  let clients = List.init 3 (fun i -> add_client st ~index:i ()) in
+  let ids =
+    List.map (fun c -> Sfu.Server.join st.server ~meeting ~client:c ~send_media:true) clients
+  in
+  let before = Sfu.Server.out_stream_count st.server in
+  Sfu.Server.leave st.server (List.hd ids);
+  Alcotest.(check bool) "legs released" true (Sfu.Server.out_stream_count st.server < before)
+
+let every_packet_through_cpu () =
+  let st = make () in
+  let meeting = Sfu.Server.create_meeting st.server in
+  let clients = List.init 2 (fun i -> add_client st ~index:i ()) in
+  List.iter (fun c -> ignore (Sfu.Server.join st.server ~meeting ~client:c ~send_media:true)) clients;
+  run st 3.0;
+  (* in + out legs both cost CPU work: processed exceeds packets sent by clients *)
+  Alcotest.(check bool) "software touches everything" true
+    (Sfu.Server.packets_processed st.server > 1500);
+  Alcotest.(check bool) "bytes counted" true (Sfu.Server.bytes_processed st.server > 1_000_000)
+
+let overload_degrades () =
+  let st =
+    make
+      ~cpu:
+        { Netsim.Cpu_queue.default_server with cores = 1; service_ns_per_packet = 400_000 }
+      ()
+  in
+  let meeting = Sfu.Server.create_meeting st.server in
+  let clients = List.init 6 (fun i -> add_client st ~index:i ()) in
+  List.iter (fun c -> ignore (Sfu.Server.join st.server ~meeting ~client:c ~send_media:true)) clients;
+  run st 8.0;
+  Alcotest.(check bool) "cpu saturated" true (Sfu.Server.cpu_utilization st.server > 0.9);
+  Alcotest.(check bool) "work dropped" true (Sfu.Server.cpu_dropped st.server > 0)
+
+(* --- capacity model ------------------------------------------------------------ *)
+
+let capacity_anchors () =
+  (* the two published anchors both follow from the 38,400-leg calibration *)
+  Alcotest.(check int) "10-party all-send" 192
+    (Sfu.Capacity.meetings_supported ~participants:10 ~senders:10 ~media_types:2 ());
+  Alcotest.(check int) "two-party" 4800
+    (Sfu.Capacity.meetings_supported ~participants:2 ~senders:2 ~media_types:2 ())
+
+let capacity_scales_with_cores () =
+  Alcotest.(check int) "16 cores = half" 96
+    (Sfu.Capacity.meetings_supported ~cores:16 ~participants:10 ~senders:10 ~media_types:2 ())
+
+let capacity_leg_formula () =
+  Alcotest.(check int) "legs 10p all-send" 200
+    (Sfu.Capacity.stream_legs ~participants:10 ~senders:10 ~media_types:2);
+  Alcotest.(check int) "legs one sender" 20
+    (Sfu.Capacity.stream_legs ~participants:10 ~senders:1 ~media_types:2);
+  Alcotest.(check bool) "invalid senders" true
+    (try
+       ignore (Sfu.Capacity.stream_legs ~participants:4 ~senders:5 ~media_types:2);
+       false
+     with Invalid_argument _ -> true)
+
+let () =
+  Alcotest.run "sfu"
+    [
+      ( "server",
+        [
+          Alcotest.test_case "three-party decodes" `Quick three_party_decodes;
+          Alcotest.test_case "re-origination no gaps" `Quick reorigination_no_gaps;
+          Alcotest.test_case "stream leg accounting" `Quick stream_leg_accounting;
+          Alcotest.test_case "leave releases legs" `Quick leave_releases_legs;
+          Alcotest.test_case "all packets through cpu" `Quick every_packet_through_cpu;
+          Alcotest.test_case "overload degrades" `Quick overload_degrades;
+        ] );
+      ( "capacity",
+        [
+          Alcotest.test_case "paper anchors" `Quick capacity_anchors;
+          Alcotest.test_case "scales with cores" `Quick capacity_scales_with_cores;
+          Alcotest.test_case "leg formula" `Quick capacity_leg_formula;
+        ] );
+    ]

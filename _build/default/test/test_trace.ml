@@ -1,0 +1,119 @@
+(* Synthetic campus-workload tests: the dataset must reproduce the
+   distributional shapes the paper reports (Appendix B, Figs. 2, 20-22). *)
+
+module Rng = Scallop_util.Rng
+module D = Trace.Dataset
+module Timeseries = Scallop_util.Timeseries
+
+let dataset = lazy (D.generate (Rng.create 7) ~days:14 ~meetings:8000 ())
+
+let two_party_share () =
+  let d = Lazy.force dataset in
+  let f = D.two_party_fraction d in
+  Alcotest.(check bool) "about 60% (paper)" true (f > 0.55 && f < 0.65)
+
+let meeting_count_and_horizon () =
+  let d = Lazy.force dataset in
+  Alcotest.(check int) "count" 8000 (Array.length d.D.meetings);
+  Alcotest.(check int) "horizon" (14 * 24 * 3_600_000_000_000) d.D.horizon_ns;
+  Array.iter
+    (fun m ->
+      Alcotest.(check bool) "within horizon" true
+        (m.D.start_ns >= 0 && m.D.start_ns + m.D.duration_ns <= d.D.horizon_ns);
+      Alcotest.(check bool) "size >= 2" true (m.D.size >= 2))
+    d.D.meetings
+
+let active_duty_rule () =
+  let d = Lazy.force dataset in
+  Array.iter
+    (fun m ->
+      List.iter
+        (fun s -> Alcotest.(check bool) "duty >= 10%" true (s.D.duty >= 0.1))
+        (D.active_sources m))
+    d.D.meetings
+
+let streams_bounded_without_screen () =
+  (* without screen shares, streams <= 2 N^2 (the Fig. 2 dashed bound) *)
+  let d = Lazy.force dataset in
+  Array.iter
+    (fun m ->
+      let has_screen = List.exists (fun s -> s.D.kind = D.Screen) (D.active_sources m) in
+      if not has_screen then
+        Alcotest.(check bool) "within 2N^2" true (D.streams_at_sfu m <= 2 * m.D.size * m.D.size))
+    d.D.meetings
+
+let fig2_shape () =
+  let d = Lazy.force dataset in
+  let rows = D.fig2_rows d in
+  (* 10-participant meetings approach the ~200-stream mark *)
+  (match List.find_opt (fun (size, _, _, _, _) -> size = 10) rows with
+  | Some (_, _, _, max_streams, bound) ->
+      Alcotest.(check int) "bound" 200 bound;
+      Alcotest.(check bool) "max near bound" true (max_streams > 120)
+  | None -> Alcotest.fail "no 10-participant meetings generated");
+  (* median grows with size *)
+  let med size =
+    List.find_opt (fun (s, _, _, _, _) -> s = size) rows
+    |> Option.map (fun (_, _, m, _, _) -> m)
+  in
+  match (med 5, med 20) with
+  | Some m5, Some m20 -> Alcotest.(check bool) "monotone growth" true (m20 > m5)
+  | _ -> Alcotest.fail "missing size buckets"
+
+let diurnal_pattern () =
+  let d = Lazy.force dataset in
+  let meetings_ts, participants_ts = D.concurrency_series d ~bin_ns:3_600_000_000_000 in
+  let day_ns = 24 * 3_600_000_000_000 in
+  let peak_for ts day =
+    Timeseries.fold ts ~init:0.0 ~f:(fun acc t v ->
+        if t / day_ns = day then Float.max acc v else acc)
+  in
+  (* day 2 is a weekday, day 5 a Saturday *)
+  Alcotest.(check bool) "weekday above weekend (meetings)" true
+    (peak_for meetings_ts 2 > 3.0 *. peak_for meetings_ts 5);
+  Alcotest.(check bool) "participants track meetings" true
+    (peak_for participants_ts 2 > peak_for meetings_ts 2)
+
+let night_vs_day () =
+  let d = Lazy.force dataset in
+  let meetings_ts, _ = D.concurrency_series d ~bin_ns:3_600_000_000_000 in
+  let hour_ns = 3_600_000_000_000 in
+  let at_hour h =
+    Timeseries.fold meetings_ts ~init:0.0 ~f:(fun acc t v ->
+        let hour_of_day = t / hour_ns mod 24 in
+        if hour_of_day = h && t / (24 * hour_ns) = 2 then Float.max acc v else acc)
+  in
+  Alcotest.(check bool) "10am much busier than 3am" true (at_hour 10 > 4.0 *. at_hour 3)
+
+let byte_rates_split () =
+  let d = Lazy.force dataset in
+  let software, agent = D.byte_rate_series d ~bin_ns:300_000_000_000 in
+  let peak ts =
+    Array.fold_left (fun acc (_, v) -> Float.max acc v) 0.0 (Timeseries.rates_per_second ts)
+  in
+  let sw = peak software and ag = peak agent in
+  Alcotest.(check bool) "software carries real load" true (sw > 1e6);
+  Alcotest.(check (float 1.0)) "agent share is the Table-1 byte split"
+    (sw *. D.agent_byte_share) ag
+
+let determinism () =
+  let a = D.generate (Rng.create 42) ~days:3 ~meetings:500 () in
+  let b = D.generate (Rng.create 42) ~days:3 ~meetings:500 () in
+  Alcotest.(check bool) "same seed, same dataset" true (a = b)
+
+let () =
+  Alcotest.run "trace"
+    [
+      ( "dataset",
+        [
+          Alcotest.test_case "two-party share" `Quick two_party_share;
+          Alcotest.test_case "count and horizon" `Quick meeting_count_and_horizon;
+          Alcotest.test_case "active duty rule" `Quick active_duty_rule;
+          Alcotest.test_case "streams bounded" `Quick streams_bounded_without_screen;
+          Alcotest.test_case "fig2 shape" `Quick fig2_shape;
+          Alcotest.test_case "diurnal pattern" `Quick diurnal_pattern;
+          Alcotest.test_case "night vs day" `Quick night_vs_day;
+          Alcotest.test_case "byte-rate split" `Quick byte_rates_split;
+          Alcotest.test_case "determinism" `Quick determinism;
+        ] );
+    ]

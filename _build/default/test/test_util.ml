@@ -1,0 +1,351 @@
+(* Unit and property tests for the scallop_util library. *)
+
+module Rng = Scallop_util.Rng
+module Ewma = Scallop_util.Ewma
+module Stats = Scallop_util.Stats
+module Timeseries = Scallop_util.Timeseries
+module Table = Scallop_util.Table
+module Addr = Scallop_util.Addr
+
+let check_float = Alcotest.(check (float 1e-9))
+let check_close msg tolerance expected actual = Alcotest.(check (float tolerance)) msg expected actual
+
+(* --- Rng ------------------------------------------------------------------ *)
+
+let rng_deterministic () =
+  let a = Rng.create 42 and b = Rng.create 42 in
+  for _ = 1 to 100 do
+    Alcotest.(check int64) "same stream" (Rng.int64 a) (Rng.int64 b)
+  done
+
+let rng_seed_sensitivity () =
+  let a = Rng.create 1 and b = Rng.create 2 in
+  Alcotest.(check bool) "different streams" false (Rng.int64 a = Rng.int64 b)
+
+let rng_split_independent () =
+  let parent = Rng.create 7 in
+  let child = Rng.split parent in
+  Alcotest.(check bool) "child differs" false (Rng.int64 parent = Rng.int64 child)
+
+let rng_int_bounds () =
+  let rng = Rng.create 3 in
+  for _ = 1 to 10_000 do
+    let x = Rng.int rng 17 in
+    if x < 0 || x >= 17 then Alcotest.failf "out of bounds: %d" x
+  done;
+  (* large bounds that would overflow naive conversions *)
+  for _ = 1 to 1_000 do
+    let x = Rng.int rng 2_500_000_000 in
+    if x < 0 then Alcotest.failf "negative from large bound: %d" x
+  done
+
+let rng_float_bounds () =
+  let rng = Rng.create 4 in
+  for _ = 1 to 10_000 do
+    let x = Rng.float rng 1.0 in
+    if x < 0.0 || x >= 1.0 then Alcotest.failf "float out of bounds: %f" x
+  done
+
+let rng_bernoulli_rate () =
+  let rng = Rng.create 5 in
+  let hits = ref 0 in
+  for _ = 1 to 100_000 do
+    if Rng.bernoulli rng 0.3 then incr hits
+  done;
+  check_close "bernoulli(0.3)" 0.01 0.3 (float_of_int !hits /. 100_000.0)
+
+let rng_exponential_mean () =
+  let rng = Rng.create 6 in
+  let sum = ref 0.0 in
+  for _ = 1 to 100_000 do
+    sum := !sum +. Rng.exponential rng 5.0
+  done;
+  check_close "exp mean" 0.15 5.0 (!sum /. 100_000.0)
+
+let rng_gaussian_moments () =
+  let rng = Rng.create 8 in
+  let stats = Stats.Online.create () in
+  for _ = 1 to 100_000 do
+    Stats.Online.observe stats (Rng.gaussian rng ~mu:3.0 ~sigma:2.0)
+  done;
+  check_close "gaussian mean" 0.05 3.0 (Stats.Online.mean stats);
+  check_close "gaussian stddev" 0.05 2.0 (Stats.Online.stddev stats)
+
+let rng_lognormal_median () =
+  let rng = Rng.create 9 in
+  let samples = Stats.Samples.create () in
+  for _ = 1 to 50_000 do
+    Stats.Samples.observe samples (Rng.lognormal rng ~mu:(log 10.0) ~sigma:1.0)
+  done;
+  check_close "lognormal median" 0.5 10.0 (Stats.Samples.median samples)
+
+let rng_shuffle_permutes () =
+  let rng = Rng.create 10 in
+  let a = Array.init 100 Fun.id in
+  Rng.shuffle rng a;
+  let sorted = Array.copy a in
+  Array.sort compare sorted;
+  Alcotest.(check (array int)) "permutation" (Array.init 100 Fun.id) sorted
+
+(* --- Ewma ----------------------------------------------------------------- *)
+
+let ewma_first_value () =
+  let e = Ewma.create ~alpha:0.5 in
+  Ewma.observe e 10.0;
+  check_float "first value" 10.0 (Ewma.value e)
+
+let ewma_smoothing () =
+  let e = Ewma.create ~alpha:0.5 in
+  Ewma.observe e 10.0;
+  Ewma.observe e 20.0;
+  check_float "second" 15.0 (Ewma.value e)
+
+let ewma_converges () =
+  let e = Ewma.create ~alpha:0.3 in
+  for _ = 1 to 100 do
+    Ewma.observe e 42.0
+  done;
+  check_close "converged" 1e-6 42.0 (Ewma.value e)
+
+let ewma_empty () =
+  let e = Ewma.create ~alpha:0.3 in
+  Alcotest.(check (option (float 0.0))) "no value" None (Ewma.value_opt e);
+  Alcotest.check_raises "value raises" (Invalid_argument "Ewma.value: no observations")
+    (fun () -> ignore (Ewma.value e))
+
+let ewma_bad_alpha () =
+  Alcotest.check_raises "alpha > 1" (Invalid_argument "Ewma.create: alpha must be in (0, 1]")
+    (fun () -> ignore (Ewma.create ~alpha:1.5))
+
+(* --- Stats ---------------------------------------------------------------- *)
+
+let online_mean_variance () =
+  let s = Stats.Online.create () in
+  List.iter (Stats.Online.observe s) [ 2.0; 4.0; 4.0; 4.0; 5.0; 5.0; 7.0; 9.0 ];
+  check_float "mean" 5.0 (Stats.Online.mean s);
+  check_close "variance" 1e-9 4.571428571428571 (Stats.Online.variance s);
+  check_float "min" 2.0 (Stats.Online.min s);
+  check_float "max" 9.0 (Stats.Online.max s)
+
+let samples_percentiles () =
+  let s = Stats.Samples.create () in
+  for i = 1 to 100 do
+    Stats.Samples.observe s (float_of_int i)
+  done;
+  check_float "median" 50.5 (Stats.Samples.median s);
+  check_float "p0" 1.0 (Stats.Samples.percentile s 0.0);
+  check_float "p100" 100.0 (Stats.Samples.percentile s 100.0);
+  check_close "p99" 0.01 99.01 (Stats.Samples.percentile s 99.0)
+
+let samples_interleaved_sorting () =
+  let s = Stats.Samples.create () in
+  Stats.Samples.observe s 3.0;
+  Stats.Samples.observe s 1.0;
+  ignore (Stats.Samples.median s);
+  Stats.Samples.observe s 2.0;
+  check_float "median after more data" 2.0 (Stats.Samples.median s)
+
+let samples_empty_raises () =
+  let s = Stats.Samples.create () in
+  Alcotest.check_raises "empty percentile" (Invalid_argument "Stats.percentile: empty")
+    (fun () -> ignore (Stats.Samples.median s))
+
+let samples_grows () =
+  let s = Stats.Samples.create () in
+  for i = 1 to 10_000 do
+    Stats.Samples.observe s (float_of_int i)
+  done;
+  Alcotest.(check int) "count" 10_000 (Stats.Samples.count s)
+
+(* --- Timeseries ------------------------------------------------------------ *)
+
+let ts_binning () =
+  let ts = Timeseries.create ~bin_ns:1000 in
+  Timeseries.add ts 0 1.0;
+  Timeseries.add ts 999 2.0;
+  Timeseries.add ts 1000 5.0;
+  let bins = Timeseries.bins ts in
+  Alcotest.(check int) "two bins" 2 (Array.length bins);
+  check_float "bin 0" 3.0 (snd bins.(0));
+  check_float "bin 1" 5.0 (snd bins.(1))
+
+let ts_empty_bins_filled () =
+  let ts = Timeseries.create ~bin_ns:100 in
+  Timeseries.incr ts 0;
+  Timeseries.incr ts 500;
+  let bins = Timeseries.bins ts in
+  Alcotest.(check int) "six bins" 6 (Array.length bins);
+  check_float "middle empty" 0.0 (snd bins.(2))
+
+let ts_rates () =
+  let ts = Timeseries.create ~bin_ns:1_000_000_000 in
+  Timeseries.add ts 0 500.0;
+  let rates = Timeseries.rates_per_second ts in
+  check_float "rate" 500.0 (snd rates.(0))
+
+let ts_out_of_order () =
+  let ts = Timeseries.create ~bin_ns:10 in
+  Timeseries.add ts 55 1.0;
+  Timeseries.add ts 5 1.0;
+  Alcotest.(check int) "bins span" 6 (Array.length (Timeseries.bins ts))
+
+(* --- Table ------------------------------------------------------------------ *)
+
+let table_renders () =
+  let t = Table.create ~title:"t" ~columns:[ "a"; "bb" ] in
+  Table.add_row t [ "1"; "2" ];
+  Table.add_row t [ "333"; "4" ];
+  let s = Table.render t in
+  Alcotest.(check bool) "has title" true (String.length s > 0 && String.sub s 0 4 = "== t");
+  (* all rows aligned: every line starting with | has the same length *)
+  let lines = String.split_on_char '\n' s in
+  let widths =
+    List.filter_map
+      (fun l -> if String.length l > 0 && l.[0] = '|' then Some (String.length l) else None)
+      lines
+  in
+  match widths with
+  | w :: rest -> List.iter (fun w' -> Alcotest.(check int) "aligned" w w') rest
+  | [] -> Alcotest.fail "no rows rendered"
+
+let table_arity_check () =
+  let t = Table.create ~title:"t" ~columns:[ "a"; "b" ] in
+  Alcotest.check_raises "arity" (Invalid_argument "Table.add_row: row arity mismatch")
+    (fun () -> Table.add_row t [ "only one" ])
+
+let table_csv () =
+  let t = Table.create ~title:"t" ~columns:[ "a"; "b" ] in
+  Table.add_row t [ "1"; "plain" ];
+  Table.add_row t [ "2"; "with, comma" ];
+  Table.add_row t [ "3"; "with \"quote\"" ];
+  Alcotest.(check string) "csv escaping"
+    "a,b\n1,plain\n2,\"with, comma\"\n3,\"with \"\"quote\"\"\"\n" (Table.to_csv t)
+
+let table_csv_sink () =
+  let captured = ref [] in
+  Table.set_csv_sink (Some (fun ~title ~csv -> captured := (title, csv) :: !captured));
+  let t = Table.create ~title:"sink me" ~columns:[ "x" ] in
+  Table.add_row t [ "42" ];
+  (* print goes to stdout AND the sink *)
+  Table.print t;
+  Table.set_csv_sink None;
+  match !captured with
+  | [ (title, csv) ] ->
+      Alcotest.(check string) "title" "sink me" title;
+      Alcotest.(check string) "csv" "x\n42\n" csv
+  | _ -> Alcotest.fail "sink not called exactly once"
+
+let table_cells () =
+  Alcotest.(check string) "float" "3.14" (Table.cell_f 3.14159);
+  Alcotest.(check string) "pct" "50.00%" (Table.cell_pct 0.5);
+  Alcotest.(check string) "int" "7" (Table.cell_i 7)
+
+(* --- Addr ------------------------------------------------------------------ *)
+
+let addr_roundtrip () =
+  let a = Addr.of_string "10.1.2.3:4567" in
+  Alcotest.(check string) "roundtrip" "10.1.2.3:4567" (Addr.to_string a);
+  Alcotest.(check int) "port" 4567 a.Addr.port
+
+let addr_ip_conversion () =
+  Alcotest.(check int) "ip value" 0x0A000001 (Addr.ip_of_string "10.0.0.1");
+  Alcotest.(check string) "ip string" "255.255.255.255" (Addr.ip_to_string 0xFFFFFFFF)
+
+let addr_invalid () =
+  Alcotest.check_raises "bad ip" (Invalid_argument "Addr.ip_of_string: 300.0.0.1")
+    (fun () -> ignore (Addr.ip_of_string "300.0.0.1"));
+  Alcotest.check_raises "no port" (Invalid_argument "Addr.of_string: 1.2.3.4")
+    (fun () -> ignore (Addr.of_string "1.2.3.4"))
+
+let addr_ordering () =
+  let a = Addr.v 1 5 and b = Addr.v 1 6 and c = Addr.v 2 0 in
+  Alcotest.(check bool) "port order" true (Addr.compare a b < 0);
+  Alcotest.(check bool) "ip order" true (Addr.compare b c < 0);
+  Alcotest.(check bool) "equal" true (Addr.equal a (Addr.v 1 5))
+
+(* --- qcheck properties ------------------------------------------------------ *)
+
+let prop_percentile_bounded =
+  QCheck.Test.make ~count:200 ~name:"percentile within min/max"
+    QCheck.(pair (list_of_size Gen.(1 -- 50) (float_bound_exclusive 1000.0)) (float_bound_inclusive 100.0))
+    (fun (xs, p) ->
+      let s = Stats.Samples.create () in
+      List.iter (Stats.Samples.observe s) xs;
+      let v = Stats.Samples.percentile s p in
+      v >= Stats.Samples.min s && v <= Stats.Samples.max s)
+
+let prop_online_mean_matches =
+  QCheck.Test.make ~count:200 ~name:"online mean = batch mean"
+    QCheck.(list_of_size Gen.(1 -- 100) (float_bound_exclusive 100.0))
+    (fun xs ->
+      let s = Stats.Online.create () in
+      List.iter (Stats.Online.observe s) xs;
+      let batch = List.fold_left ( +. ) 0.0 xs /. float_of_int (List.length xs) in
+      Float.abs (Stats.Online.mean s -. batch) < 1e-6)
+
+let prop_addr_roundtrip =
+  QCheck.Test.make ~count:200 ~name:"addr to_string/of_string roundtrip"
+    QCheck.(pair (int_bound 0xFFFFFFF) (int_bound 0xFFFF))
+    (fun (ip, port) ->
+      let a = Addr.v ip port in
+      Addr.equal a (Addr.of_string (Addr.to_string a)))
+
+let qsuite = List.map QCheck_alcotest.to_alcotest
+    [ prop_percentile_bounded; prop_online_mean_matches; prop_addr_roundtrip ]
+
+let () =
+  Alcotest.run "util"
+    [
+      ( "rng",
+        [
+          Alcotest.test_case "deterministic" `Quick rng_deterministic;
+          Alcotest.test_case "seed sensitivity" `Quick rng_seed_sensitivity;
+          Alcotest.test_case "split independence" `Quick rng_split_independent;
+          Alcotest.test_case "int bounds" `Quick rng_int_bounds;
+          Alcotest.test_case "float bounds" `Quick rng_float_bounds;
+          Alcotest.test_case "bernoulli rate" `Quick rng_bernoulli_rate;
+          Alcotest.test_case "exponential mean" `Quick rng_exponential_mean;
+          Alcotest.test_case "gaussian moments" `Quick rng_gaussian_moments;
+          Alcotest.test_case "lognormal median" `Quick rng_lognormal_median;
+          Alcotest.test_case "shuffle permutes" `Quick rng_shuffle_permutes;
+        ] );
+      ( "ewma",
+        [
+          Alcotest.test_case "first value" `Quick ewma_first_value;
+          Alcotest.test_case "smoothing" `Quick ewma_smoothing;
+          Alcotest.test_case "converges" `Quick ewma_converges;
+          Alcotest.test_case "empty" `Quick ewma_empty;
+          Alcotest.test_case "bad alpha" `Quick ewma_bad_alpha;
+        ] );
+      ( "stats",
+        [
+          Alcotest.test_case "online mean/variance" `Quick online_mean_variance;
+          Alcotest.test_case "percentiles" `Quick samples_percentiles;
+          Alcotest.test_case "interleaved sorting" `Quick samples_interleaved_sorting;
+          Alcotest.test_case "empty raises" `Quick samples_empty_raises;
+          Alcotest.test_case "growth" `Quick samples_grows;
+        ] );
+      ( "timeseries",
+        [
+          Alcotest.test_case "binning" `Quick ts_binning;
+          Alcotest.test_case "empty bins filled" `Quick ts_empty_bins_filled;
+          Alcotest.test_case "rates" `Quick ts_rates;
+          Alcotest.test_case "out of order" `Quick ts_out_of_order;
+        ] );
+      ( "table",
+        [
+          Alcotest.test_case "renders aligned" `Quick table_renders;
+          Alcotest.test_case "arity check" `Quick table_arity_check;
+          Alcotest.test_case "cell formatting" `Quick table_cells;
+          Alcotest.test_case "csv" `Quick table_csv;
+          Alcotest.test_case "csv sink" `Quick table_csv_sink;
+        ] );
+      ( "addr",
+        [
+          Alcotest.test_case "roundtrip" `Quick addr_roundtrip;
+          Alcotest.test_case "ip conversion" `Quick addr_ip_conversion;
+          Alcotest.test_case "invalid input" `Quick addr_invalid;
+          Alcotest.test_case "ordering" `Quick addr_ordering;
+        ] );
+      ("properties", qsuite);
+    ]
