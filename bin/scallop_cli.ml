@@ -101,9 +101,22 @@ let simulate_cmd =
     Arg.(value & opt (some float) None
          & info [ "downlink" ] ~doc:"Cap the last participant's downlink (Mb/s).")
   in
-  let run participants senders seconds downlink_mbps =
+  let ctrl_rtt_ms =
+    Arg.(value & opt int 0
+         & info [ "ctrl-rtt-ms" ] ~doc:"Controller-to-agent control channel RTT (ms).")
+  in
+  let ctrl_loss =
+    Arg.(value & opt float 0.0
+         & info [ "ctrl-loss" ] ~doc:"Control channel iid loss probability per direction.")
+  in
+  let run participants senders seconds downlink_mbps ctrl_rtt_ms ctrl_loss =
+   try
     let senders = Option.value senders ~default:participants in
-    let stack = Experiments.Common.make_scallop ~seed:99 () in
+    let control =
+      Scallop.Rpc_transport.degraded ~loss:ctrl_loss
+        ~rtt_ns:(Netsim.Engine.ms ctrl_rtt_ms) ()
+    in
+    let stack = Experiments.Common.make_scallop ~seed:99 ~control () in
     let _mid, members =
       Experiments.Common.scallop_meeting stack ~participants ~senders ()
     in
@@ -150,14 +163,30 @@ let simulate_cmd =
     Scallop_util.Table.print table;
     let c = Scallop.Dataplane.ingress_counters stack.Experiments.Common.dp in
     let dp_pkts = c.rtp_audio_pkts + c.rtp_video_pkts + c.rtcp_sr_sdes_pkts in
+    let astats = Scallop.Switch_agent.stats stack.Experiments.Common.agent in
     Printf.printf "data plane: %d pkts; agent CPU copies: %d; migrations: %d
 " dp_pkts
       (Scallop.Dataplane.cpu_pkts stack.Experiments.Common.dp)
-      (Scallop.Switch_agent.migrations stack.Experiments.Common.agent)
+      astats.migrations;
+    let cstats = Scallop.Controller.stats stack.Experiments.Common.controller in
+    Printf.printf
+      "control plane: %d RPCs on the wire (%d retries, %d failures), %d received by agent
+"
+      cstats.control_requests cstats.control_retries cstats.control_failures
+      astats.rpc_calls;
+    Ok ()
+   with Scallop.Rpc_transport.Timed_out { op; attempts; _ } ->
+    Error
+      (`Msg
+        (Printf.sprintf
+           "control plane dead: %s gave up after %d attempts (lower --ctrl-loss?)" op
+           attempts))
   in
   Cmd.v
     (Cmd.info "simulate" ~doc:"Run one meeting through Scallop and print a QoE report.")
-    Term.(const run $ participants $ senders $ seconds $ downlink_mbps)
+    Term.(term_result
+            (const run $ participants $ senders $ seconds $ downlink_mbps $ ctrl_rtt_ms
+             $ ctrl_loss))
 
 let trace_cmd =
   let meetings =

@@ -61,5 +61,5 @@ let () =
     (Scallop.Dataplane.egress_pkts dp_w);
   let a_e, _ = east and a_w, _ = west in
   Printf.printf "agent RPCs: east %d, west %d (one controller drives both)\n"
-    (Scallop.Switch_agent.rpc_calls a_e)
-    (Scallop.Switch_agent.rpc_calls a_w)
+    (Scallop.Switch_agent.stats a_e).rpc_calls
+    (Scallop.Switch_agent.stats a_w).rpc_calls

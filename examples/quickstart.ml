@@ -69,7 +69,7 @@ let () =
     "\ndata plane forwarded %d packets; switch agent handled %d CPU-port copies (%d STUN answered)\n"
     dp
     (Scallop.Dataplane.cpu_pkts dataplane)
-    (Scallop.Switch_agent.stun_answered agent);
+    (Scallop.Switch_agent.stats agent).stun_answered;
   Printf.printf "controller exchanged %d SDP messages and made %d agent RPCs\n"
-    (Scallop.Controller.sdp_messages controller)
-    (Scallop.Switch_agent.rpc_calls agent)
+    (Scallop.Controller.stats controller).sdp_messages
+    (Scallop.Switch_agent.stats agent).rpc_calls

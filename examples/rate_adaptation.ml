@@ -57,6 +57,6 @@ let () =
 
   Printf.printf
     "\nswitch agent: %d REMBs analyzed, %d decode-target changes, %d tree migrations\n"
-    (Scallop.Switch_agent.rembs_analyzed stack.agent)
-    (Scallop.Switch_agent.target_changes stack.agent)
-    (Scallop.Switch_agent.migrations stack.agent)
+    (Scallop.Switch_agent.stats stack.agent).rembs_analyzed
+    (Scallop.Switch_agent.stats stack.agent).target_changes
+    (Scallop.Switch_agent.stats stack.agent).migrations

@@ -16,8 +16,12 @@ val make_scallop :
   ?seed:int ->
   ?rewrite:Scallop.Seq_rewrite.variant ->
   ?switch_link:Netsim.Link.config ->
+  ?control:Scallop.Rpc_transport.config ->
   unit ->
   scallop_stack
+(** [control] configures the controller↔agent RPC channel (latency,
+    loss, retry policy); the default ideal channel leaves every other
+    experiment byte-identical to direct calls. *)
 
 type software_stack = {
   s_engine : Netsim.Engine.t;

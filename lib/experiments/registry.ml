@@ -110,6 +110,13 @@ let all =
       run = (fun ?quick () -> Simulcast_exp.run ?quick ());
     };
     {
+      id = "control_plane";
+      title = "Control-plane RTT/loss vs join latency";
+      paper_claim = "the controller acts only on session changes (5.1), so control-path \
+                     degradation costs signaling latency, never media quality";
+      run = (fun ?quick () -> Control_plane.run ?quick ());
+    };
+    {
       id = "ablations";
       title = "Design-choice ablations (feedback filter, sequence rewriting)";
       paper_claim = "naive feedback converges to the slowest receiver (5.3); raw gaps trigger endless retransmissions (6.2)";

@@ -1,0 +1,25 @@
+module Rng = Scallop_util.Rng
+
+type t = {
+  fwd : Link.t;
+  rev : Link.t;
+  fwd_sink : (Dgram.t -> unit) ref;
+  rev_sink : (Dgram.t -> unit) ref;
+  unclaimed : int ref;
+}
+
+let create engine rng ?(fwd = Link.default) ?(rev = Link.default) () =
+  let unclaimed = ref 0 in
+  let fwd_sink = ref (fun (_ : Dgram.t) -> incr unclaimed) in
+  let rev_sink = ref (fun (_ : Dgram.t) -> incr unclaimed) in
+  let fwd = Link.create engine (Rng.split rng) fwd ~sink:(fun d -> !fwd_sink d) in
+  let rev = Link.create engine (Rng.split rng) rev ~sink:(fun d -> !rev_sink d) in
+  { fwd; rev; fwd_sink; rev_sink; unclaimed }
+
+let set_fwd_sink t f = t.fwd_sink := f
+let set_rev_sink t f = t.rev_sink := f
+let send_fwd t d = Link.send t.fwd d
+let send_rev t d = Link.send t.rev d
+let fwd_link t = t.fwd
+let rev_link t = t.rev
+let unclaimed t = !(t.unclaimed)

@@ -1,0 +1,41 @@
+(** An out-of-band bidirectional channel: a pair of {!Link}s wired
+    directly between two endpoints, without traversing {!Network} host
+    links. This models a management/control network (the SDN control
+    channel between a controller and a switch CPU) whose latency, loss
+    and queueing are configured independently of the media path — and
+    whose traffic does not perturb media-link state.
+
+    Sinks may be attached after creation (the two endpoints typically
+    come up in either order); datagrams arriving before a sink is set
+    are counted in {!unclaimed} and dropped. *)
+
+type t
+
+val create :
+  Engine.t ->
+  Scallop_util.Rng.t ->
+  ?fwd:Link.config ->
+  ?rev:Link.config ->
+  unit ->
+  t
+(** Both directions default to {!Link.default}. Each direction gets an
+    independent split of [rng]. *)
+
+val set_fwd_sink : t -> (Dgram.t -> unit) -> unit
+(** Receive datagrams sent with {!send_fwd} (the "forward" endpoint). *)
+
+val set_rev_sink : t -> (Dgram.t -> unit) -> unit
+
+val send_fwd : t -> Dgram.t -> unit
+(** Enqueue on the forward-direction link at the current engine time. *)
+
+val send_rev : t -> Dgram.t -> unit
+
+val fwd_link : t -> Link.t
+(** The underlying links, for delivery statistics and runtime
+    degradation ({!Link.set_rate} / {!Link.set_loss}). *)
+
+val rev_link : t -> Link.t
+
+val unclaimed : t -> int
+(** Datagrams delivered before any sink was attached. *)

@@ -34,6 +34,15 @@ let run ?until ?max_events t =
   loop ();
   match until with Some u when u > t.clock -> t.clock <- u | _ -> ()
 
+let step ?until t =
+  match Eventq.peek_time t.q with
+  | Some time when (match until with None -> true | Some u -> time <= u) ->
+      let _, f = Option.get (Eventq.pop t.q) in
+      t.clock <- max t.clock time;
+      f ();
+      true
+  | Some _ | None -> false
+
 let pending t = Eventq.length t.q
 let ns x = x
 let us x = x * 1_000

@@ -27,6 +27,12 @@ val run : ?until:int -> ?max_events:int -> t -> unit
     virtual time would exceed [until], or after [max_events] events. The
     clock is advanced to [until] if given. *)
 
+val step : ?until:int -> t -> bool
+(** Process the single earliest event, advancing the clock to it; [false]
+    if the queue is empty or the next event lies beyond [until]. Lets a
+    component block on a simulated round trip (e.g. a control-plane RPC)
+    by pumping events until its reply lands, without running past it. *)
+
 val pending : t -> int
 
 (* Time unit helpers — readable literals for callers. *)

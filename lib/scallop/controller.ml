@@ -27,9 +27,11 @@ type participant = {
   mutable screen_recv_conns : (participant_id * Client.connection) list;
 }
 
-(* A meeting's presence on one switch. *)
+(* A meeting's presence on one switch. All session mutation flows to the
+   switch agent through the control-plane RPC client for that switch
+   index — never by calling agent functions directly. *)
 type site = {
-  agent : Switch_agent.t;
+  s_idx : int;  (** switch index, selects the RPC client *)
   dp : Dataplane.t;
   agent_mid : Switch_agent.meeting_id;
 }
@@ -46,6 +48,7 @@ type t = {
   network : Network.t;
   rng : Rng.t;
   agents : (Switch_agent.t * Dataplane.t) array;
+  rpcs : Rpc_transport.Client.t array;  (** one control channel per switch *)
   mutable next_agent : int;
   meetings : (meeting_id, meeting) Hashtbl.t;
   participants : (participant_id, participant) Hashtbl.t;
@@ -59,13 +62,29 @@ type t = {
   mutable sdp_messages : int;
 }
 
-let create engine network rng ~agents () =
+(* The controller's address on the management network — a label on
+   control datagrams; the channels themselves are point-to-point. *)
+let controller_ip = Addr.ip_of_string "10.255.0.1"
+let control_port = 6633
+
+let create engine network rng ~agents ?(control = Rpc_transport.default) () =
   if agents = [] then invalid_arg "Controller.create: need at least one switch agent";
+  let agents = Array.of_list agents in
+  let rpcs =
+    Array.mapi
+      (fun idx (agent, dp) ->
+        Rpc_transport.Client.connect engine (Rng.split rng) ~config:control
+          ~local:(Addr.v controller_ip (control_port + idx))
+          ~remote:(Addr.v (Dataplane.ip dp) control_port)
+          (Switch_agent.rpc_server agent))
+      agents
+  in
   {
     engine;
     network;
     rng;
-    agents = Array.of_list agents;
+    agents;
+    rpcs;
     next_agent = 0;
     meetings = Hashtbl.create 16;
     participants = Hashtbl.create 64;
@@ -118,14 +137,36 @@ let find_participant t pid =
   | Some p -> p
   | None -> invalid_arg "Controller: unknown participant"
 
+(* --- control-plane RPC ------------------------------------------------------
+
+   Every agent operation is a typed message shipped over that switch's
+   control channel; the call blocks (in virtual time) until the agent's
+   reply lands. An [Error] reply surfaces as [Invalid_argument], a dead
+   channel as [Rpc_transport.Timed_out]. *)
+
+let rpc t idx req =
+  match Rpc_transport.Client.call t.rpcs.(idx) req with
+  | Rpc.Ack -> ()
+  | Rpc.Meeting_created _ ->
+      invalid_arg
+        (Printf.sprintf "Controller: unexpected meeting-created reply to %s"
+           (Rpc.request_name req))
+  | Rpc.Error msg -> invalid_arg msg
+
+let rpc_new_meeting t idx ~two_party =
+  match Rpc_transport.Client.call t.rpcs.(idx) (Rpc.New_meeting { two_party }) with
+  | Rpc.Meeting_created { meeting } -> meeting
+  | Rpc.Ack -> invalid_arg "Controller: missing meeting id in new-meeting reply"
+  | Rpc.Error msg -> invalid_arg msg
+
 (* Lazily bring a meeting up on a switch. *)
 let site_of t m idx =
   match Hashtbl.find_opt m.sites idx with
   | Some s -> s
   | None ->
-      let agent, dp = t.agents.(idx) in
-      let agent_mid = Switch_agent.new_meeting agent ~two_party:false in
-      let s = { agent; dp; agent_mid } in
+      let _, dp = t.agents.(idx) in
+      let agent_mid = rpc_new_meeting t idx ~two_party:false in
+      let s = { s_idx = idx; dp; agent_mid } in
       Hashtbl.replace m.sites idx s;
       s
 
@@ -208,33 +249,54 @@ let ensure_relay t m ~(sender : participant) ~kind ~to_switch =
        pseudo egress port never carries traffic) *)
     let relay_port = fresh_sfu_port t in
     if not (List.mem to_switch sender.sites) then begin
-      Switch_agent.register_participant dst_site.agent ~meeting:dst_site.agent_mid
-        ~participant:sender.pid
-        ~egress_port:(egress_port_of t (0x7E000000 + (sender.pid * 64) + to_switch))
-        ~sends:true;
+      rpc t dst_site.s_idx
+        (Rpc.Register_participant
+           {
+             meeting = dst_site.agent_mid;
+             participant = sender.pid;
+             egress_port = egress_port_of t (0x7E000000 + (sender.pid * 64) + to_switch);
+             sends = true;
+           });
       sender.sites <- to_switch :: sender.sites
     end;
-    Switch_agent.register_uplink dst_site.agent ~meeting:dst_site.agent_mid
-      ~sender:sender.pid ~port:relay_port ~video_ssrc ~audio_ssrc
-      ~full_bitrate:(stream_bitrate kind);
+    rpc t dst_site.s_idx
+      (Rpc.Register_uplink
+         {
+           meeting = dst_site.agent_mid;
+           sender = sender.pid;
+           port = relay_port;
+           video_ssrc;
+           audio_ssrc;
+           full_bitrate = stream_bitrate kind;
+           renditions = [||];
+         });
     add_stream_port sender kind to_switch relay_port;
     (* the upstream switch sees the downstream switch as one receiver *)
     let rpid = relay_pid to_switch in
     let rkey = (m.mid, sender.home, to_switch) in
     if not (Hashtbl.mem t.relay_receivers rkey) then begin
       Hashtbl.replace t.relay_receivers rkey ();
-      Switch_agent.register_participant src_site.agent ~meeting:src_site.agent_mid
-        ~participant:rpid
-        ~egress_port:(egress_port_of t (0x7F000000 + (m.mid * 64) + to_switch))
-        ~sends:false
+      rpc t src_site.s_idx
+        (Rpc.Register_participant
+           {
+             meeting = src_site.agent_mid;
+             participant = rpid;
+             egress_port = egress_port_of t (0x7F000000 + (m.mid * 64) + to_switch);
+             sends = false;
+           })
     end;
     let leg_port = fresh_sfu_port t in
-    Switch_agent.register_leg src_site.agent ~meeting:src_site.agent_mid
-      ~sender:sender.pid
-      ~uplink_port:(List.assoc sender.home (stream_ports sender kind))
-      ~receiver:rpid ~leg_port
-      ~dst:(Addr.v (Dataplane.ip dst_site.dp) relay_port)
-      ~adaptive:false ()
+    rpc t src_site.s_idx
+      (Rpc.Register_leg
+         {
+           meeting = src_site.agent_mid;
+           sender = sender.pid;
+           uplink_port = Some (List.assoc sender.home (stream_ports sender kind));
+           receiver = rpid;
+           leg_port;
+           dst = Addr.v (Dataplane.ip dst_site.dp) relay_port;
+           adaptive = false;
+         })
   end
 
 (* Wire one (sender -> receiver) leg on the receiver's home switch:
@@ -264,9 +326,17 @@ let create_stream_leg t m ~kind ~(sender : participant) ~(receiver : participant
   (match kind with
   | Camera -> receiver.recv_conns <- (sender.pid, conn) :: receiver.recv_conns
   | Screen -> receiver.screen_recv_conns <- (sender.pid, conn) :: receiver.screen_recv_conns);
-  Switch_agent.register_leg site.agent ~meeting:site.agent_mid ~sender:sender.pid
-    ~uplink_port:(List.assoc receiver.home (stream_ports sender kind))
-    ~receiver:receiver.pid ~leg_port ~dst:(Client.local_addr conn) ()
+  rpc t site.s_idx
+    (Rpc.Register_leg
+       {
+         meeting = site.agent_mid;
+         sender = sender.pid;
+         uplink_port = Some (List.assoc receiver.home (stream_ports sender kind));
+         receiver = receiver.pid;
+         leg_port;
+         dst = Client.local_addr conn;
+         adaptive = true;
+       })
 
 let create_leg t m ~sender ~receiver = create_stream_leg t m ~kind:Camera ~sender ~receiver
 
@@ -287,8 +357,9 @@ let join ?home ?(simulcast = false) t mid client ~send_media =
      (base, base+2, base+4) next to its audio (base+1) *)
   let video_ssrc = 0x200000 + (pid * 8) in
   let audio_ssrc = video_ssrc + 1 in
-  Switch_agent.register_participant site.agent ~meeting:site.agent_mid ~participant:pid
-    ~egress_port ~sends:send_media;
+  rpc t site.s_idx
+    (Rpc.Register_participant
+       { meeting = site.agent_mid; participant = pid; egress_port; sends = send_media });
   let cam_ports = ref [] in
   let send_conn =
     if send_media then begin
@@ -302,8 +373,17 @@ let join ?home ?(simulcast = false) t mid client ~send_media =
             cfg.Codec.Simulcast_source.bitrates
         else [||]
       in
-      Switch_agent.register_uplink ~renditions site.agent ~meeting:site.agent_mid
-        ~sender:pid ~port:uplink_port ~video_ssrc ~audio_ssrc ~full_bitrate:2_500_000;
+      rpc t site.s_idx
+        (Rpc.Register_uplink
+           {
+             meeting = site.agent_mid;
+             sender = pid;
+             port = uplink_port;
+             video_ssrc;
+             audio_ssrc;
+             full_bitrate = 2_500_000;
+             renditions;
+           });
       (* the participant's own offer, spliced to the uplink *)
       let local_port = Client.fresh_port client in
       let offer =
@@ -365,8 +445,17 @@ let start_screen_share t pid =
   let site = site_of t m p.home in
   let video_ssrc, audio_ssrc = stream_ssrcs p Screen in
   let uplink_port = fresh_sfu_port t in
-  Switch_agent.register_uplink site.agent ~meeting:site.agent_mid ~sender:pid
-    ~port:uplink_port ~video_ssrc ~audio_ssrc ~full_bitrate:(stream_bitrate Screen);
+  rpc t site.s_idx
+    (Rpc.Register_uplink
+       {
+         meeting = site.agent_mid;
+         sender = pid;
+         port = uplink_port;
+         video_ssrc;
+         audio_ssrc;
+         full_bitrate = stream_bitrate Screen;
+         renditions = [||];
+       });
   add_stream_port p Screen p.home uplink_port;
   (* the sharer's own offer for the new media section, spliced as usual *)
   let local_port = Client.fresh_port p.client in
@@ -403,7 +492,7 @@ let stop_screen_share t pid =
       List.iter
         (fun (idx, port) ->
           let site = site_of t m idx in
-          Switch_agent.unregister_uplink site.agent ~meeting:site.agent_mid ~port)
+          rpc t site.s_idx (Rpc.Unregister_uplink { meeting = site.agent_mid; port }))
         p.screen_ports;
       p.screen_ports <- [];
       Client.close_connection p.client conn;
@@ -434,7 +523,8 @@ let leave t pid =
       List.iter
         (fun idx ->
           let site = site_of t m idx in
-          Switch_agent.remove_participant site.agent ~meeting:site.agent_mid ~participant:pid)
+          rpc t site.s_idx
+            (Rpc.Remove_participant { meeting = site.agent_mid; participant = pid }))
         (List.sort_uniq compare p.sites);
       Option.iter (fun c -> Client.close_connection p.client c) p.send_conn;
       List.iter (fun (_, c) -> Client.close_connection p.client c) p.recv_conns;
@@ -448,9 +538,23 @@ let leave t pid =
         m.members;
       Hashtbl.remove t.participants pid
 
+type sender_info = { egress_port : int; video_ssrc : int; audio_ssrc : int }
+
 let participant_sender_info t pid =
   let p = find_participant t pid in
-  if p.sends then Some (p.egress_port, p.video_ssrc, p.audio_ssrc) else None
+  if p.sends then
+    Some { egress_port = p.egress_port; video_ssrc = p.video_ssrc; audio_ssrc = p.audio_ssrc }
+  else None
+
+let set_pair_target t ~sender ~receiver target =
+  let s = find_participant t sender in
+  let r = find_participant t receiver in
+  if s.meeting <> r.meeting then
+    invalid_arg "Controller.set_pair_target: participants in different meetings";
+  let m = find_meeting t s.meeting in
+  let site = site_of t m r.home in
+  rpc t site.s_idx
+    (Rpc.Set_pair_target { meeting = site.agent_mid; sender; receiver; target })
 
 let recv_connection t pid ~from =
   let p = find_participant t pid in
@@ -463,7 +567,30 @@ let agent_meeting_id t mid =
   (site_of t m m.primary).agent_mid
 
 let agent_participant_id _t pid = pid
-let sdp_messages t = t.sdp_messages
+
+type stats = {
+  sdp_messages : int;
+  control_requests : int;
+  control_replies : int;
+  control_retries : int;
+  control_failures : int;
+}
+
+let stats (t : t) =
+  let sum f = Array.fold_left (fun acc c -> acc + f (Rpc_transport.Client.stats c)) 0 t.rpcs in
+  {
+    sdp_messages = t.sdp_messages;
+    control_requests = sum (fun (s : Rpc_transport.Client.stats) -> s.wire_requests);
+    control_replies = sum (fun (s : Rpc_transport.Client.stats) -> s.replies_received);
+    control_retries = sum (fun (s : Rpc_transport.Client.stats) -> s.retries);
+    control_failures = sum (fun (s : Rpc_transport.Client.stats) -> s.failures);
+  }
+
+let control_channel t idx =
+  if idx < 0 || idx >= Array.length t.rpcs then
+    invalid_arg (Printf.sprintf "Controller.control_channel: no switch %d" idx);
+  t.rpcs.(idx)
+
 let meeting_participants t mid = (find_meeting t mid).members
 
 let meeting_switch t mid =

@@ -8,7 +8,14 @@
     stream starts/stops — never on the media path.
 
     One controller can manage several switch agents (the cascading-SFU
-    architecture of Appendix A); [create] takes the agent list. *)
+    architecture of Appendix A); [create] takes the agent list.
+
+    All controller→agent programming travels as typed {!Rpc} messages
+    over a per-switch {!Rpc_transport.Client}: every call is encoded,
+    shipped over a simulated control link, decoded and dispatched by the
+    agent's RPC server, with timeouts and idempotent retries. [control]
+    sets that channel's latency/loss and retry policy; the default is an
+    ideal link, under which results are identical to direct calls. *)
 
 type t
 
@@ -17,6 +24,7 @@ val create :
   Netsim.Network.t ->
   Scallop_util.Rng.t ->
   agents:(Switch_agent.t * Dataplane.t) list ->
+  ?control:Rpc_transport.config ->
   unit ->
   t
 (** Meetings are placed round-robin across the given switches; each
@@ -63,8 +71,17 @@ val screen_connection :
   t -> participant_id -> from:participant_id -> Webrtc.Client.connection option
 (** The receive connection carrying [from]'s screen share, if any. *)
 
-val participant_sender_info : t -> participant_id -> (int * int * int) option
-(** [(egress_port, video_ssrc, audio_ssrc)] if the participant sends. *)
+type sender_info = { egress_port : int; video_ssrc : int; audio_ssrc : int }
+
+val participant_sender_info : t -> participant_id -> sender_info option
+(** The participant's uplink identifiers, if it sends. *)
+
+val set_pair_target :
+  t -> sender:participant_id -> receiver:participant_id ->
+  Av1.Dd.decode_target -> unit
+(** Pin the layer [receiver] gets from [sender] (drives the meeting
+    towards RA-SR), via a [Set_pair_target] RPC to the receiver's home
+    switch. *)
 
 val recv_connection :
   t -> participant_id -> from:participant_id -> Webrtc.Client.connection option
@@ -75,9 +92,22 @@ val send_connection : t -> participant_id -> Webrtc.Client.connection option
 val agent_meeting_id : t -> meeting_id -> Switch_agent.meeting_id
 val agent_participant_id : t -> participant_id -> int
 
-val sdp_messages : t -> int
-(** SDP messages exchanged (each parsed and re-serialized through the
-    {!Sdp} codec). *)
+type stats = {
+  sdp_messages : int;
+      (** SDP messages exchanged (each parsed and re-serialized through
+          the {!Sdp} codec) *)
+  control_requests : int;
+      (** request datagrams put on the control links, retries included *)
+  control_replies : int;
+  control_retries : int;
+  control_failures : int;  (** calls that exhausted every retry *)
+}
+
+val stats : t -> stats
+
+val control_channel : t -> int -> Rpc_transport.Client.t
+(** The RPC client for the switch at the given agent-list index
+    (fault-injection and wire-count introspection). *)
 
 val meeting_participants : t -> meeting_id -> participant_id list
 

@@ -1,0 +1,212 @@
+module Addr = Scallop_util.Addr
+module Dd = Av1.Dd
+
+type request =
+  | New_meeting of { two_party : bool }
+  | Register_participant of {
+      meeting : int;
+      participant : int;
+      egress_port : int;
+      sends : bool;
+    }
+  | Register_uplink of {
+      meeting : int;
+      sender : int;
+      port : int;
+      video_ssrc : int;
+      audio_ssrc : int;
+      full_bitrate : int;
+      renditions : (int * int) array;
+    }
+  | Register_leg of {
+      meeting : int;
+      sender : int;
+      uplink_port : int option;
+      receiver : int;
+      leg_port : int;
+      dst : Addr.t;
+      adaptive : bool;
+    }
+  | Remove_participant of { meeting : int; participant : int }
+  | Unregister_uplink of { meeting : int; port : int }
+  | Set_pair_target of {
+      meeting : int;
+      sender : int;
+      receiver : int;
+      target : Dd.decode_target;
+    }
+
+type reply = Meeting_created of { meeting : int } | Ack | Error of string
+
+type message =
+  | Request of { seq : int; request : request }
+  | Reply of { seq : int; reply : reply }
+
+exception Decode_error of string
+
+let request_name = function
+  | New_meeting _ -> "new-meeting"
+  | Register_participant _ -> "register-participant"
+  | Register_uplink _ -> "register-uplink"
+  | Register_leg _ -> "register-leg"
+  | Remove_participant _ -> "remove-participant"
+  | Unregister_uplink _ -> "unregister-uplink"
+  | Set_pair_target _ -> "set-pair-target"
+
+(* --- wire codec --------------------------------------------------------------
+
+   Space-separated text, one message per datagram: a direction tag, the
+   sequence number, the operation name, then the operation's fields in
+   declaration order. Textual like the SDP path so control traffic is
+   inspectable in traces and its wire size is honest. *)
+
+let bool_field b = if b then "1" else "0"
+
+let encode_request r =
+  match r with
+  | New_meeting { two_party } -> [ "new-meeting"; bool_field two_party ]
+  | Register_participant { meeting; participant; egress_port; sends } ->
+      [
+        "register-participant";
+        string_of_int meeting;
+        string_of_int participant;
+        string_of_int egress_port;
+        bool_field sends;
+      ]
+  | Register_uplink
+      { meeting; sender; port; video_ssrc; audio_ssrc; full_bitrate; renditions } ->
+      [
+        "register-uplink";
+        string_of_int meeting;
+        string_of_int sender;
+        string_of_int port;
+        string_of_int video_ssrc;
+        string_of_int audio_ssrc;
+        string_of_int full_bitrate;
+        string_of_int (Array.length renditions);
+      ]
+      @ List.concat_map
+          (fun (ssrc, bitrate) -> [ string_of_int ssrc; string_of_int bitrate ])
+          (Array.to_list renditions)
+  | Register_leg { meeting; sender; uplink_port; receiver; leg_port; dst; adaptive } ->
+      [
+        "register-leg";
+        string_of_int meeting;
+        string_of_int sender;
+        string_of_int (Option.value uplink_port ~default:(-1));
+        string_of_int receiver;
+        string_of_int leg_port;
+        string_of_int dst.Addr.ip;
+        string_of_int dst.Addr.port;
+        bool_field adaptive;
+      ]
+  | Remove_participant { meeting; participant } ->
+      [ "remove-participant"; string_of_int meeting; string_of_int participant ]
+  | Unregister_uplink { meeting; port } ->
+      [ "unregister-uplink"; string_of_int meeting; string_of_int port ]
+  | Set_pair_target { meeting; sender; receiver; target } ->
+      [
+        "set-pair-target";
+        string_of_int meeting;
+        string_of_int sender;
+        string_of_int receiver;
+        string_of_int (Dd.index_of_target target);
+      ]
+
+let encode_reply = function
+  | Meeting_created { meeting } -> [ "meeting-created"; string_of_int meeting ]
+  | Ack -> [ "ack" ]
+  | Error msg -> [ "error"; msg ]
+
+let encode msg =
+  let fields =
+    match msg with
+    | Request { seq; request } -> "req" :: string_of_int seq :: encode_request request
+    | Reply { seq; reply } -> "rep" :: string_of_int seq :: encode_reply reply
+  in
+  Bytes.of_string (String.concat " " fields)
+
+let fail fmt = Printf.ksprintf (fun s -> raise (Decode_error s)) fmt
+
+let int_field name s =
+  match int_of_string_opt s with
+  | Some i -> i
+  | None -> fail "bad %s field %S" name s
+
+let bool_of_field name = function
+  | "0" -> false
+  | "1" -> true
+  | s -> fail "bad %s field %S" name s
+
+let decode_request = function
+  | [ "new-meeting"; tp ] -> New_meeting { two_party = bool_of_field "two_party" tp }
+  | [ "register-participant"; m; p; e; s ] ->
+      Register_participant
+        {
+          meeting = int_field "meeting" m;
+          participant = int_field "participant" p;
+          egress_port = int_field "egress_port" e;
+          sends = bool_of_field "sends" s;
+        }
+  | "register-uplink" :: m :: s :: port :: v :: a :: f :: n :: rest ->
+      let n = int_field "renditions" n in
+      if List.length rest <> 2 * n then fail "register-uplink: rendition count mismatch";
+      let rec pairs = function
+        | [] -> []
+        | ssrc :: bitrate :: tl ->
+            (int_field "rendition ssrc" ssrc, int_field "rendition bitrate" bitrate)
+            :: pairs tl
+        | [ _ ] -> fail "register-uplink: odd rendition list"
+      in
+      Register_uplink
+        {
+          meeting = int_field "meeting" m;
+          sender = int_field "sender" s;
+          port = int_field "port" port;
+          video_ssrc = int_field "video_ssrc" v;
+          audio_ssrc = int_field "audio_ssrc" a;
+          full_bitrate = int_field "full_bitrate" f;
+          renditions = Array.of_list (pairs rest);
+        }
+  | [ "register-leg"; m; s; up; r; lp; ip; port; ad ] ->
+      let up = int_field "uplink_port" up in
+      Register_leg
+        {
+          meeting = int_field "meeting" m;
+          sender = int_field "sender" s;
+          uplink_port = (if up < 0 then None else Some up);
+          receiver = int_field "receiver" r;
+          leg_port = int_field "leg_port" lp;
+          dst = Addr.v (int_field "dst ip" ip) (int_field "dst port" port);
+          adaptive = bool_of_field "adaptive" ad;
+        }
+  | [ "remove-participant"; m; p ] ->
+      Remove_participant
+        { meeting = int_field "meeting" m; participant = int_field "participant" p }
+  | [ "unregister-uplink"; m; p ] ->
+      Unregister_uplink { meeting = int_field "meeting" m; port = int_field "port" p }
+  | [ "set-pair-target"; m; s; r; t ] ->
+      Set_pair_target
+        {
+          meeting = int_field "meeting" m;
+          sender = int_field "sender" s;
+          receiver = int_field "receiver" r;
+          target = Dd.target_of_index (int_field "target" t);
+        }
+  | op :: _ -> fail "unknown or malformed request %S" op
+  | [] -> fail "empty request"
+
+let decode_reply = function
+  | [ "meeting-created"; m ] -> Meeting_created { meeting = int_field "meeting" m }
+  | [ "ack" ] -> Ack
+  | "error" :: rest -> Error (String.concat " " rest)
+  | op :: _ -> fail "unknown or malformed reply %S" op
+  | [] -> fail "empty reply"
+
+let decode bytes =
+  match String.split_on_char ' ' (Bytes.to_string bytes) with
+  | "req" :: seq :: rest ->
+      Request { seq = int_field "seq" seq; request = decode_request rest }
+  | "rep" :: seq :: rest -> Reply { seq = int_field "seq" seq; reply = decode_reply rest }
+  | tag :: _ -> fail "unknown message tag %S" tag
+  | [] -> fail "empty message"

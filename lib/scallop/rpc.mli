@@ -1,0 +1,68 @@
+(** The control-plane API between the controller (tier 1) and a switch
+    agent (tier 2) as a first-class message vocabulary (paper §5).
+
+    Each constructor of {!request} mirrors one {!Switch_agent} session
+    operation; a request travels inside a sequence-numbered envelope
+    ({!message}) over a simulated control link (see {!Rpc_transport}),
+    so control-plane latency, loss and failure are visible to
+    experiments instead of being a counted-but-free function call. *)
+
+type request =
+  | New_meeting of { two_party : bool }
+  | Register_participant of {
+      meeting : int;
+      participant : int;
+      egress_port : int;
+      sends : bool;
+    }
+  | Register_uplink of {
+      meeting : int;
+      sender : int;
+      port : int;
+      video_ssrc : int;
+      audio_ssrc : int;
+      full_bitrate : int;
+      renditions : (int * int) array;  (** simulcast (ssrc, bitrate), best first *)
+    }
+  | Register_leg of {
+      meeting : int;
+      sender : int;
+      uplink_port : int option;
+      receiver : int;
+      leg_port : int;
+      dst : Scallop_util.Addr.t;
+      adaptive : bool;
+    }
+  | Remove_participant of { meeting : int; participant : int }
+  | Unregister_uplink of { meeting : int; port : int }
+  | Set_pair_target of {
+      meeting : int;
+      sender : int;
+      receiver : int;
+      target : Av1.Dd.decode_target;
+    }
+
+type reply =
+  | Meeting_created of { meeting : int }  (** answers [New_meeting] *)
+  | Ack
+  | Error of string
+      (** the agent rejected the request (e.g. unknown meeting); carried
+          back as data, not an exception, so it survives the wire *)
+
+type message =
+  | Request of { seq : int; request : request }
+  | Reply of { seq : int; reply : reply }
+      (** a reply echoes its request's [seq]; retransmitted requests
+          reuse their original [seq], which is what lets the agent
+          replay cached replies instead of re-executing (at-most-once
+          execution under at-least-once delivery) *)
+
+exception Decode_error of string
+
+val request_name : request -> string
+
+val encode : message -> bytes
+(** Space-separated textual wire format (inspectable, honestly sized). *)
+
+val decode : bytes -> message
+(** @raise Decode_error on malformed input. *)

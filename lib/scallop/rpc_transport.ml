@@ -1,0 +1,317 @@
+module Addr = Scallop_util.Addr
+module Rng = Scallop_util.Rng
+module Engine = Netsim.Engine
+module Link = Netsim.Link
+module Dgram = Netsim.Dgram
+module Control_channel = Netsim.Control_channel
+
+type config = {
+  link : Link.config;
+  timeout_ns : int;
+  max_retries : int;
+  backoff : float;
+  max_backoff_ns : int;
+}
+
+(* An ideal management network: the seam is real (every call is encoded,
+   shipped and decoded) but costs nothing, so experiments that don't
+   study the control plane are unaffected by its existence. *)
+let ideal_link =
+  {
+    Link.default with
+    rate_bps = infinity;
+    propagation_ns = 0;
+    queue_bytes = max_int / 2;
+  }
+
+let default =
+  {
+    link = ideal_link;
+    timeout_ns = Engine.ms 250;
+    max_retries = 6;
+    backoff = 2.0;
+    max_backoff_ns = Engine.ms 2_000;
+  }
+
+let degraded ?(loss = 0.0) ~rtt_ns () =
+  { default with link = { ideal_link with propagation_ns = rtt_ns / 2; loss } }
+
+type fault = Pass | Drop | Delay of int | Duplicate
+
+exception
+  Timed_out of {
+    op : string;
+    seq : int;
+    attempts : int;
+  }
+
+let () =
+  Printexc.register_printer (function
+    | Timed_out { op; seq; attempts } ->
+        Some
+          (Printf.sprintf "Rpc_transport.Timed_out(%s, seq %d, %d attempts)" op seq
+             attempts)
+    | _ -> None)
+
+(* --- server (agent side) --------------------------------------------------- *)
+
+module Server = struct
+  type stats = {
+    requests_received : int;
+    executed : int;
+    replayed : int;
+    replies_sent : int;
+    decode_errors : int;
+  }
+
+  type t = {
+    engine : Engine.t;
+    handler : Rpc.request -> Rpc.reply;
+    on_receive : unit -> unit;
+    seen : (int, Rpc.reply) Hashtbl.t;  (** reply cache by request seq *)
+    seen_order : int Queue.t;
+    mutable reply_fault : (seq:int -> Rpc.reply -> fault) option;
+    mutable requests_received : int;
+    mutable executed : int;
+    mutable replayed : int;
+    mutable replies_sent : int;
+    mutable decode_errors : int;
+  }
+
+  let cache_capacity = 1024
+
+  let create engine ?(on_receive = fun () -> ()) ~handler () =
+    {
+      engine;
+      handler;
+      on_receive;
+      seen = Hashtbl.create 64;
+      seen_order = Queue.create ();
+      reply_fault = None;
+      requests_received = 0;
+      executed = 0;
+      replayed = 0;
+      replies_sent = 0;
+      decode_errors = 0;
+    }
+
+  let set_reply_fault t f = t.reply_fault <- f
+
+  let remember t seq reply =
+    Hashtbl.replace t.seen seq reply;
+    Queue.push seq t.seen_order;
+    if Queue.length t.seen_order > cache_capacity then
+      Hashtbl.remove t.seen (Queue.pop t.seen_order)
+
+  let transmit t ~reply_via ~seq ~reply dgram =
+    let action =
+      match t.reply_fault with Some f -> f ~seq reply | None -> Pass
+    in
+    match action with
+    | Drop -> ()
+    | Delay ns -> Engine.schedule t.engine ~after:ns (fun () -> reply_via dgram)
+    | Duplicate ->
+        t.replies_sent <- t.replies_sent + 1;
+        reply_via dgram;
+        reply_via dgram
+    | Pass -> reply_via dgram
+
+  (* At-most-once execution: a seq already answered is replayed from the
+     cache, so duplicate deliveries (retries, network duplication) never
+     mutate agent state twice. *)
+  let deliver t ~reply_via (dgram : Dgram.t) =
+    match Rpc.decode dgram.payload with
+    | exception Rpc.Decode_error _ -> t.decode_errors <- t.decode_errors + 1
+    | Rpc.Reply _ -> t.decode_errors <- t.decode_errors + 1
+    | Rpc.Request { seq; request } ->
+        t.requests_received <- t.requests_received + 1;
+        t.on_receive ();
+        let reply =
+          match Hashtbl.find_opt t.seen seq with
+          | Some cached ->
+              t.replayed <- t.replayed + 1;
+              cached
+          | None ->
+              let reply =
+                match t.handler request with
+                | r -> r
+                | exception Invalid_argument msg -> Rpc.Error msg
+              in
+              t.executed <- t.executed + 1;
+              remember t seq reply;
+              reply
+        in
+        t.replies_sent <- t.replies_sent + 1;
+        let payload = Rpc.encode (Rpc.Reply { seq; reply }) in
+        transmit t ~reply_via ~seq ~reply (Dgram.v ~src:dgram.dst ~dst:dgram.src payload)
+
+  let stats t =
+    {
+      requests_received = t.requests_received;
+      executed = t.executed;
+      replayed = t.replayed;
+      replies_sent = t.replies_sent;
+      decode_errors = t.decode_errors;
+    }
+end
+
+(* --- client (controller side) ---------------------------------------------- *)
+
+module Client = struct
+  type stats = {
+    calls : int;
+    wire_requests : int;
+    retries : int;
+    replies_received : int;
+    stale_replies : int;
+    failures : int;
+  }
+
+  type outcome = Waiting | Got of Rpc.reply | Gave_up
+
+  type t = {
+    engine : Engine.t;
+    cfg : config;
+    local : Addr.t;
+    remote : Addr.t;
+    channel : Control_channel.t;
+    pending : (int, outcome ref) Hashtbl.t;
+    mutable request_fault : (seq:int -> attempt:int -> Rpc.request -> fault) option;
+    mutable next_seq : int;
+    mutable calls : int;
+    mutable wire_requests : int;
+    mutable retries : int;
+    mutable replies_received : int;
+    mutable stale_replies : int;
+    mutable failures : int;
+  }
+
+  let on_reply t (dgram : Dgram.t) =
+    match Rpc.decode dgram.payload with
+    | exception Rpc.Decode_error _ -> t.stale_replies <- t.stale_replies + 1
+    | Rpc.Request _ -> t.stale_replies <- t.stale_replies + 1
+    | Rpc.Reply { seq; reply } -> (
+        match Hashtbl.find_opt t.pending seq with
+        | Some ({ contents = Waiting } as cell) ->
+            t.replies_received <- t.replies_received + 1;
+            cell := Got reply
+        | Some _ | None ->
+            (* duplicate or post-timeout reply; the call already settled *)
+            t.stale_replies <- t.stale_replies + 1)
+
+  let connect engine rng ?(config = default) ~local ~remote server =
+    let channel =
+      Control_channel.create engine rng ~fwd:config.link ~rev:config.link ()
+    in
+    let t =
+      {
+        engine;
+        cfg = config;
+        local;
+        remote;
+        channel;
+        pending = Hashtbl.create 8;
+        request_fault = None;
+        next_seq = 0;
+        calls = 0;
+        wire_requests = 0;
+        retries = 0;
+        replies_received = 0;
+        stale_replies = 0;
+        failures = 0;
+      }
+    in
+    Control_channel.set_fwd_sink channel (fun dgram ->
+        Server.deliver server ~reply_via:(Control_channel.send_rev channel) dgram);
+    Control_channel.set_rev_sink channel (fun dgram -> on_reply t dgram);
+    t
+
+  let set_request_fault t f = t.request_fault <- f
+
+  let backoff_ns t attempt =
+    let scaled =
+      float_of_int t.cfg.timeout_ns *. (t.cfg.backoff ** float_of_int attempt)
+    in
+    min t.cfg.max_backoff_ns (int_of_float scaled)
+
+  let transmit t ~seq ~attempt request dgram =
+    let action =
+      match t.request_fault with
+      | Some f -> f ~seq ~attempt request
+      | None -> Pass
+    in
+    match action with
+    | Drop -> ()
+    | Delay ns ->
+        t.wire_requests <- t.wire_requests + 1;
+        Engine.schedule t.engine ~after:ns (fun () ->
+            Control_channel.send_fwd t.channel dgram)
+    | Duplicate ->
+        t.wire_requests <- t.wire_requests + 2;
+        Control_channel.send_fwd t.channel dgram;
+        Control_channel.send_fwd t.channel dgram
+    | Pass ->
+        t.wire_requests <- t.wire_requests + 1;
+        Control_channel.send_fwd t.channel dgram
+
+  (* One attempt: (maybe) put the request on the wire, and arm the retry
+     timer. Retries reuse the seq — the agent's replay cache depends on
+     it — with exponentially backed-off timeouts. *)
+  let rec attempt_call t cell ~seq ~attempt request =
+    let payload = Rpc.encode (Rpc.Request { seq; request }) in
+    transmit t ~seq ~attempt request (Dgram.v ~src:t.local ~dst:t.remote payload);
+    Engine.schedule t.engine ~after:(backoff_ns t attempt) (fun () ->
+        match !cell with
+        | Waiting ->
+            if attempt >= t.cfg.max_retries then begin
+              t.failures <- t.failures + 1;
+              cell := Gave_up
+            end
+            else begin
+              t.retries <- t.retries + 1;
+              attempt_call t cell ~seq ~attempt:(attempt + 1) request
+            end
+        | Got _ | Gave_up -> ())
+
+  (* Block (in simulation terms) until the reply lands: pump the engine
+     one event at a time, which lets the rest of the simulated world —
+     media, timers, other meetings — keep running while this call is in
+     flight. With the ideal default link the reply arrives at the same
+     instant and no virtual time passes. *)
+  let call t request =
+    t.calls <- t.calls + 1;
+    let seq = t.next_seq in
+    t.next_seq <- seq + 1;
+    let cell = ref Waiting in
+    Hashtbl.replace t.pending seq cell;
+    attempt_call t cell ~seq ~attempt:0 request;
+    let give_up () =
+      Hashtbl.remove t.pending seq;
+      raise
+        (Timed_out
+           { op = Rpc.request_name request; seq; attempts = t.cfg.max_retries + 1 })
+    in
+    let rec pump () =
+      match !cell with
+      | Got reply ->
+          Hashtbl.remove t.pending seq;
+          reply
+      | Gave_up -> give_up ()
+      | Waiting -> if Engine.step t.engine then pump () else give_up ()
+    in
+    pump ()
+
+  let channel t = t.channel
+  let request_link t = Control_channel.fwd_link t.channel
+  let reply_link t = Control_channel.rev_link t.channel
+
+  let stats t =
+    {
+      calls = t.calls;
+      wire_requests = t.wire_requests;
+      retries = t.retries;
+      replies_received = t.replies_received;
+      stale_replies = t.stale_replies;
+      failures = t.failures;
+    }
+end

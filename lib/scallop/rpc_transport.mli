@@ -1,0 +1,115 @@
+(** Control-plane RPC transport: carries {!Rpc} messages between the
+    controller and a switch agent over a {!Netsim.Control_channel}
+    (an out-of-band link pair with its own latency/loss/queueing).
+
+    Reliability is the classic request/response recipe:
+
+    - per-request timeout with bounded exponential-backoff retry
+      (client side);
+    - sequence numbers, reused across retries of the same request;
+    - an agent-side reply cache keyed by sequence number, so duplicate
+      deliveries replay the original reply instead of re-executing —
+      at-most-once execution under at-least-once delivery;
+    - a fault-injection hook on each side (drop / delay / duplicate by
+      predicate) for experiments on a degraded control plane.
+
+    {!Client.call} blocks in simulation terms: it pumps the event
+    engine one event at a time until its reply lands (or it gives up),
+    so media and timers elsewhere in the simulated world keep running
+    while a call is in flight. With the ideal default link the round
+    trip completes at the same virtual instant. *)
+
+type config = {
+  link : Netsim.Link.config;  (** both directions of the control channel *)
+  timeout_ns : int;  (** first attempt's timeout *)
+  max_retries : int;  (** retransmissions after the first attempt *)
+  backoff : float;  (** timeout multiplier per retry *)
+  max_backoff_ns : int;  (** backoff ceiling *)
+}
+
+val default : config
+(** Ideal link (zero latency/loss, infinite rate), 250 ms initial
+    timeout, 6 retries, 2x backoff capped at 2 s. *)
+
+val degraded : ?loss:float -> rtt_ns:int -> unit -> config
+(** [default] with the given round-trip propagation and iid loss on
+    each direction of the control link. *)
+
+type fault = Pass | Drop | Delay of int | Duplicate
+
+exception Timed_out of { op : string; seq : int; attempts : int }
+(** Raised by {!Client.call} after every retry is exhausted — the
+    controller-visible face of a dead control channel. *)
+
+module Server : sig
+  type t
+
+  val create :
+    Netsim.Engine.t ->
+    ?on_receive:(unit -> unit) ->
+    handler:(Rpc.request -> Rpc.reply) ->
+    unit ->
+    t
+  (** [handler] executes a request against agent state; an
+      [Invalid_argument] it raises is shipped back as [Rpc.Error].
+      [on_receive] fires once per request datagram delivered on the
+      wire (duplicates included) — how the agent counts real control
+      messages. *)
+
+  val deliver : t -> reply_via:(Netsim.Dgram.t -> unit) -> Netsim.Dgram.t -> unit
+  (** Wire-side entry point (the control channel's sink). *)
+
+  val set_reply_fault : t -> (seq:int -> Rpc.reply -> fault) option -> unit
+
+  type stats = {
+    requests_received : int;  (** datagrams decoded as requests, dups included *)
+    executed : int;  (** requests that ran the handler *)
+    replayed : int;  (** duplicates answered from the reply cache *)
+    replies_sent : int;
+    decode_errors : int;
+  }
+
+  val stats : t -> stats
+end
+
+module Client : sig
+  type t
+
+  val connect :
+    Netsim.Engine.t ->
+    Scallop_util.Rng.t ->
+    ?config:config ->
+    local:Scallop_util.Addr.t ->
+    remote:Scallop_util.Addr.t ->
+    Server.t ->
+    t
+  (** Builds the control channel to [Server] and wires both sinks.
+      [local]/[remote] only label the datagrams (the channel is
+      point-to-point). *)
+
+  val call : t -> Rpc.request -> Rpc.reply
+  (** Send, retry on timeout, return the (possibly replayed) reply.
+      @raise Timed_out when [max_retries] retransmissions all expire. *)
+
+  val set_request_fault :
+    t -> (seq:int -> attempt:int -> Rpc.request -> fault) option -> unit
+
+  val channel : t -> Netsim.Control_channel.t
+
+  val request_link : t -> Netsim.Link.t
+  (** The controller->agent direction — its [Link.delivered] is the
+      message count the agent observed. *)
+
+  val reply_link : t -> Netsim.Link.t
+
+  type stats = {
+    calls : int;
+    wire_requests : int;  (** request datagrams put on the wire (retries/dups incl.) *)
+    retries : int;
+    replies_received : int;
+    stale_replies : int;  (** late/duplicate replies for settled calls *)
+    failures : int;  (** calls that exhausted every retry *)
+  }
+
+  val stats : t -> stats
+end

@@ -69,6 +69,7 @@ type t = {
   mutable filter_switches : int;
   mutable migrations : int;
   mutable structures_seen : int;
+  mutable rpc_server : Rpc_transport.Server.t option;
 }
 
 (* --- migration policy ------------------------------------------------------ *)
@@ -121,12 +122,14 @@ let maybe_migrate t m =
     if want <> m.design then rebuild t m want
   end
 
-(* --- registration API -------------------------------------------------------- *)
+(* --- registration API --------------------------------------------------------
 
-let rpc t = t.rpc_calls <- t.rpc_calls + 1
+   These are the agent-local session operations. The controller reaches
+   them through {!dispatch}, driven by the RPC server over the control
+   link; [rpc_calls] counts the request messages that actually arrived
+   on the wire (duplicates included), not local function entries. *)
 
 let new_meeting t ~two_party =
-  rpc t;
   ignore two_party;
   (* Meetings always start as an (empty) NRA registration; the migration
      policy moves them to Two_party once exactly two members are present,
@@ -156,7 +159,6 @@ let meeting t mid =
 let meeting_design t mid = (meeting t mid).design
 
 let register_participant t ~meeting:mid ~participant ~egress_port ~sends =
-  rpc t;
   let m = meeting t mid in
   m.members <- m.members @ [ (participant, egress_port) ];
   if sends then m.sender_members <- m.sender_members @ [ participant ];
@@ -165,7 +167,6 @@ let register_participant t ~meeting:mid ~participant ~egress_port ~sends =
   else Trees.add_participant (Dataplane.trees t.dp) m.handle (participant, egress_port) ~sends
 
 let remove_participant t ~meeting:mid ~participant =
-  rpc t;
   let m = meeting t mid in
   m.members <- List.filter (fun (p, _) -> p <> participant) m.members;
   m.sender_members <- List.filter (fun p -> p <> participant) m.sender_members;
@@ -200,7 +201,6 @@ let remove_participant t ~meeting:mid ~participant =
 
 (* Tear one stream down: its data-plane legs, feedback state, and uplink. *)
 let unregister_uplink t ~meeting:mid ~port =
-  rpc t;
   let m = meeting t mid in
   let gone, kept = List.partition (fun s -> s.uplink_port = port) m.streams in
   m.streams <- kept;
@@ -217,7 +217,6 @@ let unregister_uplink t ~meeting:mid ~port =
 
 let register_uplink ?(renditions = [||]) t ~meeting:mid ~sender ~port ~video_ssrc
     ~audio_ssrc ~full_bitrate =
-  rpc t;
   let m = meeting t mid in
   let stream =
     {
@@ -239,7 +238,6 @@ let register_uplink ?(renditions = [||]) t ~meeting:mid ~sender ~port ~video_ssr
 
 let register_leg t ~meeting:mid ~sender ?uplink_port ~receiver ~leg_port ~dst
     ?(adaptive = true) () =
-  rpc t;
   let m = meeting t mid in
   let wanted s =
     s.sender = sender
@@ -278,7 +276,6 @@ let register_leg t ~meeting:mid ~sender ?uplink_port ~receiver ~leg_port ~dst
       end
 
 let set_pair_target t ~meeting:mid ~sender ~receiver target =
-  rpc t;
   let m = meeting t mid in
   m.pair_specific <- true;
   maybe_migrate t m;
@@ -437,6 +434,39 @@ let cpu_handler t (dgram : Dgram.t) =
   | Rtp.Demux.Rtp_media -> on_av1_structure t dgram
   | Rtp.Demux.Unknown -> ()
 
+(* --- control-plane endpoint --------------------------------------------------
+
+   Maps each wire request onto its agent-local operation. Raised
+   [Invalid_argument]s are converted to [Rpc.Error] replies by the
+   server, so a bad request degrades into a typed error at the
+   controller instead of an exception inside the agent. *)
+
+let dispatch t (req : Rpc.request) : Rpc.reply =
+  match req with
+  | Rpc.New_meeting { two_party } ->
+      Rpc.Meeting_created { meeting = new_meeting t ~two_party }
+  | Rpc.Register_participant { meeting; participant; egress_port; sends } ->
+      register_participant t ~meeting ~participant ~egress_port ~sends;
+      Rpc.Ack
+  | Rpc.Register_uplink
+      { meeting; sender; port; video_ssrc; audio_ssrc; full_bitrate; renditions } ->
+      register_uplink ~renditions t ~meeting ~sender ~port ~video_ssrc ~audio_ssrc
+        ~full_bitrate;
+      Rpc.Ack
+  | Rpc.Register_leg { meeting; sender; uplink_port; receiver; leg_port; dst; adaptive }
+    ->
+      register_leg t ~meeting ~sender ?uplink_port ~receiver ~leg_port ~dst ~adaptive ();
+      Rpc.Ack
+  | Rpc.Remove_participant { meeting; participant } ->
+      remove_participant t ~meeting ~participant;
+      Rpc.Ack
+  | Rpc.Unregister_uplink { meeting; port } ->
+      unregister_uplink t ~meeting ~port;
+      Rpc.Ack
+  | Rpc.Set_pair_target { meeting; sender; receiver; target } ->
+      set_pair_target t ~meeting ~sender ~receiver target;
+      Rpc.Ack
+
 let create engine dp ?(rewrite = Seq_rewrite.S_LM) ?(select = default_select)
     ?(migration_enabled = true) ?(rewriting_enabled = true) ?(feedback_filter = true) () =
   let t =
@@ -461,19 +491,44 @@ let create engine dp ?(rewrite = Seq_rewrite.S_LM) ?(select = default_select)
       filter_switches = 0;
       migrations = 0;
       structures_seen = 0;
+      rpc_server = None;
     }
   in
   Dataplane.set_cpu_sink dp (cpu_handler t);
+  t.rpc_server <-
+    Some
+      (Rpc_transport.Server.create engine
+         ~on_receive:(fun () -> t.rpc_calls <- t.rpc_calls + 1)
+         ~handler:(fun req -> dispatch t req)
+         ());
   t
 
-let rpc_calls t = t.rpc_calls
-let cpu_packets t = t.cpu_packets
-let cpu_bytes t = t.cpu_bytes
-let stun_answered t = t.stun_answered
-let rembs_analyzed t = t.rembs_analyzed
-let target_changes t = t.target_changes
-let filter_switches t = t.filter_switches
-let migrations t = t.migrations
+let rpc_server t = Option.get t.rpc_server
+
+type stats = {
+  rpc_calls : int;
+  cpu_packets : int;
+  cpu_bytes : int;
+  stun_answered : int;
+  rembs_analyzed : int;
+  target_changes : int;
+  filter_switches : int;
+  migrations : int;
+}
+
+let stats (t : t) =
+  {
+    rpc_calls = t.rpc_calls;
+    cpu_packets = t.cpu_packets;
+    cpu_bytes = t.cpu_bytes;
+    stun_answered = t.stun_answered;
+    rembs_analyzed = t.rembs_analyzed;
+    target_changes = t.target_changes;
+    filter_switches = t.filter_switches;
+    migrations = t.migrations;
+  }
+
+let meeting_members t mid = List.map fst (meeting t mid).members
 
 let current_target t ~meeting:mid ~sender ~receiver =
   let m = meeting t mid in

@@ -20,8 +20,10 @@
       RA-R / RA-SR designs as their adaptation needs change, by building
       the new trees before retiring the old ones.
 
-    The controller (tier 1) drives session state through the registration
-    API; every call across that boundary is counted to model the RPC. *)
+    The controller (tier 1) drives session state through the {!Rpc}
+    message vocabulary, delivered by this agent's {!Rpc_transport.Server}
+    over a simulated control link; the registration functions below are
+    the agent-local operations those messages dispatch to. *)
 
 type t
 
@@ -57,7 +59,7 @@ val create :
     REMB to the sender instead of the best downlink's, recreating the
     mixed-feedback collapse of §5.3/Fig. 8. *)
 
-(** {1 Session registration (called by the controller over "RPC")} *)
+(** {1 Session registration (the targets of the {!Rpc} vocabulary)} *)
 
 type meeting_id = int
 
@@ -99,17 +101,39 @@ val set_pair_target :
   Av1.Dd.decode_target -> unit
 (** Force a sender-specific target (drives the meeting towards RA-SR). *)
 
+(** {1 Control-plane endpoint} *)
+
+val dispatch : t -> Rpc.request -> Rpc.reply
+(** Execute one control-plane request against agent state. Normally
+    invoked by {!rpc_server} for each message off the wire; exposed for
+    tests that drive the agent without a transport. *)
+
+val rpc_server : t -> Rpc_transport.Server.t
+(** The agent's control-plane endpoint, created with the agent. The
+    controller connects an {!Rpc_transport.Client} to it; duplicate
+    deliveries are answered from the server's replay cache, keeping
+    every operation idempotent on the wire. *)
+
 (** {1 Statistics} *)
 
-val rpc_calls : t -> int
-val cpu_packets : t -> int
-val cpu_bytes : t -> int
-val stun_answered : t -> int
-val rembs_analyzed : t -> int
-val target_changes : t -> int
-val filter_switches : t -> int
-(** Times the best-downlink selection changed. *)
+type stats = {
+  rpc_calls : int;
+      (** control-plane request messages received on the wire,
+          duplicate deliveries included *)
+  cpu_packets : int;
+  cpu_bytes : int;
+  stun_answered : int;
+  rembs_analyzed : int;
+  target_changes : int;
+  filter_switches : int;  (** times the best-downlink selection changed *)
+  migrations : int;
+}
 
-val migrations : t -> int
+val stats : t -> stats
+
 val current_target : t -> meeting:meeting_id -> sender:int -> receiver:int ->
   Av1.Dd.decode_target
+
+val meeting_members : t -> meeting_id -> int list
+(** Participants currently registered in a meeting, in registration
+    order (introspection for state-equivalence tests). *)

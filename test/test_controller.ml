@@ -48,7 +48,7 @@ let sdp_volume () =
   let engine, network, rng, controller = make () in
   let before k =
     let _ = join_n controller engine network rng k in
-    C.sdp_messages controller
+    (C.stats controller).sdp_messages
   in
   let total = before 3 in
   (* p0: 2 (uplink). p1: 2 + 2 legs x 2 = 6. p2: 2 + 4 legs x 2 = 10. *)
@@ -58,7 +58,9 @@ let ssrc_allocation_unique () =
   let engine, network, rng, controller = make () in
   let _, pids = join_n controller engine network rng 4 in
   let infos = List.filter_map (C.participant_sender_info controller) pids in
-  let ssrcs = List.concat_map (fun (_, v, a) -> [ v; a ]) infos in
+  let ssrcs =
+    List.concat_map (fun (i : C.sender_info) -> [ i.video_ssrc; i.audio_ssrc ]) infos
+  in
   Alcotest.(check int) "all distinct" (List.length ssrcs)
     (List.length (List.sort_uniq compare ssrcs))
 

@@ -58,7 +58,7 @@ let scallop_three_party () =
   let frac = float_of_int dp_pkts /. float_of_int (dp_pkts + cpu_pkts) in
   if frac < 0.90 then Alcotest.failf "only %.1f%% of packets in data plane" (100. *. frac);
   Printf.printf "data-plane fraction: %.2f%% (dp=%d cpu=%d) stun answered=%d\n"
-    (100. *. frac) dp_pkts cpu_pkts (Scallop.Switch_agent.stun_answered agent)
+    (100. *. frac) dp_pkts cpu_pkts (Scallop.Switch_agent.stats agent).stun_answered
 
 let sfu_three_party () =
   let engine, rng, network = setup () in

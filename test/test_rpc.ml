@@ -1,0 +1,259 @@
+(* Control-plane RPC layer tests: wire codec, timeout/retry/backoff,
+   duplicate-delivery idempotence, give-up surfacing at the controller,
+   and rpc_calls as an honest count of messages on the wire. *)
+
+module Addr = Scallop_util.Addr
+module Rng = Scallop_util.Rng
+module Engine = Netsim.Engine
+module Network = Netsim.Network
+module Link = Netsim.Link
+module Rpc = Scallop.Rpc
+module T = Scallop.Rpc_transport
+module C = Scallop.Controller
+
+(* --- codec ----------------------------------------------------------------- *)
+
+let all_requests =
+  [
+    Rpc.New_meeting { two_party = true };
+    Rpc.Register_participant { meeting = 3; participant = 7; egress_port = 140; sends = false };
+    Rpc.Register_uplink
+      {
+        meeting = 0; sender = 1; port = 130; video_ssrc = 0xAA; audio_ssrc = 0xBB;
+        full_bitrate = 2_500_000; renditions = [| (9, 2_500_000); (10, 600_000) |];
+      };
+    Rpc.Register_leg
+      {
+        meeting = 2; sender = 4; uplink_port = Some 131; receiver = 5; leg_port = 150;
+        dst = Addr.v (Addr.ip_of_string "10.0.3.4") 4242; adaptive = true;
+      };
+    Rpc.Register_leg
+      {
+        meeting = 2; sender = 4; uplink_port = None; receiver = 6; leg_port = 151;
+        dst = Addr.v (Addr.ip_of_string "10.0.3.5") 4242; adaptive = false;
+      };
+    Rpc.Remove_participant { meeting = 1; participant = 2 };
+    Rpc.Unregister_uplink { meeting = 1; port = 133 };
+    Rpc.Set_pair_target { meeting = 0; sender = 1; receiver = 2; target = Av1.Dd.DT_7_5fps };
+  ]
+
+let codec_roundtrip () =
+  List.iteri
+    (fun i request ->
+      let msg = Rpc.Request { seq = 100 + i; request } in
+      Alcotest.(check bool)
+        (Rpc.request_name request) true
+        (Rpc.decode (Rpc.encode msg) = msg))
+    all_requests;
+  List.iter
+    (fun reply ->
+      let msg = Rpc.Reply { seq = 9; reply } in
+      Alcotest.(check bool) "reply roundtrip" true (Rpc.decode (Rpc.encode msg) = msg))
+    [ Rpc.Meeting_created { meeting = 12 }; Rpc.Ack; Rpc.Error "no such meeting" ]
+
+let codec_rejects_garbage () =
+  List.iter
+    (fun s ->
+      Alcotest.(check bool) ("reject " ^ s) true
+        (try
+           let _ = Rpc.decode (Bytes.of_string s) in
+           false
+         with Rpc.Decode_error _ -> true))
+    [ ""; "nonsense"; "req x new-meeting 0"; "req 1 new-meeting"; "rep 1 bogus" ]
+
+(* --- raw client/server harness --------------------------------------------- *)
+
+let harness ?(config = T.default) ?on_request () =
+  let engine = Engine.create () in
+  let rng = Rng.create 5 in
+  let executed = ref 0 in
+  let server =
+    T.Server.create engine
+      ~handler:(fun req ->
+        incr executed;
+        Option.iter (fun f -> f req) on_request;
+        match req with
+        | Rpc.New_meeting _ -> Rpc.Meeting_created { meeting = !executed }
+        | _ -> Rpc.Ack)
+      ()
+  in
+  let client =
+    T.Client.connect engine rng ~config
+      ~local:(Addr.v (Addr.ip_of_string "10.255.0.1") 6633)
+      ~remote:(Addr.v (Addr.ip_of_string "10.0.0.1") 6633)
+      server
+  in
+  (engine, server, client, executed)
+
+let lossy_config = { T.default with T.timeout_ns = Engine.ms 10 }
+
+let retry_after_timeout () =
+  let engine, server, client, executed = harness ~config:lossy_config () in
+  (* drop the first two attempts; the third gets through *)
+  T.Client.set_request_fault client
+    (Some (fun ~seq:_ ~attempt _ -> if attempt < 2 then T.Drop else T.Pass));
+  let reply = T.Client.call client (Rpc.New_meeting { two_party = false }) in
+  Alcotest.(check bool) "reply" true (reply = Rpc.Meeting_created { meeting = 1 });
+  Alcotest.(check int) "executed once" 1 !executed;
+  let cs = T.Client.stats client in
+  Alcotest.(check int) "two retries" 2 cs.retries;
+  Alcotest.(check int) "no failures" 0 cs.failures;
+  (* the retry timers actually waited: 10 ms + 20 ms of backoff passed *)
+  Alcotest.(check bool) "time advanced" true (Engine.now engine >= Engine.ms 30);
+  Alcotest.(check int) "server saw one" 1 (T.Server.stats server).requests_received
+
+let duplicates_execute_once () =
+  let engine, server, client, executed = harness () in
+  T.Client.set_request_fault client (Some (fun ~seq:_ ~attempt:_ _ -> T.Duplicate));
+  for i = 0 to 4 do
+    let reply =
+      T.Client.call client (Rpc.Remove_participant { meeting = 0; participant = i })
+    in
+    Alcotest.(check bool) "acked" true (reply = Rpc.Ack)
+  done;
+  Alcotest.(check int) "each executed once" 5 !executed;
+  (* the last duplicate reply is still in flight when its call settles *)
+  while Engine.step engine do () done;
+  let ss = T.Server.stats server in
+  Alcotest.(check int) "wire saw doubles" 10 ss.requests_received;
+  Alcotest.(check int) "replayed from cache" 5 ss.replayed;
+  Alcotest.(check int) "stale second replies" 5 (T.Client.stats client).stale_replies
+
+let delayed_reply_is_retried_then_reconciled () =
+  (* the reply to attempt 0 is delayed past the timeout: the client
+     retries, the server replays, and the late original is ignored *)
+  let _, server, client, executed = harness ~config:lossy_config () in
+  let first = ref true in
+  T.Server.set_reply_fault server
+    (Some
+       (fun ~seq:_ _ ->
+         if !first then begin
+           first := false;
+           T.Delay (Engine.ms 15)
+         end
+         else T.Pass));
+  let reply = T.Client.call client (Rpc.New_meeting { two_party = false }) in
+  Alcotest.(check bool) "reply" true (reply = Rpc.Meeting_created { meeting = 1 });
+  Alcotest.(check int) "executed once" 1 !executed;
+  Alcotest.(check int) "one retry" 1 (T.Client.stats client).retries;
+  Alcotest.(check int) "replayed once" 1 (T.Server.stats server).replayed
+
+let gives_up_after_max_retries () =
+  let config = { lossy_config with T.max_retries = 3 } in
+  let _, server, client, executed = harness ~config () in
+  T.Client.set_request_fault client (Some (fun ~seq:_ ~attempt:_ _ -> T.Drop));
+  Alcotest.(check bool) "raises" true
+    (try
+       let _ = T.Client.call client (Rpc.New_meeting { two_party = false }) in
+       false
+     with T.Timed_out { attempts; _ } -> attempts = 4);
+  Alcotest.(check int) "never executed" 0 !executed;
+  Alcotest.(check int) "failure counted" 1 (T.Client.stats client).failures;
+  Alcotest.(check int) "nothing on the wire" 0 (T.Server.stats server).requests_received
+
+(* --- through the controller ------------------------------------------------ *)
+
+let fast = { Link.default with rate_bps = infinity; propagation_ns = 100_000 }
+
+let make_stack ?control ~seed () =
+  let engine = Engine.create () in
+  let rng = Rng.create seed in
+  let network = Network.create engine (Rng.split rng) in
+  let ip = Addr.ip_of_string "10.0.0.1" in
+  Network.add_host network ~ip ~uplink:fast ~downlink:fast ();
+  let dp = Scallop.Dataplane.create engine network ~ip () in
+  let agent = Scallop.Switch_agent.create engine dp () in
+  let controller =
+    C.create engine network (Rng.split rng) ~agents:[ (agent, dp) ] ?control ()
+  in
+  (engine, network, rng, agent, controller)
+
+let join_n (engine, network, rng, _agent, controller) n =
+  let mid = C.create_meeting controller in
+  let pids =
+    List.init n (fun i ->
+        let ip = Addr.ip_of_string (Printf.sprintf "10.0.7.%d" (i + 1)) in
+        Network.add_host network ~ip ();
+        let client =
+          Webrtc.Client.create engine network (Rng.split rng)
+            (Webrtc.Client.default_config ~ip)
+        in
+        C.join controller mid client ~send_media:true)
+  in
+  (mid, pids)
+
+let rpc_calls_count_wire_messages () =
+  let ((_, _, _, agent, controller) as stack) = make_stack ~seed:11 () in
+  let mid, pids = join_n stack 3 in
+  C.start_screen_share controller (List.hd pids);
+  C.leave controller (List.nth pids 2);
+  let wire = Link.delivered (T.Client.request_link (C.control_channel controller 0)) in
+  let agent_count = (Scallop.Switch_agent.stats agent).rpc_calls in
+  Alcotest.(check bool) "some rpcs happened" true (wire > 10);
+  Alcotest.(check int) "agent count = link deliveries" wire agent_count;
+  Alcotest.(check int) "controller sent as many" wire (C.stats controller).control_requests;
+  Alcotest.(check int) "members tracked" 2 (List.length (C.meeting_participants controller mid))
+
+let ideal_channel_is_free () =
+  let ((engine, _, _, _, _) as stack) = make_stack ~seed:12 () in
+  let _ = join_n stack 4 in
+  Alcotest.(check int) "no virtual time spent on control" 0 (Engine.now engine)
+
+let lossy_control = { (T.degraded ~loss:0.25 ~rtt_ns:(Engine.ms 20) ()) with T.max_retries = 12 }
+
+let lossy_join_converges_to_same_state () =
+  let ((_, _, _, agent_a, ctrl_a) as clean) = make_stack ~seed:13 () in
+  let mid_a, _ = join_n clean 4 in
+  let ((engine_b, _, _, agent_b, ctrl_b) as lossy) =
+    make_stack ~seed:13 ~control:lossy_control ()
+  in
+  let mid_b, _ = join_n lossy 4 in
+  let cs = C.stats ctrl_b in
+  Alcotest.(check bool) "loss forced retries" true (cs.control_retries > 0);
+  Alcotest.(check int) "every call completed" 0 cs.control_failures;
+  Alcotest.(check bool) "retries cost virtual time" true (Engine.now engine_b > 0);
+  (* the replay cache kept retried operations idempotent: agent state
+     matches the run with a perfect control channel *)
+  let amid_a = C.agent_meeting_id ctrl_a mid_a in
+  let amid_b = C.agent_meeting_id ctrl_b mid_b in
+  Alcotest.(check (list int)) "same members"
+    (Scallop.Switch_agent.meeting_members agent_a amid_a)
+    (Scallop.Switch_agent.meeting_members agent_b amid_b);
+  Alcotest.(check bool) "same design" true
+    (Scallop.Switch_agent.meeting_design agent_a amid_a
+    = Scallop.Switch_agent.meeting_design agent_b amid_b)
+
+let dead_channel_surfaces_as_controller_error () =
+  let ((_, _, _, _, controller) as stack) = make_stack ~seed:14 () in
+  let _ = join_n stack 2 in
+  let rpc = C.control_channel controller 0 in
+  T.Client.set_request_fault rpc (Some (fun ~seq:_ ~attempt:_ _ -> T.Drop));
+  Alcotest.(check bool) "join times out" true
+    (try
+       let _ = join_n stack 1 in
+       false
+     with T.Timed_out _ -> true)
+
+let () =
+  Alcotest.run "rpc"
+    [
+      ( "codec",
+        [
+          Alcotest.test_case "roundtrip" `Quick codec_roundtrip;
+          Alcotest.test_case "garbage" `Quick codec_rejects_garbage;
+        ] );
+      ( "transport",
+        [
+          Alcotest.test_case "retry after timeout" `Quick retry_after_timeout;
+          Alcotest.test_case "duplicates execute once" `Quick duplicates_execute_once;
+          Alcotest.test_case "delayed reply" `Quick delayed_reply_is_retried_then_reconciled;
+          Alcotest.test_case "give up" `Quick gives_up_after_max_retries;
+        ] );
+      ( "controller",
+        [
+          Alcotest.test_case "rpc_calls = wire messages" `Quick rpc_calls_count_wire_messages;
+          Alcotest.test_case "ideal channel free" `Quick ideal_channel_is_free;
+          Alcotest.test_case "lossy join same state" `Quick lossy_join_converges_to_same_state;
+          Alcotest.test_case "dead channel error" `Quick dead_channel_surfaces_as_controller_error;
+        ] );
+    ]

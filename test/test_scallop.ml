@@ -132,7 +132,7 @@ let best_downlink_selected () =
   run st 5.0;
   (* every sender stream forwards REMBs from exactly one selected leg; the
      analysis ran (rembs were seen) and at most a few switches happened *)
-  Alcotest.(check bool) "rembs analyzed" true (Scallop.Switch_agent.rembs_analyzed st.agent > 10)
+  Alcotest.(check bool) "rembs analyzed" true ((Scallop.Switch_agent.stats st.agent).rembs_analyzed > 10)
 
 (* --- migration ------------------------------------------------------------------- *)
 
@@ -177,7 +177,7 @@ let stun_answered_by_agent () =
   let st = make () in
   let _ = meeting st 2 in
   run st 6.0;
-  Alcotest.(check bool) "stun handled" true (Scallop.Switch_agent.stun_answered st.agent >= 4);
+  Alcotest.(check bool) "stun handled" true ((Scallop.Switch_agent.stats st.agent).stun_answered >= 4);
   (* clients measured an RTT through the switch *)
   ()
 
@@ -186,7 +186,7 @@ let sdp_exchanged () =
   let _ = meeting st 3 in
   (* per joiner: own offer+answer, plus a leg offer+answer per existing
      sender in each direction *)
-  Alcotest.(check bool) "sdp messages flowed" true (Scallop.Controller.sdp_messages st.controller >= 10)
+  Alcotest.(check bool) "sdp messages flowed" true ((Scallop.Controller.stats st.controller).sdp_messages >= 10)
 
 let packet_split_dominated_by_dataplane () =
   let st = make () in
