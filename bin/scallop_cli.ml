@@ -109,7 +109,12 @@ let simulate_cmd =
     Arg.(value & opt float 0.0
          & info [ "ctrl-loss" ] ~doc:"Control channel iid loss probability per direction.")
   in
-  let run participants senders seconds downlink_mbps ctrl_rtt_ms ctrl_loss =
+  let check =
+    Arg.(value & flag
+         & info [ "check" ]
+             ~doc:"After the run, verify cross-layer state invariants and fail on any violation.")
+  in
+  let run participants senders seconds downlink_mbps ctrl_rtt_ms ctrl_loss check =
    try
     let senders = Option.value senders ~default:participants in
     let control =
@@ -174,7 +179,27 @@ let simulate_cmd =
 "
       cstats.control_requests cstats.control_retries cstats.control_failures
       astats.rpc_calls;
-    Ok ()
+    if check then begin
+      let findings = Scallop_analysis.verify stack.Experiments.Common.controller in
+      let errors = Scallop_analysis.errors findings in
+      if findings = [] then begin
+        Printf.printf "state check: clean\n";
+        Ok ()
+      end
+      else begin
+        print_endline (Scallop_analysis.report findings);
+        if errors = [] then begin
+          Printf.printf "state check: %d warning(s), no errors\n" (List.length findings);
+          Ok ()
+        end
+        else
+          Error
+            (`Msg
+              (Printf.sprintf "state check: %d invariant violation(s)"
+                 (List.length errors)))
+      end
+    end
+    else Ok ()
    with Scallop.Rpc_transport.Timed_out { op; attempts; _ } ->
     Error
       (`Msg
@@ -186,7 +211,110 @@ let simulate_cmd =
     (Cmd.info "simulate" ~doc:"Run one meeting through Scallop and print a QoE report.")
     Term.(term_result
             (const run $ participants $ senders $ seconds $ downlink_mbps $ ctrl_rtt_ms
-             $ ctrl_loss))
+             $ ctrl_loss $ check))
+
+let check_cmd =
+  let ctrl_rtt_ms =
+    Arg.(value & opt int 2
+         & info [ "ctrl-rtt-ms" ] ~doc:"Controller-to-agent control channel RTT (ms).")
+  in
+  let ctrl_loss =
+    Arg.(value & opt float 0.0
+         & info [ "ctrl-loss" ] ~doc:"Control channel iid loss probability per direction.")
+  in
+  let seed = Arg.(value & opt int 42 & info [ "seed" ] ~doc:"Scenario seed.") in
+  let run ctrl_rtt_ms ctrl_loss seed =
+    try
+      let module Addr = Scallop_util.Addr in
+      let module Rng = Scallop_util.Rng in
+      let engine = Netsim.Engine.create () in
+      let rng = Rng.create seed in
+      let network = Netsim.Network.create engine (Rng.split rng) in
+      let fast =
+        { Netsim.Link.default with rate_bps = infinity; propagation_ns = 100_000 }
+      in
+      let switch ip_str =
+        let ip = Addr.ip_of_string ip_str in
+        Netsim.Network.add_host network ~ip ~uplink:fast ~downlink:fast ();
+        let dp = Scallop.Dataplane.create engine network ~ip () in
+        let agent = Scallop.Switch_agent.create engine dp () in
+        (agent, dp)
+      in
+      let s0 = switch "10.0.0.1" and s1 = switch "10.0.0.2" in
+      let control =
+        Scallop.Rpc_transport.degraded ~loss:ctrl_loss
+          ~rtt_ns:(Netsim.Engine.ms ctrl_rtt_ms) ()
+      in
+      let controller =
+        Scallop.Controller.create engine network (Rng.split rng) ~agents:[ s0; s1 ]
+          ~control ()
+      in
+      let client idx =
+        let ip = Addr.ip_of_string (Printf.sprintf "10.0.3.%d" (idx + 1)) in
+        Netsim.Network.add_host network ~ip ();
+        Webrtc.Client.create engine network (Rng.split rng)
+          (Webrtc.Client.default_config ~ip)
+      in
+      let total_errors = ref 0 in
+      let verify_point label =
+        let findings = Scallop_analysis.verify controller in
+        let errors = Scallop_analysis.errors findings in
+        Printf.printf "%-34s %d finding(s), %d error(s)\n" label (List.length findings)
+          (List.length errors);
+        if findings <> [] then print_endline (Scallop_analysis.report findings);
+        total_errors := !total_errors + List.length errors
+      in
+      let run_for seconds =
+        Netsim.Engine.run engine
+          ~until:(Netsim.Engine.now engine + Netsim.Engine.sec seconds)
+      in
+      (* a cascaded meeting: senders on both switches, plus mid-call churn
+         and a screen share — every controller trigger the paper names *)
+      let mid = Scallop.Controller.create_meeting controller in
+      let c = Array.init 6 client in
+      let p0 = Scallop.Controller.join ~home:0 controller mid c.(0) ~send_media:true in
+      let _p1 = Scallop.Controller.join ~home:0 controller mid c.(1) ~send_media:true in
+      let p2 = Scallop.Controller.join ~home:1 controller mid c.(2) ~send_media:true in
+      let p3 = Scallop.Controller.join ~home:1 controller mid c.(3) ~send_media:false in
+      run_for 2.0;
+      verify_point "cascaded meeting (4 members)";
+      Scallop.Controller.start_screen_share controller p0;
+      run_for 1.0;
+      verify_point "screen share started";
+      Scallop.Controller.stop_screen_share controller p0;
+      Scallop.Controller.leave controller p2;
+      Scallop.Controller.leave controller p3;
+      run_for 1.0;
+      verify_point "remote members left";
+      let mid2 = Scallop.Controller.create_meeting controller in
+      let p4 = Scallop.Controller.join controller mid2 c.(4) ~send_media:true in
+      let _p5 = Scallop.Controller.join controller mid2 c.(5) ~send_media:true in
+      run_for 2.0;
+      verify_point "second meeting up";
+      Scallop.Controller.leave controller p4;
+      Scallop.Controller.leave controller p0;
+      run_for 1.0;
+      verify_point "after churn";
+      if !total_errors = 0 then begin
+        Printf.printf "all state checks clean\n";
+        Ok ()
+      end
+      else
+        Error
+          (`Msg (Printf.sprintf "state check: %d invariant violation(s)" !total_errors))
+    with Scallop.Rpc_transport.Timed_out { op; attempts; _ } ->
+      Error
+        (`Msg
+          (Printf.sprintf
+             "control plane dead: %s gave up after %d attempts (lower --ctrl-loss?)" op
+             attempts))
+  in
+  Cmd.v
+    (Cmd.info "check"
+       ~doc:
+         "Drive a cascaded meeting through churn and statically verify the \
+          controller/agent/data-plane state invariants at every quiescent point.")
+    Term.(term_result (const run $ ctrl_rtt_ms $ ctrl_loss $ seed))
 
 let trace_cmd =
   let meetings =
@@ -267,4 +395,7 @@ let trace_cmd =
 let () =
   let doc = "Scallop (SIGCOMM'25) reproduction: SDN-based selective forwarding unit" in
   let info = Cmd.info "scallop" ~version:"1.0.0" ~doc in
-  exit (Cmd.eval (Cmd.group info [ list_cmd; run_cmd; capacity_cmd; simulate_cmd; trace_cmd ]))
+  exit
+    (Cmd.eval
+       (Cmd.group info
+          [ list_cmd; run_cmd; capacity_cmd; simulate_cmd; check_cmd; trace_cmd ]))

@@ -115,6 +115,11 @@ let egress_port_of t key =
    when it appears as a receiver of another switch's replication trees. *)
 let relay_pid idx = 900_000 + idx
 
+(* Pseudo keys into the egress-port allocator for a sender registered on a
+   non-home switch, and for a relay receiver. *)
+let sender_site_key pid idx = 0x7E000000 + (pid * 64) + idx
+let relay_site_key mid idx = 0x7F000000 + (mid * 64) + idx
+
 (* Placement across cascaded switches: meetings get a round-robin primary
    switch; participants may be homed elsewhere (Appendix A), in which case
    cascade relays carry the media between switches. *)
@@ -254,7 +259,7 @@ let ensure_relay t m ~(sender : participant) ~kind ~to_switch =
            {
              meeting = dst_site.agent_mid;
              participant = sender.pid;
-             egress_port = egress_port_of t (0x7E000000 + (sender.pid * 64) + to_switch);
+             egress_port = egress_port_of t (sender_site_key sender.pid to_switch);
              sends = true;
            });
       sender.sites <- to_switch :: sender.sites
@@ -281,7 +286,7 @@ let ensure_relay t m ~(sender : participant) ~kind ~to_switch =
            {
              meeting = src_site.agent_mid;
              participant = rpid;
-             egress_port = egress_port_of t (0x7F000000 + (m.mid * 64) + to_switch);
+             egress_port = egress_port_of t (relay_site_key m.mid to_switch);
              sends = false;
            })
     end;
@@ -339,6 +344,37 @@ let create_stream_leg t m ~kind ~(sender : participant) ~(receiver : participant
        })
 
 let create_leg t m ~sender ~receiver = create_stream_leg t m ~kind:Camera ~sender ~receiver
+
+(* Relay receivers are reference-counted implicitly by need: the pseudo
+   participant standing for switch [dst] on switch [src] must exist while
+   some current member homed on [src] still has a stream relayed to [dst].
+   Every teardown path that can retire the last such stream calls this to
+   unregister the stale pseudo participants (otherwise their egress legs
+   and tree slots leak on the source switch). *)
+let gc_relays t m =
+  let needed src dst =
+    List.exists
+      (fun pid ->
+        match Hashtbl.find_opt t.participants pid with
+        | None -> false
+        | Some p ->
+            p.home = src
+            && (List.mem_assoc dst p.cam_ports || List.mem_assoc dst p.screen_ports))
+      m.members
+  in
+  let stale =
+    Hashtbl.fold
+      (fun (mid, src, dst) () acc ->
+        if mid = m.mid && not (needed src dst) then (src, dst) :: acc else acc)
+      t.relay_receivers []
+  in
+  List.iter
+    (fun (src, dst) ->
+      Hashtbl.remove t.relay_receivers (m.mid, src, dst);
+      let site = site_of t m src in
+      rpc t site.s_idx
+        (Rpc.Remove_participant { meeting = site.agent_mid; participant = relay_pid dst }))
+    stale
 
 let join ?home ?(simulcast = false) t mid client ~send_media =
   let m = find_meeting t mid in
@@ -425,11 +461,15 @@ let join ?home ?(simulcast = false) t mid client ~send_media =
     }
   in
   Hashtbl.replace t.participants pid p;
-  (* legs with all existing members, possibly across switches *)
+  (* legs with all existing members, possibly across switches — including
+     any screen share already in progress, which a late joiner must
+     receive just like camera media *)
   List.iter
     (fun other_pid ->
       let other = find_participant t other_pid in
       if other.sends then create_leg t m ~sender:other ~receiver:p;
+      if other.screen <> None then
+        create_stream_leg t m ~kind:Screen ~sender:other ~receiver:p;
       if send_media then create_leg t m ~sender:p ~receiver:other)
     m.members;
   m.members <- m.members @ [ pid ];
@@ -505,7 +545,8 @@ let stop_screen_share t pid =
           in
           other.screen_recv_conns <- rest;
           List.iter (fun (_, c) -> Client.close_connection other.client c) mine)
-        m.members
+        m.members;
+      gc_relays t m
 
 let screen_connection t pid ~from =
   let p = find_participant t pid in
@@ -526,6 +567,7 @@ let leave t pid =
           rpc t site.s_idx
             (Rpc.Remove_participant { meeting = site.agent_mid; participant = pid }))
         (List.sort_uniq compare p.sites);
+      gc_relays t m;
       Option.iter (fun c -> Client.close_connection p.client c) p.send_conn;
       List.iter (fun (_, c) -> Client.close_connection p.client c) p.recv_conns;
       (* drop the recv connections other participants had for p's media *)
@@ -599,3 +641,104 @@ let meeting_switch t mid =
 
 let switch_count t = Array.length t.agents
 let participant_home t pid = (find_participant t pid).home
+
+let switch_agent t idx =
+  if idx < 0 || idx >= Array.length t.agents then
+    invalid_arg (Printf.sprintf "Controller.switch_agent: no switch %d" idx);
+  t.agents.(idx)
+
+(* --- introspection: the controller's intent, for Scallop_analysis -------- *)
+
+type participant_view = {
+  pv_pid : participant_id;
+  pv_meeting : meeting_id;
+  pv_home : int;
+  pv_sends : bool;
+  pv_video_ssrc : int;
+  pv_audio_ssrc : int;
+  pv_screen_ssrc : int option;
+  pv_sites : (int * int) list;
+  pv_cam_ports : (int * int) list;
+  pv_screen_ports : (int * int) list;
+}
+
+type relay_view = {
+  rv_meeting : meeting_id;
+  rv_src : int;
+  rv_dst : int;
+  rv_pid : participant_id;
+  rv_egress_port : int;
+}
+
+type meeting_view = {
+  cmv_mid : meeting_id;
+  cmv_primary : int;
+  cmv_members : participant_id list;
+  cmv_sites : (int * int) list;
+}
+
+type intent = {
+  in_participants : participant_view list;
+  in_meetings : meeting_view list;
+  in_relays : relay_view list;
+}
+
+let introspect t =
+  let port_on (p : participant) idx =
+    if idx = p.home then p.egress_port
+    else
+      Option.value ~default:(-1)
+        (Hashtbl.find_opt t.egress_ports (sender_site_key p.pid idx))
+  in
+  let participants =
+    Hashtbl.fold
+      (fun _ (p : participant) acc ->
+        {
+          pv_pid = p.pid;
+          pv_meeting = p.meeting;
+          pv_home = p.home;
+          pv_sends = p.sends;
+          pv_video_ssrc = p.video_ssrc;
+          pv_audio_ssrc = p.audio_ssrc;
+          pv_screen_ssrc = Option.map fst p.screen;
+          pv_sites =
+            List.map (fun idx -> (idx, port_on p idx)) (List.sort_uniq compare p.sites);
+          pv_cam_ports = List.sort compare p.cam_ports;
+          pv_screen_ports = List.sort compare p.screen_ports;
+        }
+        :: acc)
+      t.participants []
+    |> List.sort (fun a b -> compare a.pv_pid b.pv_pid)
+  in
+  let meetings =
+    Hashtbl.fold
+      (fun _ m acc ->
+        {
+          cmv_mid = m.mid;
+          cmv_primary = m.primary;
+          cmv_members = m.members;
+          cmv_sites =
+            Hashtbl.fold (fun idx s acc -> (idx, s.agent_mid) :: acc) m.sites []
+            |> List.sort compare;
+        }
+        :: acc)
+      t.meetings []
+    |> List.sort (fun a b -> compare a.cmv_mid b.cmv_mid)
+  in
+  let relays =
+    Hashtbl.fold
+      (fun (mid, src, dst) () acc ->
+        {
+          rv_meeting = mid;
+          rv_src = src;
+          rv_dst = dst;
+          rv_pid = relay_pid dst;
+          rv_egress_port =
+            Option.value ~default:(-1)
+              (Hashtbl.find_opt t.egress_ports (relay_site_key mid dst));
+        }
+        :: acc)
+      t.relay_receivers []
+    |> List.sort compare
+  in
+  { in_participants = participants; in_meetings = meetings; in_relays = relays }

@@ -116,3 +116,56 @@ val meeting_switch : t -> meeting_id -> Dataplane.t
 
 val switch_count : t -> int
 val participant_home : t -> participant_id -> int
+
+val switch_agent : t -> int -> Switch_agent.t * Dataplane.t
+(** The agent and data plane at the given agent-list index. *)
+
+val relay_pid : int -> participant_id
+(** The pseudo participant id standing for "everything behind switch
+    [idx]" when a cascaded meeting registers one switch as a receiver on
+    another (Appendix A). *)
+
+(** {1 Introspection (read-only, for the {!Scallop_analysis} snapshot layer)}
+
+    The controller's session {e intent}: what it believes it has
+    programmed into every switch agent. The verifier diffs this against
+    the agents' shadow state and the data-plane ground truth, so a lost
+    or misapplied control-plane update surfaces as a named finding. *)
+
+type participant_view = {
+  pv_pid : participant_id;
+  pv_meeting : meeting_id;
+  pv_home : int;  (** index of the participant's home switch *)
+  pv_sends : bool;
+  pv_video_ssrc : int;
+  pv_audio_ssrc : int;
+  pv_screen_ssrc : int option;  (** video SSRC of the live screen share *)
+  pv_sites : (int * int) list;
+      (** every switch the participant is registered on, with the egress
+          port used there (home switch first in allocation order) *)
+  pv_cam_ports : (int * int) list;  (** switch → camera uplink port there *)
+  pv_screen_ports : (int * int) list;  (** switch → screen uplink port *)
+}
+
+type relay_view = {
+  rv_meeting : meeting_id;
+  rv_src : int;  (** switch replicating towards the relay *)
+  rv_dst : int;  (** switch consuming the relayed stream *)
+  rv_pid : participant_id;  (** = [relay_pid rv_dst] *)
+  rv_egress_port : int;  (** the pseudo receiver's port on [rv_src] *)
+}
+
+type meeting_view = {
+  cmv_mid : meeting_id;
+  cmv_primary : int;
+  cmv_members : participant_id list;  (** join order *)
+  cmv_sites : (int * int) list;  (** switch index → agent meeting id there *)
+}
+
+type intent = {
+  in_participants : participant_view list;  (** sorted by pid *)
+  in_meetings : meeting_view list;  (** sorted by mid *)
+  in_relays : relay_view list;
+}
+
+val introspect : t -> intent

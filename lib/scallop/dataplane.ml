@@ -8,6 +8,18 @@ module Dd = Av1.Dd
 
 let stream_index_capacity = 65_536
 
+(* Match-action table sizes of the programmed pipeline (§6.2): exceeding
+   one is the same hard failure a real switch would report at insert. *)
+let uplink_table_capacity = 4_096
+let egress_table_capacity = 65_536
+let feedback_table_capacity = 65_536
+
+let table_insert tbl k v =
+  match Tofino.Table.insert tbl k v with
+  | Ok () -> ()
+  | Error `Table_full ->
+      failwith (Printf.sprintf "Dataplane: %s table full" (Tofino.Table.name tbl))
+
 type counters = {
   mutable rtp_audio_pkts : int;
   mutable rtp_audio_bytes : int;
@@ -81,9 +93,9 @@ type t = {
   cpu_port_latency_ns : int;
   header_auth : bool;
   mutable headers_authenticated : int;
-  uplinks : (int, uplink_slot) Hashtbl.t;  (** dst port -> uplink *)
-  legs : (int * int, leg) Hashtbl.t;  (** (receiver, ssrc) -> leg *)
-  leg_by_port : (int, leg) Hashtbl.t;  (** src_port -> leg (feedback match) *)
+  uplinks : (int, uplink_slot) Tofino.Table.t;  (** dst port -> uplink *)
+  legs : (int * int, leg) Tofino.Table.t;  (** (receiver, ssrc) -> leg *)
+  leg_by_port : (int, leg) Tofino.Table.t;  (** src_port -> leg (feedback match) *)
   mutable free_stream_indices : int list;
   mutable next_stream_index : int;
   (* the six Stream Tracker register arrays of §6.3, kept for resource
@@ -124,9 +136,9 @@ let create engine network ~ip ?pre_limits ?(pipeline_latency_ns = 600)
       cpu_port_latency_ns;
       header_auth;
       headers_authenticated = 0;
-      uplinks = Hashtbl.create 64;
-      legs = Hashtbl.create 256;
-      leg_by_port = Hashtbl.create 256;
+      uplinks = Tofino.Table.create ~name:"uplink" ~capacity:uplink_table_capacity;
+      legs = Tofino.Table.create ~name:"egress_leg" ~capacity:egress_table_capacity;
+      leg_by_port = Tofino.Table.create ~name:"feedback" ~capacity:feedback_table_capacity;
       free_stream_indices = [];
       next_stream_index = 0;
       trackers =
@@ -176,16 +188,16 @@ let emit t ~ingress_ns ~receiver ~ssrc ~template ~src_port ~dst payload =
 (* --- configuration -------------------------------------------------------- *)
 
 let register_uplink ?(renditions = [||]) t ~port ~sender ~meeting ~video_ssrc ~audio_ssrc =
-  Hashtbl.replace t.uplinks port
+  table_insert t.uplinks port
     { entry = { sender; meeting; video_ssrc; audio_ssrc; renditions; feedback_dst = None } }
 
-let unregister_uplink t ~port = Hashtbl.remove t.uplinks port
+let unregister_uplink t ~port = Tofino.Table.remove t.uplinks port
 
 let uplink_entry t ~port =
-  Option.map (fun slot -> slot.entry) (Hashtbl.find_opt t.uplinks port)
+  Option.map (fun slot -> slot.entry) (Tofino.Table.lookup t.uplinks port)
 
 let swap_meeting_handle t ~port handle =
-  match Hashtbl.find_opt t.uplinks port with
+  match Tofino.Table.lookup t.uplinks port with
   | Some slot -> slot.entry <- { slot.entry with meeting = handle }
   | None -> invalid_arg "Dataplane.swap_meeting_handle: unknown uplink"
 
@@ -225,55 +237,55 @@ let register_leg ?simulcast t ~receiver ~video_ssrc ~audio_ssrc ~dst ~src_port ~
       stream_index;
     }
   in
-  Hashtbl.replace t.legs (receiver, video_ssrc) leg;
-  Hashtbl.replace t.legs (receiver, audio_ssrc) leg;
+  table_insert t.legs (receiver, video_ssrc) leg;
+  table_insert t.legs (receiver, audio_ssrc) leg;
   Option.iter
-    (Array.iter (fun ssrc -> Hashtbl.replace t.legs (receiver, ssrc) leg))
+    (Array.iter (fun ssrc -> table_insert t.legs (receiver, ssrc) leg))
     simulcast;
-  Hashtbl.replace t.leg_by_port src_port leg
+  table_insert t.leg_by_port src_port leg
 
 let unregister_leg t ~receiver ~video_ssrc =
-  match Hashtbl.find_opt t.legs (receiver, video_ssrc) with
+  match Tofino.Table.lookup t.legs (receiver, video_ssrc) with
   | None -> ()
   | Some leg ->
       if leg.stream_index >= 0 then begin
         t.free_stream_indices <- leg.stream_index :: t.free_stream_indices;
         Array.iter (fun r -> Tofino.Register.clear_index r leg.stream_index) t.trackers
       end;
-      Hashtbl.remove t.leg_by_port leg.src_port;
+      Tofino.Table.remove t.leg_by_port leg.src_port;
       let keys =
-        Hashtbl.fold (fun k l acc -> if l == leg then k :: acc else acc) t.legs []
+        Tofino.Table.fold t.legs (fun k l acc -> if l == leg then k :: acc else acc) []
       in
-      List.iter (Hashtbl.remove t.legs) keys
+      List.iter (Tofino.Table.remove t.legs) keys
 
 let set_leg_target t ~receiver ~video_ssrc target =
-  match Hashtbl.find_opt t.legs (receiver, video_ssrc) with
+  match Tofino.Table.lookup t.legs (receiver, video_ssrc) with
   | None -> ()
   | Some leg ->
       leg.target <- target;
       Option.iter (fun rw -> Seq_rewrite.set_target rw target) leg.rewriter
 
 let set_leg_rendition t ~leg_port rendition =
-  match Hashtbl.find_opt t.leg_by_port leg_port with
+  match Tofino.Table.lookup t.leg_by_port leg_port with
   | Some { simulcast = Some sc; _ } -> Simulcast.request_switch sc rendition
   | Some _ | None -> ()
 
 let leg_rendition t ~leg_port =
-  match Hashtbl.find_opt t.leg_by_port leg_port with
+  match Tofino.Table.lookup t.leg_by_port leg_port with
   | Some { simulcast = Some sc; _ } -> Some (Simulcast.active sc)
   | Some _ | None -> None
 
 (* Ask the sender for a key frame of one stream: a PLI from the switch,
    used to drive simulcast rendition switches. *)
 let request_keyframe t ~uplink_port ~ssrc =
-  match Hashtbl.find_opt t.uplinks uplink_port with
+  match Tofino.Table.lookup t.uplinks uplink_port with
   | Some { entry = { feedback_dst = Some dst; _ }; _ } ->
       let buf = Rtp.Rtcp.serialize_compound [ Rtp.Rtcp.Pli { sender_ssrc = 0; media_ssrc = ssrc } ] in
       Network.send t.network (Dgram.v ~src:(Addr.v t.ip uplink_port) ~dst buf)
   | Some _ | None -> ()
 
 let set_remb_forwarding t ~leg_port enabled =
-  match Hashtbl.find_opt t.leg_by_port leg_port with
+  match Tofino.Table.lookup t.leg_by_port leg_port with
   | Some leg -> leg.forward_remb <- enabled
   | None -> ()
 
@@ -286,7 +298,7 @@ let parse_dd pkt =
 
 (* Deliver one replica of a media packet to a receiver's leg. *)
 let egress_media t ~ingress_ns ~receiver (pkt : Packet.t) (dd : Dd.t option) =
-  match Hashtbl.find_opt t.legs (receiver, pkt.Packet.ssrc) with
+  match Tofino.Table.lookup t.legs (receiver, pkt.Packet.ssrc) with
   | None -> ()
   | Some leg -> (
       match dd with
@@ -409,7 +421,7 @@ let handle_sender_rtcp t uplink (dgram : Dgram.t) =
   with
   | Trees.No_receivers -> ()
   | Trees.Unicast { receiver; _ } -> (
-      match Hashtbl.find_opt t.legs (receiver, uplink.video_ssrc) with
+      match Tofino.Table.lookup t.legs (receiver, uplink.video_ssrc) with
       | Some leg ->
           emit t ~ingress_ns ~receiver ~ssrc:uplink.video_ssrc ~template:None
             ~src_port:leg.src_port ~dst:leg.dst dgram.payload
@@ -419,7 +431,7 @@ let handle_sender_rtcp t uplink (dgram : Dgram.t) =
       |> List.iter (fun (r : Tofino.Pre.replica) ->
              match Trees.receiver_of_replica t.trees uplink.meeting ~mgid ~rid:r.rid with
              | Some receiver -> (
-                 match Hashtbl.find_opt t.legs (receiver, uplink.video_ssrc) with
+                 match Tofino.Table.lookup t.legs (receiver, uplink.video_ssrc) with
                  | Some leg ->
                      emit t ~ingress_ns ~receiver ~ssrc:uplink.video_ssrc ~template:None
                        ~src_port:leg.src_port ~dst:leg.dst dgram.payload
@@ -447,7 +459,7 @@ let handle_receiver_rtcp t leg (dgram : Dgram.t) =
     t.ingress.rtcp_rr_pkts <- t.ingress.rtcp_rr_pkts + subpackets;
     t.ingress.rtcp_rr_bytes <- t.ingress.rtcp_rr_bytes + size
   end;
-  (match Hashtbl.find_opt t.uplinks leg.uplink_port with
+  (match Tofino.Table.lookup t.uplinks leg.uplink_port with
   | None -> ()
   | Some slot -> (
       let uplink = slot.entry in
@@ -466,7 +478,7 @@ let handle_receiver_rtcp t leg (dgram : Dgram.t) =
                            active rendition instead *)
                         let active = Simulcast.active sc in
                         let ssrc =
-                          match Hashtbl.find_opt t.uplinks leg.uplink_port with
+                          match Tofino.Table.lookup t.uplinks leg.uplink_port with
                           | Some { entry = { renditions; _ }; _ }
                             when active < Array.length renditions ->
                               renditions.(active)
@@ -513,16 +525,16 @@ let handler t (dgram : Dgram.t) =
   let port = dgram.dst.Addr.port in
   match Rtp.Demux.classify dgram.payload with
   | Rtp.Demux.Rtp_media -> (
-      match Hashtbl.find_opt t.uplinks port with
+      match Tofino.Table.lookup t.uplinks port with
       | Some slot -> handle_media t slot.entry dgram
       | None ->
           t.ingress.other_pkts <- t.ingress.other_pkts + 1;
           t.ingress.other_bytes <- t.ingress.other_bytes + size)
   | Rtp.Demux.Rtcp_feedback -> (
-      match Hashtbl.find_opt t.uplinks port with
+      match Tofino.Table.lookup t.uplinks port with
       | Some slot -> handle_sender_rtcp t slot.entry dgram
       | None -> (
-          match Hashtbl.find_opt t.leg_by_port port with
+          match Tofino.Table.lookup t.leg_by_port port with
           | Some leg -> handle_receiver_rtcp t leg dgram
           | None ->
               t.ingress.other_pkts <- t.ingress.other_pkts + 1;
@@ -558,6 +570,104 @@ let headers_authenticated t = t.headers_authenticated
 
 let parser_stats t = t.parser_stats
 
+(* --- introspection (snapshot layer) ---------------------------------------- *)
+
+type table_occupancy = { tbl_name : string; tbl_size : int; tbl_capacity : int }
+
+let table_occupancy t =
+  let of_table : 'k 'v. ('k, 'v) Tofino.Table.t -> table_occupancy =
+   fun tbl ->
+    {
+      tbl_name = Tofino.Table.name tbl;
+      tbl_size = Tofino.Table.size tbl;
+      tbl_capacity = Tofino.Table.capacity tbl;
+    }
+  in
+  [
+    of_table t.uplinks;
+    of_table t.legs;
+    of_table t.leg_by_port;
+    {
+      tbl_name = "stream_index";
+      tbl_size = t.next_stream_index - List.length t.free_stream_indices;
+      tbl_capacity = stream_index_capacity;
+    };
+  ]
+
+type uplink_view = {
+  uv_port : int;
+  uv_sender : int;
+  uv_meeting : Trees.handle;
+  uv_video_ssrc : int;
+  uv_audio_ssrc : int;
+  uv_renditions : int array;
+}
+
+let uplinks_view t =
+  Tofino.Table.fold t.uplinks
+    (fun port slot acc ->
+      {
+        uv_port = port;
+        uv_sender = slot.entry.sender;
+        uv_meeting = slot.entry.meeting;
+        uv_video_ssrc = slot.entry.video_ssrc;
+        uv_audio_ssrc = slot.entry.audio_ssrc;
+        uv_renditions = slot.entry.renditions;
+      }
+      :: acc)
+    []
+
+type leg_view = {
+  lv_receiver : int;
+  lv_video_ssrc : int;
+  lv_dst : Addr.t;
+  lv_src_port : int;
+  lv_uplink_port : int;
+  lv_stream_index : int;
+  lv_forward_remb : bool;
+  lv_target : Dd.decode_target;
+  lv_ssrc_keys : int list;  (** every SSRC the egress table maps to this leg *)
+}
+
+let legs_view t =
+  let by_leg = Hashtbl.create 64 in
+  Tofino.Table.iter t.legs (fun (receiver, ssrc) leg ->
+      let keys =
+        match Hashtbl.find_opt by_leg (receiver, leg.src_port) with
+        | Some (_, keys) -> ssrc :: keys
+        | None -> [ ssrc ]
+      in
+      Hashtbl.replace by_leg (receiver, leg.src_port) (leg, keys));
+  Hashtbl.fold
+    (fun (receiver, _) (leg, keys) acc ->
+      {
+        lv_receiver = receiver;
+        lv_video_ssrc = leg.leg_video_ssrc;
+        lv_dst = leg.dst;
+        lv_src_port = leg.src_port;
+        lv_uplink_port = leg.uplink_port;
+        lv_stream_index = leg.stream_index;
+        lv_forward_remb = leg.forward_remb;
+        lv_target = leg.target;
+        lv_ssrc_keys = List.sort compare keys;
+      }
+      :: acc)
+    by_leg []
+
+let feedback_view t =
+  Tofino.Table.fold t.leg_by_port
+    (fun port leg acc -> (port, leg.leg_receiver) :: acc)
+    []
+
+let stream_index_state t = (t.free_stream_indices, t.next_stream_index)
+
+(* Deliberate corruption hooks for the analysis mutation harness — each
+   breaks a bookkeeping invariant the registration API maintains. *)
+module Unsafe = struct
+  let drop_feedback_entry t ~src_port = Tofino.Table.remove t.leg_by_port src_port
+  let push_free_stream_index t idx = t.free_stream_indices <- idx :: t.free_stream_indices
+end
+
 let resource_program t =
   let open Tofino.Resources in
   {
@@ -570,21 +680,21 @@ let resource_program t =
       [
         {
           t_name = "uplink";
-          entries = max 1024 (Hashtbl.length t.uplinks);
+          entries = max 1024 (Tofino.Table.size t.uplinks);
           key_bytes = 2;
           value_bytes = 12;
           ternary = false;
         };
         {
           t_name = "egress_leg";
-          entries = max 4096 (Hashtbl.length t.legs);
+          entries = max 4096 (Tofino.Table.size t.legs);
           key_bytes = 8;
           value_bytes = 10;
           ternary = false;
         };
         {
           t_name = "feedback";
-          entries = max 4096 (Hashtbl.length t.leg_by_port);
+          entries = max 4096 (Tofino.Table.size t.leg_by_port);
           key_bytes = 2;
           value_bytes = 8;
           ternary = false;

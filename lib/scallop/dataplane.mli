@@ -154,3 +154,58 @@ val resource_program : t -> Tofino.Resources.program
 
 val stream_index_capacity : int
 (** 65,536 concurrent rate-adapted streams (paper §6.3). *)
+
+(** {1 Introspection (read-only, for the {!Scallop_analysis} snapshot layer)}
+
+    The uplink / egress-leg / feedback state lives in capacity-enforced
+    {!Tofino.Table}s; these views expose programmed contents and occupancy
+    without exposing the mutable records themselves. *)
+
+type table_occupancy = { tbl_name : string; tbl_size : int; tbl_capacity : int }
+
+val table_occupancy : t -> table_occupancy list
+(** Size vs capacity of every match-action table (plus the stream-index
+    allocator, reported in the same shape). *)
+
+type uplink_view = {
+  uv_port : int;
+  uv_sender : int;
+  uv_meeting : Trees.handle;
+  uv_video_ssrc : int;
+  uv_audio_ssrc : int;
+  uv_renditions : int array;
+}
+
+val uplinks_view : t -> uplink_view list
+
+type leg_view = {
+  lv_receiver : int;
+  lv_video_ssrc : int;
+  lv_dst : Scallop_util.Addr.t;
+  lv_src_port : int;
+  lv_uplink_port : int;
+  lv_stream_index : int;  (** -1 when not rate-adapted *)
+  lv_forward_remb : bool;
+  lv_target : Av1.Dd.decode_target;
+  lv_ssrc_keys : int list;  (** every SSRC the egress table maps to this leg *)
+}
+
+val legs_view : t -> leg_view list
+(** One entry per distinct leg (the egress table holds one key per SSRC of
+    the leg's stream; those keys are collapsed into [lv_ssrc_keys]). *)
+
+val feedback_view : t -> (int * int) list
+(** Every feedback-table entry as [(src_port, receiver)]. *)
+
+val stream_index_state : t -> int list * int
+(** The stream-index allocator's [(free list, next fresh index)]. *)
+
+(** Deliberate state corruption for the {!Scallop_analysis} mutation
+    harness. Never used by the control path. *)
+module Unsafe : sig
+  val drop_feedback_entry : t -> src_port:int -> unit
+  (** Delete a feedback rule behind the agent's back. *)
+
+  val push_free_stream_index : t -> int -> unit
+  (** Push a bogus index onto the allocator's free list. *)
+end

@@ -530,6 +530,74 @@ let stats (t : t) =
 
 let meeting_members t mid = List.map fst (meeting t mid).members
 
+(* --- introspection (snapshot layer) ---------------------------------------- *)
+
+type leg_view = {
+  alv_port : int;
+  alv_receiver : int;
+  alv_adaptive : bool;
+  alv_target : Dd.decode_target;
+}
+
+type stream_view = {
+  asv_uplink_port : int;
+  asv_sender : int;
+  asv_video_ssrc : int;
+  asv_audio_ssrc : int;
+  asv_renditions : (int * int) array;
+  asv_best_leg : int option;
+  asv_legs : leg_view list;
+}
+
+type meeting_view = {
+  amv_id : meeting_id;
+  amv_design : Trees.design;
+  amv_handle : Trees.handle;
+  amv_members : (int * int) list;
+  amv_senders : int list;
+  amv_pair_specific : bool;
+  amv_streams : stream_view list;
+}
+
+let introspect t =
+  Hashtbl.fold
+    (fun _ m acc ->
+      {
+        amv_id = m.mid;
+        amv_design = m.design;
+        amv_handle = m.handle;
+        amv_members = m.members;
+        amv_senders = m.sender_members;
+        amv_pair_specific = m.pair_specific;
+        amv_streams =
+          List.map
+            (fun s ->
+              {
+                asv_uplink_port = s.uplink_port;
+                asv_sender = s.sender;
+                asv_video_ssrc = s.video_ssrc;
+                asv_audio_ssrc = s.audio_ssrc;
+                asv_renditions = s.renditions;
+                asv_best_leg = s.best_leg;
+                asv_legs =
+                  List.map
+                    (fun l ->
+                      {
+                        alv_port = l.leg_port;
+                        alv_receiver = l.receiver;
+                        alv_adaptive = l.adaptive;
+                        alv_target = l.target;
+                      })
+                    s.legs;
+              })
+            m.streams;
+      }
+      :: acc)
+    t.meetings []
+  |> List.sort (fun a b -> compare a.amv_id b.amv_id)
+
+let feedback_filter_enabled t = t.feedback_filter
+
 let current_target t ~meeting:mid ~sender ~receiver =
   let m = meeting t mid in
   match List.find_opt (fun s -> s.sender = sender) m.streams with

@@ -137,3 +137,42 @@ val current_target : t -> meeting:meeting_id -> sender:int -> receiver:int ->
 val meeting_members : t -> meeting_id -> int list
 (** Participants currently registered in a meeting, in registration
     order (introspection for state-equivalence tests). *)
+
+(** {1 Introspection (read-only, for the {!Scallop_analysis} snapshot layer)}
+
+    The agent's shadow of every session it manages: meetings, members,
+    sender streams and their legs, as the agent believes the data plane is
+    programmed. The verifier diffs this against controller intent on one
+    side and data-plane ground truth on the other. *)
+
+type leg_view = {
+  alv_port : int;
+  alv_receiver : int;
+  alv_adaptive : bool;
+  alv_target : Av1.Dd.decode_target;
+}
+
+type stream_view = {
+  asv_uplink_port : int;
+  asv_sender : int;
+  asv_video_ssrc : int;
+  asv_audio_ssrc : int;
+  asv_renditions : (int * int) array;
+  asv_best_leg : int option;  (** the leg whose REMB is forwarded upstream *)
+  asv_legs : leg_view list;
+}
+
+type meeting_view = {
+  amv_id : meeting_id;
+  amv_design : Trees.design;
+  amv_handle : Trees.handle;
+  amv_members : (int * int) list;  (** participant, egress port *)
+  amv_senders : int list;
+  amv_pair_specific : bool;
+  amv_streams : stream_view list;
+}
+
+val introspect : t -> meeting_view list
+(** Every meeting the agent manages, sorted by id. *)
+
+val feedback_filter_enabled : t -> bool

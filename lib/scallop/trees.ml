@@ -20,7 +20,10 @@ type group = {
 
 type ra_sr_pair = {
   pair_mgids : int array;  (** per quality *)
-  mutable pair_senders : int list;  (** 1 or 2 sender ids; tag = position + 1 *)
+  mutable pair_senders : int list;
+      (** 1 or 2 sender ids; tag = position + 1, so positions are stable:
+          a removed sender becomes a [-1] hole, refilled before new pairs
+          open *)
 }
 
 type impl =
@@ -47,6 +50,7 @@ type handle = {
   pair_targets : (int * int, Dd.decode_target) Hashtbl.t;  (** (sender, receiver) *)
   mutable impl : impl;
   mutable next_pidx : int;
+  mutable free_pidx : int list;  (** indices reclaimed from removed participants *)
 }
 
 type t = {
@@ -55,9 +59,20 @@ type t = {
   mutable free_mgids : int list;
   mutable half_open : (design * group) list;
   mutable next_handle : int;
+  l2_refs : (int, int ref) Hashtbl.t;
+      (** L2-XID -> number of live L1 nodes excluding on it; the PRE entry
+          is released when the count drops to zero *)
 }
 
-let create pre = { pre; next_mgid = 1; free_mgids = []; half_open = []; next_handle = 0 }
+let create pre =
+  {
+    pre;
+    next_mgid = 1;
+    free_mgids = [];
+    half_open = [];
+    next_handle = 0;
+    l2_refs = Hashtbl.create 64;
+  }
 
 let alloc_mgid t =
   match t.free_mgids with
@@ -88,8 +103,27 @@ let pair_target_of h sender receiver =
   | Some dt -> dt
   | None -> target_of h receiver
 
-(* ensure an L2 XID exists that excludes exactly this port *)
-let ensure_l2_xid t port = Pre.set_l2_xid_ports t.pre ~xid:port ~ports:[ port ]
+(* Ensure an L2 XID exists that excludes exactly this port. Reference-
+   counted per participant registration: migration registers the new
+   design's nodes before the old ones are torn down, so the count covers
+   the overlap and the PRE entry survives exactly as long as some tree
+   membership needs it. *)
+let ensure_l2_xid t port =
+  match Hashtbl.find_opt t.l2_refs port with
+  | Some r -> incr r
+  | None ->
+      Hashtbl.replace t.l2_refs port (ref 1);
+      Pre.set_l2_xid_ports t.pre ~xid:port ~ports:[ port ]
+
+let release_l2_xid t port =
+  match Hashtbl.find_opt t.l2_refs port with
+  | None -> ()
+  | Some r ->
+      decr r;
+      if !r <= 0 then begin
+        Hashtbl.remove t.l2_refs port;
+        Pre.remove_l2_xid t.pre ~xid:port
+      end
 
 (* --- shared-group designs (Nra, Ra_r) ------------------------------------ *)
 
@@ -148,11 +182,30 @@ let pidx_of h tbl p =
   match Hashtbl.find_opt tbl p with
   | Some i -> i
   | None ->
-      let i = h.next_pidx in
-      if i >= rid_stride then raise (Capacity "participants per meeting slot");
-      h.next_pidx <- h.next_pidx + 1;
+      let i =
+        match h.free_pidx with
+        | i :: rest ->
+            h.free_pidx <- rest;
+            i
+        | [] ->
+            if h.next_pidx >= rid_stride then
+              raise (Capacity "participants per meeting slot");
+            let i = h.next_pidx in
+            h.next_pidx <- i + 1;
+            i
+      in
       Hashtbl.replace tbl p i;
       i
+
+(* Reclaim a departed participant's index (and thus its RID) for reuse —
+   without this, a long-lived meeting with churn exhausts its slot's
+   [rid_stride] after 1024 cumulative joins. *)
+let free_pidx_of h tbl p =
+  match Hashtbl.find_opt tbl p with
+  | None -> ()
+  | Some i ->
+      Hashtbl.remove tbl p;
+      h.free_pidx <- i :: h.free_pidx
 
 let shared_add_participant t h group slot pidx nodes (p, port) =
   ensure_l2_xid t port;
@@ -171,10 +224,17 @@ let shared_add_participant t h group slot pidx nodes (p, port) =
     (member_trees group.g_design tidx)
 
 let shared_remove_participant t group nodes p =
+  let released = ref false in
   List.iter
     (fun q ->
       match Hashtbl.find_opt nodes (p, q) with
       | Some node ->
+          if not !released then begin
+            (* one ensure_l2_xid per registration; release it once, on the
+               port this participant's nodes were built for *)
+            List.iter (release_l2_xid t) (Pre.node_ports t.pre node);
+            released := true
+          end;
           Pre.remove_node_from_tree t.pre group.mgids.(q) node;
           Pre.destroy_l1_node t.pre node;
           Hashtbl.remove nodes (p, q)
@@ -224,13 +284,32 @@ let ra_sr_node_sync t h (impl_pairs, ridx, nodes) ~sender ~receiver ~port =
         [ 0; 1; 2 ]
 
 let ra_sr_add_sender t h (pairs_ref, ridx, nodes) sender =
-  (match List.find_opt (fun p -> List.length p.pair_senders < 2) !pairs_ref with
-  | Some p -> p.pair_senders <- p.pair_senders @ [ sender ]
-  | None ->
-      wrap_capacity (fun () ->
-          let mgids = Array.init qualities (fun _ -> alloc_mgid t) in
-          Array.iter (fun m -> Pre.create_tree t.pre ~mgid:m ~nodes:[]) mgids;
-          pairs_ref := !pairs_ref @ [ { pair_mgids = mgids; pair_senders = [ sender ] } ]));
+  (* A sender's tag (and with it the RID range and L1-XID of all its
+     nodes) is its *position* in the pair, so positions must stay stable
+     across removals: departed senders leave a [-1] hole, refilled here
+     before any new pair is opened. *)
+  let fill_hole p =
+    let filled = ref false in
+    p.pair_senders <-
+      List.map
+        (fun s ->
+          if s = -1 && not !filled then begin
+            filled := true;
+            sender
+          end
+          else s)
+        p.pair_senders
+  in
+  (match List.find_opt (fun p -> List.mem (-1) p.pair_senders) !pairs_ref with
+  | Some p -> fill_hole p
+  | None -> (
+      match List.find_opt (fun p -> List.length p.pair_senders < 2) !pairs_ref with
+      | Some p -> p.pair_senders <- p.pair_senders @ [ sender ]
+      | None ->
+          wrap_capacity (fun () ->
+              let mgids = Array.init qualities (fun _ -> alloc_mgid t) in
+              Array.iter (fun m -> Pre.create_tree t.pre ~mgid:m ~nodes:[]) mgids;
+              pairs_ref := !pairs_ref @ [ { pair_mgids = mgids; pair_senders = [ sender ] } ])));
   (* add nodes towards every other participant *)
   List.iter
     (fun (r, port) ->
@@ -251,6 +330,7 @@ let register_meeting t design ~participants ~senders =
       pair_targets = Hashtbl.create 8;
       impl = I_two_party;
       next_pidx = 0;
+      free_pidx = [];
     }
   in
   t.next_handle <- t.next_handle + 1;
@@ -341,8 +421,10 @@ let remove_participant t h p =
   Hashtbl.remove h.targets p;
   match h.impl with
   | I_two_party -> ()
-  | I_shared { group; nodes; _ } -> shared_remove_participant t group nodes p
-  | I_ra_sr { pairs; nodes; _ } ->
+  | I_shared { group; pidx; nodes; _ } ->
+      shared_remove_participant t group nodes p;
+      free_pidx_of h pidx p
+  | I_ra_sr ({ pairs; ridx; nodes; _ } as impl) ->
       let snapshot = Hashtbl.copy nodes in
       Hashtbl.iter
         (fun (s, r, q) node ->
@@ -355,7 +437,23 @@ let remove_participant t h p =
             Hashtbl.remove nodes (s, r, q)
           end)
         snapshot;
-      List.iter (fun pair -> pair.pair_senders <- List.filter (fun s -> s <> p) pair.pair_senders) pairs
+      free_pidx_of h ridx p;
+      (* leave a hole so the surviving sender keeps its position — the
+         position encodes its tag, i.e. the RID range and L1-XID its
+         nodes were created under; compacting the list would make the
+         sender's own route exclude its own branches *)
+      List.iter
+        (fun pair ->
+          pair.pair_senders <-
+            List.map (fun s -> if s = p then -1 else s) pair.pair_senders)
+        pairs;
+      let live, dead =
+        List.partition (fun pair -> List.exists (fun s -> s >= 0) pair.pair_senders) pairs
+      in
+      List.iter
+        (fun pair -> Array.iter (fun m -> Pre.destroy_tree t.pre m) pair.pair_mgids)
+        dead;
+      impl.pairs <- live
 
 (* --- targets ------------------------------------------------------------- *)
 
@@ -448,6 +546,40 @@ let receiver_of_replica _t h ~mgid ~rid =
 
 let participants h = h.h_participants
 let senders h = h.h_senders
+
+(* --- introspection (snapshot layer) ---------------------------------------- *)
+
+let handle_id h = h.id
+
+let handle_mgids h =
+  match h.impl with
+  | I_two_party -> []
+  | I_shared { group; _ } -> Array.to_list group.mgids
+  | I_ra_sr { pairs; _ } ->
+      List.concat_map (fun pair -> Array.to_list pair.pair_mgids) pairs
+
+type node_binding = {
+  nb_node : Pre.node_id;
+  nb_receiver : int;
+  nb_sender : int option;  (** [Some s] only under Ra_sr *)
+  nb_quality : int;
+}
+
+let node_bindings h =
+  match h.impl with
+  | I_two_party -> []
+  | I_shared { nodes; _ } ->
+      Hashtbl.fold
+        (fun (p, q) node acc ->
+          { nb_node = node; nb_receiver = p; nb_sender = None; nb_quality = q } :: acc)
+        nodes []
+  | I_ra_sr { nodes; _ } ->
+      Hashtbl.fold
+        (fun (s, r, q) node acc ->
+          { nb_node = node; nb_receiver = r; nb_sender = Some s; nb_quality = q } :: acc)
+        nodes []
+
+let l2_xid_refs t = Hashtbl.fold (fun xid r acc -> (xid, !r) :: acc) t.l2_refs []
 
 let migrate t h design =
   (* step 1: build the new trees; step 2 is the caller swapping handles;

@@ -84,3 +84,29 @@ val receiver_of_replica : t -> handle -> mgid:int -> rid:int -> int option
 
 val participants : handle -> (int * int) list
 val senders : handle -> int list
+
+(** {1 Introspection (read-only, for the {!Scallop_analysis} snapshot layer)} *)
+
+val handle_id : handle -> int
+(** Stable identifier of this registration; a data-plane uplink's
+    [meeting] handle can be matched against the agent's by id. *)
+
+val handle_mgids : handle -> int list
+(** Every MGID this meeting's media can be steered to. Shared-group
+    designs (NRA/RA-R) aggregate [meetings_per_tree] meetings per tree,
+    so two handles may legitimately report the same MGID. *)
+
+type node_binding = {
+  nb_node : Tofino.Pre.node_id;
+  nb_receiver : int;
+  nb_sender : int option;  (** [Some s] only under Ra_sr *)
+  nb_quality : int;
+}
+
+val node_bindings : handle -> node_binding list
+(** Every L1 node this meeting owns, with the (sender,) receiver and
+    quality tree it was built for. Empty for Two_party. *)
+
+val l2_xid_refs : t -> (int * int) list
+(** Programmed L2-XIDs with their reference counts (one per live
+    participant registration excluding on that port). *)

@@ -103,6 +103,7 @@ let remove_node_from_tree t mgid id =
   nodes := List.filter (fun x -> x <> id) !nodes
 
 let set_l2_xid_ports t ~xid ~ports = Hashtbl.replace t.l2_xids xid ports
+let remove_l2_xid t ~xid = Hashtbl.remove t.l2_xids xid
 
 type replica = { rid : int; port : int }
 
@@ -131,3 +132,26 @@ let limits t = t.lim
 let tree_nodes t mgid = List.rev !(find_tree t mgid)
 let node_rid t id = (find_node t id).rid
 let node_ports t id = (find_node t id).ports
+let node_l1_xid t id = (find_node t id).l1_xid
+let node_prune_enabled t id = (find_node t id).prune_enabled
+let node_tree t id = (find_node t id).tree
+
+let iter_trees t f = Hashtbl.iter (fun mgid nodes -> f ~mgid ~nodes:(List.rev !nodes)) t.trees
+
+let iter_nodes t f = Hashtbl.iter (fun id _ -> f id) t.nodes
+
+let iter_l2_xids t f = Hashtbl.iter (fun xid ports -> f ~xid ~ports) t.l2_xids
+
+let l2_xid_ports t ~xid = Hashtbl.find_opt t.l2_xids xid
+
+module Unsafe = struct
+  let set_node_rid t id rid =
+    let n = find_node t id in
+    Hashtbl.replace t.nodes id { n with rid }
+
+  let set_node_ports t id ports =
+    let n = find_node t id in
+    Hashtbl.replace t.nodes id { n with ports }
+
+  let drop_tree_record t mgid = Hashtbl.remove t.trees mgid
+end

@@ -53,6 +53,10 @@ val remove_node_from_tree : t -> mgid -> node_id -> unit
 val set_l2_xid_ports : t -> xid:int -> ports:int list -> unit
 (** Define the egress-port set an L2-XID excludes. *)
 
+val remove_l2_xid : t -> xid:int -> unit
+(** Release an L2-XID's exclusion set (participant teardown). Unknown
+    XIDs are ignored. *)
+
 type replica = { rid : int; port : int }
 
 val replicate : t -> mgid:mgid -> l1_xid:int -> rid:int -> l2_xid:int -> replica list
@@ -67,3 +71,36 @@ val limits : t -> limits
 val tree_nodes : t -> mgid -> node_id list
 val node_rid : t -> node_id -> int
 val node_ports : t -> node_id -> int list
+val node_l1_xid : t -> node_id -> int
+val node_prune_enabled : t -> node_id -> bool
+
+val node_tree : t -> node_id -> mgid option
+(** The tree a node is a member of, if any ([None] = free-standing). *)
+
+val iter_trees : t -> (mgid:mgid -> nodes:node_id list -> unit) -> unit
+(** Visit every programmed tree with its member nodes, in an unspecified
+    order. Read-only: the callback must not mutate the PRE. *)
+
+val iter_nodes : t -> (node_id -> unit) -> unit
+(** Visit every allocated L1 node (tree members and free-standing alike).
+    Read-only: the callback must not mutate the PRE. *)
+
+val iter_l2_xids : t -> (xid:int -> ports:int list -> unit) -> unit
+(** Visit every programmed L2-XID exclusion set. Read-only. *)
+
+val l2_xid_ports : t -> xid:int -> int list option
+
+(** Deliberate state corruption for the analysis-layer mutation harness
+    ({!Scallop_analysis}) and fault-injection tests. Never called by the
+    production control path: each entry point violates an invariant the
+    normal API enforces. *)
+module Unsafe : sig
+  val set_node_rid : t -> node_id -> int -> unit
+  (** Rewrite a node's RID in place, bypassing per-tree uniqueness. *)
+
+  val set_node_ports : t -> node_id -> int list -> unit
+
+  val drop_tree_record : t -> mgid -> unit
+  (** Forget a tree without detaching its nodes — leaves every member
+      pointing at a dangling MGID. *)
+end

@@ -18,4 +18,10 @@ val lookup : ('k, 'v) t -> 'k -> 'v option
 val remove : ('k, 'v) t -> 'k -> unit
 val clear : ('k, 'v) t -> unit
 val iter : ('k, 'v) t -> ('k -> 'v -> unit) -> unit
+
+val fold : ('k, 'v) t -> ('k -> 'v -> 'acc -> 'acc) -> 'acc -> 'acc
+(** Fold over every entry, in an unspecified order — the snapshot
+    layer's read-only view of programmed table state. *)
+
+val mem : ('k, 'v) t -> 'k -> bool
 val utilization : ('k, 'v) t -> float
