@@ -114,7 +114,14 @@ let simulate_cmd =
          & info [ "check" ]
              ~doc:"After the run, verify cross-layer state invariants and fail on any violation.")
   in
-  let run participants senders seconds downlink_mbps ctrl_rtt_ms ctrl_loss check =
+  let paranoid =
+    Arg.(value & flag
+         & info [ "paranoid" ]
+             ~doc:"Run the data plane in differential mode: every egress datagram is \
+                   materialized by both the zero-copy fast path and the record slow \
+                   path and byte-compared; any divergence aborts the run.")
+  in
+  let run participants senders seconds downlink_mbps ctrl_rtt_ms ctrl_loss check paranoid =
    try
     let senders = Option.value senders ~default:participants in
     let control =
@@ -122,6 +129,8 @@ let simulate_cmd =
         ~rtt_ns:(Netsim.Engine.ms ctrl_rtt_ms) ()
     in
     let stack = Experiments.Common.make_scallop ~seed:99 ~control () in
+    if paranoid then
+      Scallop.Dataplane.set_mode stack.Experiments.Common.dp Scallop.Dataplane.Paranoid;
     let _mid, members =
       Experiments.Common.scallop_meeting stack ~participants ~senders ()
     in
@@ -179,6 +188,18 @@ let simulate_cmd =
 "
       cstats.control_requests cstats.control_retries cstats.control_failures
       astats.rpc_calls;
+    let fp = Scallop.Dataplane.fastpath_stats stack.Experiments.Common.dp in
+    Printf.printf
+      "fast path: %d fast / %d slow ingress, %d replica copies; PRE cache: %d hits, \
+       %d misses, %d invalidations, %d resident\n"
+      fp.Scallop.Dataplane.fp_fast_pkts fp.Scallop.Dataplane.fp_slow_pkts
+      fp.Scallop.Dataplane.fp_replica_copies fp.Scallop.Dataplane.fp_cache_hits
+      fp.Scallop.Dataplane.fp_cache_misses fp.Scallop.Dataplane.fp_cache_invalidations
+      fp.Scallop.Dataplane.fp_cache_entries;
+    if paranoid then
+      Printf.printf "paranoid: %d egress datagrams byte-compared, %d mismatches\n"
+        fp.Scallop.Dataplane.fp_paranoid_checks
+        fp.Scallop.Dataplane.fp_paranoid_mismatches;
     if check then begin
       let findings = Scallop_analysis.verify stack.Experiments.Common.controller in
       let errors = Scallop_analysis.errors findings in
@@ -211,7 +232,7 @@ let simulate_cmd =
     (Cmd.info "simulate" ~doc:"Run one meeting through Scallop and print a QoE report.")
     Term.(term_result
             (const run $ participants $ senders $ seconds $ downlink_mbps $ ctrl_rtt_ms
-             $ ctrl_loss $ check))
+             $ ctrl_loss $ check $ paranoid))
 
 let check_cmd =
   let ctrl_rtt_ms =
@@ -295,6 +316,18 @@ let check_cmd =
       Scallop.Controller.leave controller p0;
       run_for 1.0;
       verify_point "after churn";
+      List.iteri
+        (fun i (_, dp) ->
+          let fp = Scallop.Dataplane.fastpath_stats dp in
+          Printf.printf
+            "sw%d fast path: %d fast / %d slow ingress, %d replica copies; PRE cache: \
+             %d hits, %d misses, %d invalidations, %d resident\n"
+            i fp.Scallop.Dataplane.fp_fast_pkts fp.Scallop.Dataplane.fp_slow_pkts
+            fp.Scallop.Dataplane.fp_replica_copies fp.Scallop.Dataplane.fp_cache_hits
+            fp.Scallop.Dataplane.fp_cache_misses
+            fp.Scallop.Dataplane.fp_cache_invalidations
+            fp.Scallop.Dataplane.fp_cache_entries)
+        [ s0; s1 ];
       if !total_errors = 0 then begin
         Printf.printf "all state checks clean\n";
         Ok ()

@@ -22,6 +22,7 @@ type kind =
   | Table_overflow
   | Stream_index_corrupt
   | Resource_budget
+  | Stale_pre_cache
   | Intent_drift
   | Shadow_drift
 
@@ -54,6 +55,7 @@ let kind_name = function
   | Table_overflow -> "table-overflow"
   | Stream_index_corrupt -> "stream-index-corrupt"
   | Resource_budget -> "resource-budget"
+  | Stale_pre_cache -> "stale-pre-cache"
   | Intent_drift -> "intent-drift"
   | Shadow_drift -> "shadow-drift"
 
@@ -847,6 +849,26 @@ let check_intent ctx snap =
           "relay receiver for meeting %d has no egress port allocated" r.C.rv_meeting)
     intent.C.in_relays
 
+(* --- PRE fan-out cache re-audit ---------------------------------------------
+
+   The data plane serves replication results from a memo table keyed by
+   the packet metadata tuple; the invalidation discipline (flush on every
+   tree/node/L2-XID mutation) is supposed to make a stale entry
+   impossible. Re-derive every resident entry from the live trees and
+   diff — the cache-coherence analogue of the behavioural reachability
+   check. *)
+
+let check_pre_cache ctx sw =
+  P.iter_cache sw.sw_pre (fun ~mgid ~l1_xid ~rid ~l2_xid ~replicas ->
+      let fresh = P.replicate sw.sw_pre ~mgid ~l1_xid ~rid ~l2_xid in
+      if Array.to_list replicas <> fresh then
+        errf ctx Pre Stale_pre_cache
+          (Printf.sprintf "sw%d/pre-cache:%#x" sw.sw_index mgid)
+          "cached fan-out for (mgid=%#x, l1_xid=%d, rid=%d, l2_xid=%d) has %d \
+           replicas; recomputing from the live trees yields %d — invalidation \
+           discipline violated"
+          mgid l1_xid rid l2_xid (Array.length replicas) (List.length fresh))
+
 (* --- entry points ------------------------------------------------------------ *)
 
 let check ?(totals = R.tofino2) snap =
@@ -854,6 +876,7 @@ let check ?(totals = R.tofino2) snap =
   List.iter
     (fun sw ->
       check_pre ctx sw;
+      check_pre_cache ctx sw;
       check_xids ctx sw;
       List.iter (check_uplink ctx snap.snap_intent sw) sw.sw_uplinks;
       check_legs ctx sw;

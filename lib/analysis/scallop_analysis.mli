@@ -26,6 +26,8 @@
       allocator free of double-allocation/double-free;
     - a resource re-audit of the rebuilt {!Tofino.Resources.program}
       against the Tofino2 budget (stages, SRAM, PHV, VLIW, parser depth);
+    - PRE fan-out cache coherence: every resident memo entry is
+      re-derived from the live trees and must match exactly;
     - cross-layer diff: controller intent ≡ agent shadow ≡ data-plane
       ground truth, membership, uplinks and relay receivers included.
 
@@ -51,6 +53,10 @@ type kind =
   | Table_overflow  (** match-action table over (or near) capacity *)
   | Stream_index_corrupt  (** stream-index allocator double-free/use *)
   | Resource_budget  (** PRE or Tofino2 chip budget exceeded *)
+  | Stale_pre_cache
+      (** a resident PRE fan-out cache entry disagrees with what
+          {!Tofino.Pre.replicate} computes from the live trees — the
+          flush-on-mutation discipline was bypassed *)
   | Intent_drift  (** controller intent vs agent shadow mismatch *)
   | Shadow_drift  (** agent shadow vs data-plane ground truth mismatch *)
 

@@ -97,6 +97,70 @@ let parse buf =
     structure;
   }
 
+type fields = {
+  f_start_of_frame : bool;
+  f_end_of_frame : bool;
+  f_template_id : int;
+  f_frame_number : int;
+  f_has_structure : bool;
+  f_canonical : bool;
+}
+
+let frame_number_pos = 1
+
+(* Allocation-free mirror of [parse] over a sub-range: validates exactly
+   the inputs [parse] accepts (None where it would raise) without
+   materializing the record or structure arrays. *)
+let read_fields buf ~off ~len =
+  if off < 0 || len < 0 || off + len > Bytes.length buf then None
+  else if len < 3 then None
+  else begin
+    let u8 i = Char.code (Bytes.get buf (off + i)) in
+    let flags = u8 0 in
+    let frame_number = (u8 1 lsl 8) lor u8 2 in
+    (* canonical = re-serializing the parsed descriptor reproduces these
+       exact bytes; parse tolerates trailing bytes after the structure,
+       serialize never emits them *)
+    let structure_ok =
+      if len = 3 then Some (false, true)
+      else if u8 3 <> 0x01 then None
+      else if len < 5 then None
+      else begin
+        let n = u8 4 in
+        if len < 5 + n + 1 then None
+        else begin
+          let ok = ref true in
+          for i = 0 to n - 1 do
+            if u8 (5 + i) > 2 then ok := false
+          done;
+          if !ok then Some (true, len = 5 + n + 1) else None
+        end
+      end
+    in
+    match structure_ok with
+    | None -> None
+    | Some (has_structure, canonical) ->
+        Some
+          {
+            f_start_of_frame = flags land 0x80 <> 0;
+            f_end_of_frame = flags land 0x40 <> 0;
+            f_template_id = flags land 0x3F;
+            f_frame_number = frame_number;
+            f_has_structure = has_structure;
+            f_canonical = canonical;
+          }
+  end
+
+let fields_of_t t =
+  {
+    f_start_of_frame = t.start_of_frame;
+    f_end_of_frame = t.end_of_frame;
+    f_template_id = t.template_id;
+    f_frame_number = t.frame_number;
+    f_has_structure = t.structure <> None;
+    f_canonical = true;
+  }
+
 let frame_number_succ n = (n + 1) land 0xFFFF
 
 let pp fmt t =

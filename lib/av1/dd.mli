@@ -59,6 +59,34 @@ val layer_index : temporal_layer -> int
 val serialize : t -> bytes
 val parse : bytes -> t
 
+type fields = {
+  f_start_of_frame : bool;
+  f_end_of_frame : bool;
+  f_template_id : int;
+  f_frame_number : int;
+  f_has_structure : bool;
+  f_canonical : bool;
+      (** The bytes equal [serialize (parse bytes)] — no trailing slack
+          after the structure. When false, an in-place frame-number patch
+          is not interchangeable with a parse-and-reserialize. *)
+}
+(** The descriptor's scalar fields, without materializing the structure
+    arrays — what the data-plane fast path needs. *)
+
+val frame_number_pos : int
+(** Byte offset of the 16-bit frame number within a serialized
+    descriptor (= 1); the fast path patches it in place. *)
+
+val read_fields : bytes -> off:int -> len:int -> fields option
+(** Allocation-free validation + field extraction over a sub-range of a
+    larger buffer (e.g. straight out of an {!Rtp.Packet.View}). Returns
+    [None] exactly when {!parse} would raise on those bytes, [Some]
+    otherwise — parity the paranoid differential mode depends on. *)
+
+val fields_of_t : t -> fields
+(** The same scalar fields read off a parsed descriptor (slow path);
+    [f_canonical] is trivially true. *)
+
 val frame_number_succ : int -> int
 val pp : Format.formatter -> t -> unit
 val equal : t -> t -> bool

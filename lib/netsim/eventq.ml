@@ -4,10 +4,9 @@ type 'a t = {
   mutable heap : 'a entry array;
   mutable size : int;
   mutable next_seq : int;
-  mutable dummy : 'a entry option;  (** template for growing the array *)
 }
 
-let create () = { heap = [||]; size = 0; next_seq = 0; dummy = None }
+let create () = { heap = [||]; size = 0; next_seq = 0 }
 let is_empty t = t.size = 0
 let length t = t.size
 
@@ -44,8 +43,7 @@ let push t ~time value =
     let cap = max 16 (2 * t.size) in
     let bigger = Array.make cap entry in
     Array.blit t.heap 0 bigger 0 t.size;
-    t.heap <- bigger;
-    t.dummy <- Some entry
+    t.heap <- bigger
   end;
   t.heap.(t.size) <- entry;
   t.size <- t.size + 1;

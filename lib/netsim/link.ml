@@ -94,9 +94,18 @@ let send t dgram =
   else begin
     let now = Engine.now t.engine in
     let start = max now t.busy_until in
-    let departure = start + tx_time_ns cfg size in
+    let tx = tx_time_ns cfg size in
+    let departure = start + tx in
     t.busy_until <- departure;
-    t.queued_bytes <- t.queued_bytes + size;
+    (* zero serialization time means zero queue occupancy: the release
+       event would fire at the same instant it was scheduled, so skip the
+       bookkeeping entirely rather than pay two event-queue operations per
+       datagram on ideal links *)
+    if tx > 0 then begin
+      t.queued_bytes <- t.queued_bytes + size;
+      Engine.at t.engine ~time:departure (fun () ->
+          t.queued_bytes <- t.queued_bytes - size)
+    end;
     let jitter =
       match cfg.jitter with
       | No_jitter -> 0
@@ -106,8 +115,6 @@ let send t dgram =
     in
     let extra = if Rng.bernoulli t.rng cfg.reorder then reorder_extra_ns t else 0 in
     let arrival = departure + cfg.propagation_ns + jitter + extra in
-    Engine.at t.engine ~time:departure (fun () ->
-        t.queued_bytes <- t.queued_bytes - size);
     Engine.at t.engine ~time:arrival (fun () ->
         t.delivered <- t.delivered + 1;
         t.bytes_delivered <- t.bytes_delivered + size;

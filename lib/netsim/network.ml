@@ -49,7 +49,12 @@ let unbind_host t ~ip = Hashtbl.remove t.host_handlers ip
 
 let send t dgram =
   match Hashtbl.find_opt t.hosts dgram.Dgram.src.ip with
-  | Some host -> Link.send host.uplink dgram
+  | Some host ->
+      (* A destination with no host can never be delivered: count the drop
+         up front instead of simulating an uplink transit whose only
+         outcome is the same counter bump two events later. *)
+      if Hashtbl.mem t.hosts dgram.Dgram.dst.ip then Link.send host.uplink dgram
+      else t.undeliverable <- t.undeliverable + 1
   | None -> t.undeliverable <- t.undeliverable + 1
 
 let uplink t ~ip =

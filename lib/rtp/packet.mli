@@ -42,6 +42,46 @@ val parse : bytes -> t
 (** @raise Wire.Parse_error on malformed input. *)
 
 val find_extension : t -> int -> bytes option
+
+(** Allocation-free view over a serialized RTP packet — the data-plane
+    fast path's ingress representation. One pass records the fixed header
+    fields plus byte offsets into the original buffer, without
+    materializing a record, extension list, or payload copy; forwarding
+    then works by [Bytes.copy] + {!Wire.Patch} at the recorded offsets,
+    exactly like the hardware pipeline's header rewrite. *)
+module View : sig
+  type t = private {
+    buf : bytes;  (** The underlying (unowned, unmodified) buffer. *)
+    marker : bool;
+    payload_type : int;
+    sequence : int;
+    timestamp : int;
+    ssrc : int;
+    ext_off : int;
+        (** Byte offset of the requested extension element's data within
+            [buf], or -1 when the element is absent. *)
+    ext_len : int;  (** Its length in bytes (0 when absent). *)
+    payload_off : int;
+    payload_len : int;  (** Payload extent, excluding any RTP padding. *)
+    canonical : bool;
+        (** [buf] is byte-identical to [serialize (parse buf)]; when
+            false (padding bit, extension terminator/interior padding,
+            non-minimal profile...), copy-and-patch is not equivalent to
+            parse-and-reserialize and callers must take the slow path. *)
+  }
+
+  val sequence_pos : int
+  (** Fixed byte offset of the 16-bit sequence number (2). *)
+
+  val ssrc_pos : int
+  (** Fixed byte offset of the 32-bit SSRC (8). *)
+
+  val of_bytes : ?ext_id:int -> bytes -> t
+  (** [ext_id] selects which extension element's extent to record (e.g.
+      the AV1 dependency descriptor's id). Accepts and rejects exactly
+      the same inputs as {!parse}.
+      @raise Wire.Parse_error on malformed input. *)
+end
 val with_sequence : t -> int -> t
 val with_ssrc : t -> int -> t
 val wire_size : t -> int

@@ -81,3 +81,13 @@ module Writer = struct
   let bytes t b = Buffer.add_bytes t b
   let contents t = Buffer.to_bytes t
 end
+
+module Patch = struct
+  let u16 buf ~pos v =
+    Bytes.set buf pos (Char.chr ((v lsr 8) land 0xFF));
+    Bytes.set buf (pos + 1) (Char.chr (v land 0xFF))
+
+  let u32 buf ~pos v =
+    u16 buf ~pos ((v lsr 16) land 0xFFFF);
+    u16 buf ~pos:(pos + 2) (v land 0xFFFF)
+end

@@ -46,3 +46,11 @@ module Writer : sig
   val bytes : t -> bytes -> unit
   val contents : t -> bytes
 end
+
+(** In-place big-endian patching of an already-serialized buffer — the
+    data-plane fast path's "header rewrite" primitive. Values are masked
+    to field width; the caller guarantees the offsets are in bounds. *)
+module Patch : sig
+  val u16 : bytes -> pos:int -> int -> unit
+  val u32 : bytes -> pos:int -> int -> unit
+end

@@ -59,6 +59,10 @@ let fresh_counters () =
     other_bytes = 0;
   }
 
+type mode = Fast | Slow | Paranoid
+
+exception Differential_mismatch of string
+
 type uplink = {
   sender : int;
   meeting : Trees.handle;
@@ -108,6 +112,12 @@ type t = {
   mutable egress_pkts : int;
   mutable egress_bytes : int;
   mutable replicas_suppressed : int;
+  mutable mode : mode;
+  mutable fast_pkts : int;
+  mutable slow_pkts : int;
+  mutable replica_copies : int;
+  mutable paranoid_checks : int;
+  mutable paranoid_mismatches : int;
   forward_delay : Stats.Samples.t;
   parser_stats : Tofino.Parser.t;
   mutable egress_hook : receiver:int -> ssrc:int -> template:int option -> size:int -> unit;
@@ -118,7 +128,7 @@ type t = {
 let hmac_latency_ns = 150
 
 let create engine network ~ip ?pre_limits ?(pipeline_latency_ns = 600)
-    ?(cpu_port_latency_ns = 50_000) ?(header_auth = false) () =
+    ?(cpu_port_latency_ns = 50_000) ?(header_auth = false) ?(mode = Fast) () =
   let pre =
     match pre_limits with
     | Some limits -> Tofino.Pre.create ~limits ()
@@ -153,6 +163,12 @@ let create engine network ~ip ?pre_limits ?(pipeline_latency_ns = 600)
       egress_pkts = 0;
       egress_bytes = 0;
       replicas_suppressed = 0;
+      mode;
+      fast_pkts = 0;
+      slow_pkts = 0;
+      replica_copies = 0;
+      paranoid_checks = 0;
+      paranoid_mismatches = 0;
       forward_delay = Stats.Samples.create ();
       parser_stats = Tofino.Parser.create ();
       egress_hook = (fun ~receiver:_ ~ssrc:_ ~template:_ ~size:_ -> ());
@@ -163,6 +179,8 @@ let create engine network ~ip ?pre_limits ?(pipeline_latency_ns = 600)
 let ip t = t.ip
 let trees t = t.trees
 let pre t = t.pre
+let mode t = t.mode
+let set_mode t mode = t.mode <- mode
 let set_cpu_sink t sink = t.cpu_sink <- sink
 let set_egress_hook t hook = t.egress_hook <- hook
 
@@ -173,17 +191,26 @@ let to_cpu t dgram =
 
 let inject t dgram = Network.send t.network dgram
 
-let emit t ~ingress_ns ~receiver ~ssrc ~template ~src_port ~dst payload =
+(* Every replica of one ingress packet leaves the pipeline at the same
+   departure instant, so replicas are staged into [acc] and sent by a
+   single scheduled flush — one event-queue operation per ingress packet
+   instead of one per replica. *)
+let emit t ~acc ~receiver ~ssrc ~template ~src_port ~dst payload =
   let size = Bytes.length payload + 42 in
   if t.header_auth then t.headers_authenticated <- t.headers_authenticated + 1;
   t.egress_pkts <- t.egress_pkts + 1;
   t.egress_bytes <- t.egress_bytes + size;
   t.egress_hook ~receiver ~ssrc ~template ~size;
-  let departure = ingress_ns + t.pipeline_latency_ns in
   Stats.Samples.observe t.forward_delay (float_of_int t.pipeline_latency_ns);
-  let dgram = Dgram.v ~src:(Addr.v t.ip src_port) ~dst payload in
-  Engine.at t.engine ~time:(max departure (Engine.now t.engine)) (fun () ->
-      Network.send t.network dgram)
+  acc := Dgram.v ~src:(Addr.v t.ip src_port) ~dst payload :: !acc
+
+let flush_egress t ~ingress_ns acc =
+  match !acc with
+  | [] -> ()
+  | staged ->
+      let time = max (ingress_ns + t.pipeline_latency_ns) (Engine.now t.engine) in
+      Engine.at t.engine ~time (fun () ->
+          List.iter (Network.send t.network) (List.rev staged))
 
 (* --- configuration -------------------------------------------------------- *)
 
@@ -296,93 +323,225 @@ let parse_dd pkt =
   | None -> None
   | Some data -> ( try Some (Dd.parse data) with Rtp.Wire.Parse_error _ -> None)
 
+(* One ingress media packet, as both paths see it. The decision phase
+   (simulcast splice, layer suppression, sequence rewrite — all stateful)
+   runs exactly once per replica on the scalar fields below; only the
+   materialization of the egress bytes differs between paths, so the
+   paranoid mode can run both without double-advancing rewriter state. *)
+type media_ctx = {
+  c_ssrc : int;
+  c_seq : int;
+  c_fields : Dd.fields option;
+  c_view : Packet.View.t option;  (** [Some] iff fast materialization is sound *)
+  c_slow : (Packet.t * Dd.t option) Lazy.t;
+}
+
+(* What the pipeline does to one replica's header. *)
+type egress_action =
+  | Emit_verbatim  (** audio / descriptor-less video: bytes unchanged *)
+  | Emit_seq of { seq : int; template : int }  (** patch the sequence number *)
+  | Emit_splice of { ssrc : int; seq : int; frame : int; template : int }
+      (** simulcast splice: patch SSRC, sequence and AV1 frame number *)
+  | Suppress
+
+let decide leg ~ssrc ~seq (fields : Dd.fields option) =
+  match fields with
+  | None -> Emit_verbatim
+  | Some f when leg.simulcast <> None -> (
+      let sc = Option.get leg.simulcast in
+      let keyframe_start = f.Dd.f_start_of_frame && f.Dd.f_template_id = 0 in
+      match
+        Simulcast.on_packet sc ~ssrc ~seq ~frame:f.Dd.f_frame_number ~keyframe_start
+      with
+      | Simulcast.Drop -> Suppress
+      | Simulcast.Forward { ssrc; seq; frame } ->
+          Emit_splice { ssrc; seq; frame; template = f.Dd.f_template_id })
+  | Some f ->
+      if not (Dd.template_in_target_l1t3 f.Dd.f_template_id leg.target) then Suppress
+      else begin
+        let action =
+          match leg.rewriter with
+          | Some rw ->
+              Seq_rewrite.on_packet rw ~seq ~frame:f.Dd.f_frame_number
+                ~start_of_frame:f.Dd.f_start_of_frame ~end_of_frame:f.Dd.f_end_of_frame
+          | None -> Seq_rewrite.Forward seq
+        in
+        match action with
+        | Seq_rewrite.Drop -> Suppress
+        | Seq_rewrite.Forward seq -> Emit_seq { seq; template = f.Dd.f_template_id }
+      end
+
+(* Fast materialization: one copy of the ingress buffer, then fixed-offset
+   patches — the model equivalent of the hardware header rewrite. *)
+let materialize_fast t (view : Packet.View.t) action =
+  t.replica_copies <- t.replica_copies + 1;
+  let buf = Bytes.copy view.Packet.View.buf in
+  (match action with
+  | Emit_verbatim | Suppress -> ()
+  | Emit_seq { seq; _ } -> Rtp.Wire.Patch.u16 buf ~pos:Packet.View.sequence_pos seq
+  | Emit_splice { ssrc; seq; frame; _ } ->
+      Rtp.Wire.Patch.u16 buf ~pos:Packet.View.sequence_pos seq;
+      Rtp.Wire.Patch.u32 buf ~pos:Packet.View.ssrc_pos ssrc;
+      Rtp.Wire.Patch.u16 buf
+        ~pos:(view.Packet.View.ext_off + Dd.frame_number_pos)
+        frame);
+  buf
+
+(* Slow materialization: the record-based path, kept verbatim as the
+   executable spec the fast path is byte-checked against. *)
+let materialize_slow (pkt, dd) action =
+  match action with
+  | Emit_verbatim | Suppress -> Packet.serialize pkt
+  | Emit_seq { seq; _ } -> Packet.serialize (Packet.with_sequence pkt seq)
+  | Emit_splice { ssrc; seq; frame; _ } ->
+      let dd = Option.get dd in
+      let dd' = { dd with Dd.frame_number = frame } in
+      let data = Dd.serialize dd' in
+      let pkt' =
+        {
+          (Packet.with_sequence (Packet.with_ssrc pkt ssrc) seq) with
+          Packet.extensions =
+            List.map
+              (fun (e : Packet.extension) ->
+                if e.Packet.id = Dd.extension_id then { e with Packet.data } else e)
+              pkt.Packet.extensions;
+        }
+      in
+      Packet.serialize pkt'
+
+let materialize t ctx action =
+  match (t.mode, ctx.c_view) with
+  | Slow, _ | _, None -> materialize_slow (Lazy.force ctx.c_slow) action
+  | Fast, Some view -> materialize_fast t view action
+  | Paranoid, Some view ->
+      let fast = materialize_fast t view action in
+      let slow = materialize_slow (Lazy.force ctx.c_slow) action in
+      t.paranoid_checks <- t.paranoid_checks + 1;
+      if not (Bytes.equal fast slow) then begin
+        t.paranoid_mismatches <- t.paranoid_mismatches + 1;
+        raise
+          (Differential_mismatch
+             (Printf.sprintf
+                "ssrc=%#x seq=%d: fast path emitted %d bytes, slow path %d bytes"
+                ctx.c_ssrc ctx.c_seq (Bytes.length fast) (Bytes.length slow)))
+      end;
+      fast
+
 (* Deliver one replica of a media packet to a receiver's leg. *)
-let egress_media t ~ingress_ns ~receiver (pkt : Packet.t) (dd : Dd.t option) =
-  match Tofino.Table.lookup t.legs (receiver, pkt.Packet.ssrc) with
+let egress_media t ~acc ~receiver ctx =
+  match Tofino.Table.lookup t.legs (receiver, ctx.c_ssrc) with
   | None -> ()
   | Some leg -> (
-      match dd with
-      | None ->
-          (* audio: never rate-adapted, forwarded verbatim *)
-          emit t ~ingress_ns ~receiver ~ssrc:pkt.Packet.ssrc ~template:None
-            ~src_port:leg.src_port ~dst:leg.dst (Packet.serialize pkt)
-      | Some dd when leg.simulcast <> None ->
-          let sc = Option.get leg.simulcast in
-          let keyframe_start = dd.Dd.start_of_frame && dd.Dd.template_id = 0 in
-          (match
-             Simulcast.on_packet sc ~ssrc:pkt.Packet.ssrc ~seq:pkt.Packet.sequence
-               ~frame:dd.Dd.frame_number ~keyframe_start
-           with
-          | Simulcast.Drop -> t.replicas_suppressed <- t.replicas_suppressed + 1
-          | Simulcast.Forward { ssrc; seq; frame } ->
-              (* splice: rewrite SSRC, sequence and AV1 frame number so the
-                 receiver sees one continuous stream *)
-              let dd' = { dd with Dd.frame_number = frame } in
-              let pkt' =
-                {
-                  (Packet.with_sequence (Packet.with_ssrc pkt ssrc) seq) with
-                  Packet.extensions =
-                    [ { Packet.id = Dd.extension_id; data = Dd.serialize dd' } ];
-                }
-              in
-              emit t ~ingress_ns ~receiver ~ssrc ~template:(Some dd.Dd.template_id)
-                ~src_port:leg.src_port ~dst:leg.dst (Packet.serialize pkt'))
-      | Some dd ->
-          if not (Dd.template_in_target_l1t3 dd.Dd.template_id leg.target) then
-            t.replicas_suppressed <- t.replicas_suppressed + 1
-          else begin
-            let action =
-              match leg.rewriter with
-              | Some rw ->
-                  Seq_rewrite.on_packet rw ~seq:pkt.Packet.sequence
-                    ~frame:dd.Dd.frame_number ~start_of_frame:dd.Dd.start_of_frame
-                    ~end_of_frame:dd.Dd.end_of_frame
-              | None -> Seq_rewrite.Forward pkt.Packet.sequence
-            in
+      match decide leg ~ssrc:ctx.c_ssrc ~seq:ctx.c_seq ctx.c_fields with
+      | Suppress -> t.replicas_suppressed <- t.replicas_suppressed + 1
+      | action ->
+          let ssrc, template =
             match action with
-            | Seq_rewrite.Drop -> t.replicas_suppressed <- t.replicas_suppressed + 1
-            | Seq_rewrite.Forward seq ->
-                let pkt' = Packet.with_sequence pkt seq in
-                emit t ~ingress_ns ~receiver ~ssrc:pkt.Packet.ssrc
-                  ~template:(Some dd.Dd.template_id) ~src_port:leg.src_port ~dst:leg.dst
-                  (Packet.serialize pkt')
-          end)
+            | Emit_verbatim | Suppress -> (ctx.c_ssrc, None)
+            | Emit_seq { template; _ } -> (ctx.c_ssrc, Some template)
+            | Emit_splice { ssrc; template; _ } -> (ssrc, Some template)
+          in
+          emit t ~acc ~receiver ~ssrc ~template ~src_port:leg.src_port
+            ~dst:leg.dst
+            (materialize t ctx action))
 
-let fanout t ~ingress_ns uplink (pkt : Packet.t) (dd : Dd.t option) =
+let fanout t ~ingress_ns uplink ctx =
   let layer =
-    match dd with
-    | Some dd -> ( try Dd.layer_of_template_l1t3 dd.Dd.template_id with Rtp.Wire.Parse_error _ -> Dd.T0)
+    match ctx.c_fields with
+    | Some f -> (
+        try Dd.layer_of_template_l1t3 f.Dd.f_template_id
+        with Rtp.Wire.Parse_error _ -> Dd.T0)
     | None -> Dd.T0
   in
-  match Trees.route_media t.trees uplink.meeting ~sender:uplink.sender ~layer with
+  let acc = ref [] in
+  (match Trees.route_media t.trees uplink.meeting ~sender:uplink.sender ~layer with
   | Trees.No_receivers -> ()
-  | Trees.Unicast { receiver; _ } -> egress_media t ~ingress_ns ~receiver pkt dd
+  | Trees.Unicast { receiver; _ } -> egress_media t ~acc ~receiver ctx
   | Trees.Replicate { mgid; l1_xid; rid; l2_xid } ->
-      let replicas = Tofino.Pre.replicate t.pre ~mgid ~l1_xid ~rid ~l2_xid in
-      List.iter
-        (fun (r : Tofino.Pre.replica) ->
-          match Trees.receiver_of_replica t.trees uplink.meeting ~mgid ~rid:r.rid with
-          | Some receiver -> egress_media t ~ingress_ns ~receiver pkt dd
-          | None -> ())
-        replicas
+      let each (r : Tofino.Pre.replica) =
+        match Trees.receiver_of_replica t.trees uplink.meeting ~mgid ~rid:r.rid with
+        | Some receiver -> egress_media t ~acc ~receiver ctx
+        | None -> ()
+      in
+      if t.mode = Slow then
+        List.iter each (Tofino.Pre.replicate t.pre ~mgid ~l1_xid ~rid ~l2_xid)
+      else Array.iter each (Tofino.Pre.replicate_cached t.pre ~mgid ~l1_xid ~rid ~l2_xid));
+  flush_egress t ~ingress_ns acc
+
+(* Build the per-ingress context. In [Slow] mode this is the pre-fast-path
+   pipeline unchanged (full parse, no view); otherwise a single pass of
+   [Packet.View.of_bytes] + [Dd.read_fields] supplies everything the
+   decision phase needs, and the record parse stays lazy (forced only for
+   non-canonical ingress or paranoid checking). Returns [None] exactly
+   when [Packet.parse] would reject the datagram. *)
+let ingest t uplink (dgram : Dgram.t) =
+  if t.mode = Slow then
+    match Packet.parse dgram.payload with
+    | exception Rtp.Wire.Parse_error _ -> None
+    | pkt ->
+        let is_rendition =
+          Array.exists (fun ssrc -> ssrc = pkt.Packet.ssrc) uplink.renditions
+        in
+        let dd =
+          if pkt.Packet.ssrc = uplink.video_ssrc || is_rendition then parse_dd pkt
+          else None
+        in
+        Some
+          {
+            c_ssrc = pkt.Packet.ssrc;
+            c_seq = pkt.Packet.sequence;
+            c_fields = Option.map Dd.fields_of_t dd;
+            c_view = None;
+            c_slow = Lazy.from_val (pkt, dd);
+          }
+  else
+    match Packet.View.of_bytes ~ext_id:Dd.extension_id dgram.payload with
+    | exception Rtp.Wire.Parse_error _ -> None
+    | view ->
+        let ssrc = view.Packet.View.ssrc in
+        let is_rendition = Array.exists (fun s -> s = ssrc) uplink.renditions in
+        let is_video = ssrc = uplink.video_ssrc || is_rendition in
+        let fields =
+          if is_video && view.Packet.View.ext_off >= 0 then
+            Dd.read_fields view.Packet.View.buf ~off:view.Packet.View.ext_off
+              ~len:view.Packet.View.ext_len
+          else None
+        in
+        (* a non-canonical descriptor only matters if the splice path
+           would reserialize it, but routing those rare packets through
+           the slow path keeps the equivalence argument unconditional *)
+        let dd_canonical =
+          match fields with Some f -> f.Dd.f_canonical | None -> true
+        in
+        let fast_ok = view.Packet.View.canonical && dd_canonical in
+        let slow =
+          lazy
+            (let pkt = Packet.parse dgram.payload in
+             let dd = if is_video then parse_dd pkt else None in
+             (pkt, dd))
+        in
+        Some
+          {
+            c_ssrc = ssrc;
+            c_seq = view.Packet.View.sequence;
+            c_fields = fields;
+            c_view = (if fast_ok then Some view else None);
+            c_slow = slow;
+          }
 
 let handle_media t uplink (dgram : Dgram.t) =
   let ingress_ns = Engine.now t.engine in
   let size = Dgram.wire_size dgram in
-  match Packet.parse dgram.payload with
-  | exception Rtp.Wire.Parse_error _ ->
+  match ingest t uplink dgram with
+  | None ->
       t.ingress.other_pkts <- t.ingress.other_pkts + 1;
       t.ingress.other_bytes <- t.ingress.other_bytes + size
-  | pkt ->
+  | Some ctx ->
       if uplink.feedback_dst = None then uplink.feedback_dst <- Some dgram.src;
-      let is_rendition =
-        Array.exists (fun ssrc -> ssrc = pkt.Packet.ssrc) uplink.renditions
+      let has_structure =
+        match ctx.c_fields with Some f -> f.Dd.f_has_structure | None -> false
       in
-      let dd =
-        if pkt.Packet.ssrc = uplink.video_ssrc || is_rendition then parse_dd pkt else None
-      in
-      let has_structure = match dd with Some d -> d.Dd.structure <> None | None -> false in
-      if pkt.Packet.ssrc = uplink.audio_ssrc then begin
+      if ctx.c_ssrc = uplink.audio_ssrc then begin
         t.ingress.rtp_audio_pkts <- t.ingress.rtp_audio_pkts + 1;
         t.ingress.rtp_audio_bytes <- t.ingress.rtp_audio_bytes + size
       end
@@ -397,7 +556,9 @@ let handle_media t uplink (dgram : Dgram.t) =
         t.ingress.rtp_video_pkts <- t.ingress.rtp_video_pkts + 1;
         t.ingress.rtp_video_bytes <- t.ingress.rtp_video_bytes + size
       end;
-      fanout t ~ingress_ns uplink pkt dd
+      if ctx.c_view <> None then t.fast_pkts <- t.fast_pkts + 1
+      else t.slow_pkts <- t.slow_pkts + 1;
+      fanout t ~ingress_ns uplink ctx
 
 (* --- feedback path ----------------------------------------------------------- *)
 
@@ -416,27 +577,32 @@ let handle_sender_rtcp t uplink (dgram : Dgram.t) =
   t.ingress.rtcp_sr_sdes_pkts <- t.ingress.rtcp_sr_sdes_pkts + subpackets;
   t.ingress.rtcp_sr_sdes_bytes <- t.ingress.rtcp_sr_sdes_bytes + size;
   if uplink.feedback_dst = None then uplink.feedback_dst <- Some dgram.src;
-  match
-    Trees.route_media t.trees uplink.meeting ~sender:uplink.sender ~layer:Dd.T0
-  with
+  let acc = ref [] in
+  (match
+     Trees.route_media t.trees uplink.meeting ~sender:uplink.sender ~layer:Dd.T0
+   with
   | Trees.No_receivers -> ()
   | Trees.Unicast { receiver; _ } -> (
       match Tofino.Table.lookup t.legs (receiver, uplink.video_ssrc) with
       | Some leg ->
-          emit t ~ingress_ns ~receiver ~ssrc:uplink.video_ssrc ~template:None
+          emit t ~acc ~receiver ~ssrc:uplink.video_ssrc ~template:None
             ~src_port:leg.src_port ~dst:leg.dst dgram.payload
       | None -> ())
   | Trees.Replicate { mgid; l1_xid; rid; l2_xid } ->
-      Tofino.Pre.replicate t.pre ~mgid ~l1_xid ~rid ~l2_xid
-      |> List.iter (fun (r : Tofino.Pre.replica) ->
-             match Trees.receiver_of_replica t.trees uplink.meeting ~mgid ~rid:r.rid with
-             | Some receiver -> (
-                 match Tofino.Table.lookup t.legs (receiver, uplink.video_ssrc) with
-                 | Some leg ->
-                     emit t ~ingress_ns ~receiver ~ssrc:uplink.video_ssrc ~template:None
-                       ~src_port:leg.src_port ~dst:leg.dst dgram.payload
-                 | None -> ())
-             | None -> ())
+      let each (r : Tofino.Pre.replica) =
+        match Trees.receiver_of_replica t.trees uplink.meeting ~mgid ~rid:r.rid with
+        | Some receiver -> (
+            match Tofino.Table.lookup t.legs (receiver, uplink.video_ssrc) with
+            | Some leg ->
+                emit t ~acc ~receiver ~ssrc:uplink.video_ssrc ~template:None
+                  ~src_port:leg.src_port ~dst:leg.dst dgram.payload
+            | None -> ())
+        | None -> ()
+      in
+      if t.mode = Slow then
+        List.iter each (Tofino.Pre.replicate t.pre ~mgid ~l1_xid ~rid ~l2_xid)
+      else Array.iter each (Tofino.Pre.replicate_cached t.pre ~mgid ~l1_xid ~rid ~l2_xid));
+  flush_egress t ~ingress_ns acc
 
 (* Receiver-side RTCP (RR/REMB/NACK/PLI) arriving on a leg port: forward
    the actionable parts upstream (REMB gated by the agent's filter) and
@@ -548,10 +714,10 @@ let handler t (dgram : Dgram.t) =
       t.ingress.other_bytes <- t.ingress.other_bytes + size
 
 let create engine network ~ip ?pre_limits ?pipeline_latency_ns ?cpu_port_latency_ns
-    ?header_auth () =
+    ?header_auth ?mode () =
   let t =
     create engine network ~ip ?pre_limits ?pipeline_latency_ns ?cpu_port_latency_ns
-      ?header_auth ()
+      ?header_auth ?mode ()
   in
   Network.bind_host network ~ip (handler t);
   t
@@ -565,6 +731,32 @@ let egress_pkts t = t.egress_pkts
 let egress_bytes t = t.egress_bytes
 let replicas_suppressed t = t.replicas_suppressed
 let forward_delay_samples t = t.forward_delay
+
+type fastpath_stats = {
+  fp_fast_pkts : int;
+  fp_slow_pkts : int;
+  fp_replica_copies : int;
+  fp_paranoid_checks : int;
+  fp_paranoid_mismatches : int;
+  fp_cache_hits : int;
+  fp_cache_misses : int;
+  fp_cache_invalidations : int;
+  fp_cache_entries : int;
+}
+
+let fastpath_stats t =
+  let c = Tofino.Pre.cache_stats t.pre in
+  {
+    fp_fast_pkts = t.fast_pkts;
+    fp_slow_pkts = t.slow_pkts;
+    fp_replica_copies = t.replica_copies;
+    fp_paranoid_checks = t.paranoid_checks;
+    fp_paranoid_mismatches = t.paranoid_mismatches;
+    fp_cache_hits = c.Tofino.Pre.hits;
+    fp_cache_misses = c.Tofino.Pre.misses;
+    fp_cache_invalidations = c.Tofino.Pre.invalidations;
+    fp_cache_entries = c.Tofino.Pre.entries;
+  }
 let header_auth_enabled t = t.header_auth
 let headers_authenticated t = t.headers_authenticated
 

@@ -24,6 +24,17 @@
 
 type t
 
+type mode =
+  | Fast  (** zero-copy: ingress view + per-replica copy-and-patch (default) *)
+  | Slow  (** the record-based parse/reserialize path — the executable spec *)
+  | Paranoid
+      (** run both, assert byte-equality of every emitted datagram; raises
+          {!Differential_mismatch} on divergence. Always on in tests. *)
+
+exception Differential_mismatch of string
+(** Paranoid mode found an egress datagram where the fast path's bytes
+    differ from the slow path's. *)
+
 val create :
   Netsim.Engine.t ->
   Netsim.Network.t ->
@@ -32,9 +43,10 @@ val create :
   ?pipeline_latency_ns:int ->
   ?cpu_port_latency_ns:int ->
   ?header_auth:bool ->
+  ?mode:mode ->
   unit ->
   t
-(** Defaults: 600 ns pipeline, 50 µs CPU port.
+(** Defaults: 600 ns pipeline, 50 µs CPU port, [Fast] forwarding mode.
 
     [header_auth] enables the paper's §8 extension: recomputing an HMAC
     over the (rewritten) RTP header of every egress replica, as the paper
@@ -45,6 +57,12 @@ val create :
 val ip : t -> int
 val trees : t -> Trees.t
 val pre : t -> Tofino.Pre.t
+
+val mode : t -> mode
+val set_mode : t -> mode -> unit
+(** Switching modes is safe at any quiescent point; per-leg rewriter
+    state is shared by both paths, so the choice only affects how egress
+    bytes are materialized. *)
 
 (** {1 Control-plane configuration API} *)
 
@@ -135,6 +153,24 @@ val egress_pkts : t -> int
 val egress_bytes : t -> int
 val replicas_suppressed : t -> int
 val forward_delay_samples : t -> Scallop_util.Stats.Samples.t
+
+type fastpath_stats = {
+  fp_fast_pkts : int;  (** ingress media packets forwarded via copy-and-patch *)
+  fp_slow_pkts : int;
+      (** ingress media packets that took the record path (Slow mode, or
+          non-canonical encodings the fast path must not touch) *)
+  fp_replica_copies : int;  (** [Bytes.copy] fan-out replicas made by the fast path *)
+  fp_paranoid_checks : int;  (** egress datagrams byte-compared across both paths *)
+  fp_paranoid_mismatches : int;  (** comparisons that failed (0 or the run raised) *)
+  fp_cache_hits : int;
+  fp_cache_misses : int;
+  fp_cache_invalidations : int;
+  fp_cache_entries : int;  (** resident PRE fan-out cache entries *)
+}
+
+val fastpath_stats : t -> fastpath_stats
+(** Fast-path and PRE fan-out cache counters, for experiments and
+    [scallop_cli check]. *)
 
 val set_egress_hook :
   t -> (receiver:int -> ssrc:int -> template:int option -> size:int -> unit) -> unit

@@ -15,12 +15,23 @@ type node = {
   mutable tree : mgid option;
 }
 
+type replica = { rid : int; port : int }
+
+type cache_stats = { hits : int; misses : int; invalidations : int; entries : int }
+
 type t = {
   lim : limits;
   nodes : (node_id, node) Hashtbl.t;
   trees : (mgid, node_id list ref) Hashtbl.t;
   l2_xids : (int, int list) Hashtbl.t;
   mutable next_node_id : int;
+  (* Fan-out memo: packet metadata tuple -> surviving replicas, flat.
+     Any mutation of trees, nodes or L2-XID sets flushes the whole table —
+     correctness over retention, mutations are control-plane-rare. *)
+  cache : (int * int * int * int, replica array) Hashtbl.t;
+  mutable cache_hits : int;
+  mutable cache_misses : int;
+  mutable cache_invalidations : int;
 }
 
 let create ?(limits = tofino2_limits) () =
@@ -30,7 +41,17 @@ let create ?(limits = tofino2_limits) () =
     trees = Hashtbl.create 256;
     l2_xids = Hashtbl.create 64;
     next_node_id = 0;
+    cache = Hashtbl.create 1024;
+    cache_hits = 0;
+    cache_misses = 0;
+    cache_invalidations = 0;
   }
+
+let flush_cache t =
+  if Hashtbl.length t.cache > 0 then begin
+    t.cache_invalidations <- t.cache_invalidations + 1;
+    Hashtbl.reset t.cache
+  end
 
 let create_l1_node t ~rid ?(l1_xid = 0) ?(prune_enabled = false) ~ports () =
   if Hashtbl.length t.nodes >= t.lim.max_l1_nodes then
@@ -48,7 +69,8 @@ let find_node t id =
 let destroy_l1_node t id =
   let n = find_node t id in
   if n.tree <> None then invalid_arg "Pre.destroy_l1_node: node is in a tree";
-  Hashtbl.remove t.nodes id
+  Hashtbl.remove t.nodes id;
+  flush_cache t
 
 let check_rids t ids =
   let seen = Hashtbl.create 16 in
@@ -65,6 +87,8 @@ let check_rids t ids =
   if Hashtbl.length seen > t.lim.max_rids_per_tree then
     raise (Resource_exhausted "PRE RIDs per tree")
 
+(* Tree members are stored in insertion order, so replication never has to
+   reverse the list on the per-packet path. *)
 let create_tree t ~mgid ~nodes =
   if Hashtbl.mem t.trees mgid then invalid_arg "Pre.create_tree: MGID in use";
   if Hashtbl.length t.trees >= t.lim.max_trees then raise (Resource_exhausted "PRE trees");
@@ -75,7 +99,8 @@ let create_tree t ~mgid ~nodes =
       if n.tree <> None then invalid_arg "Pre.create_tree: node already in a tree")
     nodes;
   List.iter (fun id -> (find_node t id).tree <- Some mgid) nodes;
-  Hashtbl.replace t.trees mgid (ref nodes)
+  Hashtbl.replace t.trees mgid (ref nodes);
+  flush_cache t
 
 let find_tree t mgid =
   match Hashtbl.find_opt t.trees mgid with
@@ -85,7 +110,8 @@ let find_tree t mgid =
 let destroy_tree t mgid =
   let nodes = find_tree t mgid in
   List.iter (fun id -> (find_node t id).tree <- None) !nodes;
-  Hashtbl.remove t.trees mgid
+  Hashtbl.remove t.trees mgid;
+  flush_cache t
 
 let add_node_to_tree t mgid id =
   let nodes = find_tree t mgid in
@@ -93,19 +119,24 @@ let add_node_to_tree t mgid id =
   if n.tree <> None then invalid_arg "Pre.add_node_to_tree: node already in a tree";
   check_rids t (id :: !nodes);
   n.tree <- Some mgid;
-  nodes := id :: !nodes
+  nodes := !nodes @ [ id ];
+  flush_cache t
 
 let remove_node_from_tree t mgid id =
   let nodes = find_tree t mgid in
   let n = find_node t id in
   if n.tree <> Some mgid then invalid_arg "Pre.remove_node_from_tree: not a member";
   n.tree <- None;
-  nodes := List.filter (fun x -> x <> id) !nodes
+  nodes := List.filter (fun x -> not (Int.equal x id)) !nodes;
+  flush_cache t
 
-let set_l2_xid_ports t ~xid ~ports = Hashtbl.replace t.l2_xids xid ports
-let remove_l2_xid t ~xid = Hashtbl.remove t.l2_xids xid
+let set_l2_xid_ports t ~xid ~ports =
+  Hashtbl.replace t.l2_xids xid ports;
+  flush_cache t
 
-type replica = { rid : int; port : int }
+let remove_l2_xid t ~xid =
+  Hashtbl.remove t.l2_xids xid;
+  flush_cache t
 
 let replicate t ~mgid ~l1_xid ~rid ~l2_xid =
   match Hashtbl.find_opt t.trees mgid with
@@ -124,19 +155,44 @@ let replicate t ~mgid ~l1_xid ~rid ~l2_xid =
                 if n.rid = rid && List.mem port excluded_ports then None
                 else Some { rid = n.rid; port })
               n.ports)
-        (List.rev !nodes)
+        !nodes
+
+let replicate_cached t ~mgid ~l1_xid ~rid ~l2_xid =
+  let key = (mgid, l1_xid, rid, l2_xid) in
+  match Hashtbl.find_opt t.cache key with
+  | Some arr ->
+      t.cache_hits <- t.cache_hits + 1;
+      arr
+  | None ->
+      t.cache_misses <- t.cache_misses + 1;
+      let arr = Array.of_list (replicate t ~mgid ~l1_xid ~rid ~l2_xid) in
+      Hashtbl.replace t.cache key arr;
+      arr
+
+let cache_stats t =
+  {
+    hits = t.cache_hits;
+    misses = t.cache_misses;
+    invalidations = t.cache_invalidations;
+    entries = Hashtbl.length t.cache;
+  }
+
+let iter_cache t f =
+  Hashtbl.iter
+    (fun (mgid, l1_xid, rid, l2_xid) replicas -> f ~mgid ~l1_xid ~rid ~l2_xid ~replicas)
+    t.cache
 
 let trees_used t = Hashtbl.length t.trees
 let l1_nodes_used t = Hashtbl.length t.nodes
 let limits t = t.lim
-let tree_nodes t mgid = List.rev !(find_tree t mgid)
+let tree_nodes t mgid = !(find_tree t mgid)
 let node_rid t id = (find_node t id).rid
 let node_ports t id = (find_node t id).ports
 let node_l1_xid t id = (find_node t id).l1_xid
 let node_prune_enabled t id = (find_node t id).prune_enabled
 let node_tree t id = (find_node t id).tree
 
-let iter_trees t f = Hashtbl.iter (fun mgid nodes -> f ~mgid ~nodes:(List.rev !nodes)) t.trees
+let iter_trees t f = Hashtbl.iter (fun mgid nodes -> f ~mgid ~nodes:!nodes) t.trees
 
 let iter_nodes t f = Hashtbl.iter (fun id _ -> f id) t.nodes
 
@@ -147,11 +203,18 @@ let l2_xid_ports t ~xid = Hashtbl.find_opt t.l2_xids xid
 module Unsafe = struct
   let set_node_rid t id rid =
     let n = find_node t id in
-    Hashtbl.replace t.nodes id { n with rid }
+    Hashtbl.replace t.nodes id { n with rid };
+    flush_cache t
 
   let set_node_ports t id ports =
     let n = find_node t id in
-    Hashtbl.replace t.nodes id { n with ports }
+    Hashtbl.replace t.nodes id { n with ports };
+    flush_cache t
 
-  let drop_tree_record t mgid = Hashtbl.remove t.trees mgid
+  let drop_tree_record t mgid =
+    Hashtbl.remove t.trees mgid;
+    flush_cache t
+
+  let poison_cache t ~mgid ~l1_xid ~rid ~l2_xid ~replicas =
+    Hashtbl.replace t.cache (mgid, l1_xid, rid, l2_xid) (Array.of_list replicas)
 end

@@ -61,7 +61,30 @@ type replica = { rid : int; port : int }
 
 val replicate : t -> mgid:mgid -> l1_xid:int -> rid:int -> l2_xid:int -> replica list
 (** The data-plane invocation: all surviving replicas for a packet
-    carrying the given metadata. Unknown MGIDs yield []. *)
+    carrying the given metadata. Unknown MGIDs yield []. Always computed
+    fresh — this is the executable spec that {!replicate_cached} and the
+    analysis layer check against. *)
+
+val replicate_cached : t -> mgid:mgid -> l1_xid:int -> rid:int -> l2_xid:int -> replica array
+(** Memoized {!replicate}, returned as a flat array keyed by the full
+    [(mgid, l1_xid, rid, l2_xid)] metadata tuple. Every tree/node/L2-XID
+    mutation flushes the whole memo table, so a served entry is always
+    equal to what {!replicate} would compute. Callers must not mutate the
+    returned array. *)
+
+type cache_stats = { hits : int; misses : int; invalidations : int; entries : int }
+
+val cache_stats : t -> cache_stats
+(** [invalidations] counts flushes that actually dropped entries;
+    [entries] is the current resident entry count. *)
+
+val iter_cache :
+  t ->
+  (mgid:mgid -> l1_xid:int -> rid:int -> l2_xid:int -> replicas:replica array -> unit) ->
+  unit
+(** Visit every resident fan-out cache entry (for the analysis layer's
+    staleness re-audit). Read-only: the callback must not mutate the
+    PRE. *)
 
 (** Introspection / resource accounting *)
 
@@ -103,4 +126,10 @@ module Unsafe : sig
   val drop_tree_record : t -> mgid -> unit
   (** Forget a tree without detaching its nodes — leaves every member
       pointing at a dangling MGID. *)
+
+  val poison_cache :
+    t -> mgid:mgid -> l1_xid:int -> rid:int -> l2_xid:int -> replicas:replica list -> unit
+  (** Plant a fan-out cache entry that was never computed from the live
+      trees — a stale entry the invalidation discipline should have made
+      impossible. *)
 end

@@ -179,6 +179,12 @@ let mutations =
         let _, dp = sw0 st in
         let leg = List.hd (D.legs_view dp) in
         D.unregister_leg dp ~receiver:leg.D.lv_receiver ~video_ssrc:leg.D.lv_video_ssrc);
+    mutation "poisoned PRE fan-out cache entry" An.Stale_pre_cache (fun st _ _ ->
+        let _, dp = sw0 st in
+        let mgid, _ = some_tree dp in
+        (* an entry the flush-on-mutation discipline could never produce *)
+        P.Unsafe.poison_cache (D.pre dp) ~mgid ~l1_xid:0 ~rid:424_242 ~l2_xid:0
+          ~replicas:[ { P.rid = 424_242; port = 4242 } ]);
   ]
 
 (* Pure-data invariants are exercised by tampering with the snapshot

@@ -28,8 +28,11 @@ type world = {
 }
 
 (* A minimal hand-wired session: one sender uplink, one receiver leg, a
-   two-participant meeting in the trees. *)
-let setup ?(rewrite = Some Scallop.Seq_rewrite.S_LM) () =
+   two-participant meeting in the trees. The paranoid differential mode is
+   always on in tests: every emitted datagram is byte-checked fast vs
+   slow. *)
+let setup ?(mode = Dp.Paranoid) ?(rewrite = Some Scallop.Seq_rewrite.S_LM)
+    ?(renditions = [||]) () =
   let engine = Engine.create () in
   let rng = Rng.create 2 in
   let network = Network.create engine rng in
@@ -37,7 +40,7 @@ let setup ?(rewrite = Some Scallop.Seq_rewrite.S_LM) () =
   Network.add_host network ~ip:sfu_ip ~uplink:fast ~downlink:fast ();
   Network.add_host network ~ip:sender_addr.Addr.ip ~uplink:fast ~downlink:fast ();
   Network.add_host network ~ip:receiver_addr.Addr.ip ~uplink:fast ~downlink:fast ();
-  let dp = Dp.create engine network ~ip:sfu_ip () in
+  let dp = Dp.create engine network ~ip:sfu_ip ~mode () in
   let received = ref [] and at_sender = ref [] and cpu = ref [] in
   Network.bind network receiver_addr (fun d -> received := d :: !received);
   Network.bind network sender_addr (fun d -> at_sender := d :: !at_sender);
@@ -47,9 +50,11 @@ let setup ?(rewrite = Some Scallop.Seq_rewrite.S_LM) () =
       ~participants:[ (1, 101); (2, 102) ]
       ~senders:[ 1 ]
   in
-  Dp.register_uplink dp ~port:uplink_port ~sender:1 ~meeting ~video_ssrc:77 ~audio_ssrc:78;
-  Dp.register_leg dp ~receiver:2 ~video_ssrc:77 ~audio_ssrc:78 ~dst:receiver_addr
-    ~src_port:leg_port ~uplink_port ~rewrite;
+  Dp.register_uplink dp ~port:uplink_port ~sender:1 ~meeting ~video_ssrc:77 ~audio_ssrc:78
+    ~renditions;
+  let simulcast = if renditions = [||] then None else Some renditions in
+  Dp.register_leg ?simulcast dp ~receiver:2 ~video_ssrc:77 ~audio_ssrc:78
+    ~dst:receiver_addr ~src_port:leg_port ~uplink_port ~rewrite;
   { engine; network; dp; received; at_sender; cpu }
 
 let media_packet ?(ssrc = 77) ~seq ~frame ~template () =
@@ -210,6 +215,190 @@ let stream_index_reuse () =
   (* if indices were leaked this would keep growing; reuse keeps it tiny *)
   Alcotest.(check bool) "indices recycled" true true
 
+(* --- fast path ≡ slow path -------------------------------------------------- *)
+
+(* Randomized ingress: video/audio SSRCs, all L1T3 templates, marker and
+   frame-boundary flags, key-frame structures, extra one-/two-byte
+   extension elements, missing descriptors, and RTP padding (a
+   non-canonical encoding the fast path must route to the slow path). *)
+type ev = {
+  e_audio : bool;
+  e_rendition : int;  (** which simulcast rendition (ignored w/o simulcast) *)
+  e_seq : int;
+  e_frame : int;
+  e_template : int;  (** -1 = no descriptor *)
+  e_marker : bool;
+  e_sof : bool;
+  e_eof : bool;
+  e_structure : bool;
+  e_extra : int;  (** 0 none, 1 extra one-byte element, 2 extra two-byte element *)
+  e_payload : int;
+  e_padding : int;  (** 0 none, else pad count (sets the padding bit) *)
+}
+
+let gen_ev =
+  QCheck.Gen.(
+    map
+      (fun ((audio, rendition, seq, frame), (template, marker, sof, eof), (structure, extra, payload, padding)) ->
+        {
+          e_audio = audio;
+          e_rendition = rendition;
+          e_seq = seq;
+          e_frame = frame;
+          e_template = template;
+          e_marker = marker;
+          e_sof = sof;
+          e_eof = eof;
+          e_structure = structure;
+          e_extra = extra;
+          e_payload = payload;
+          e_padding = padding;
+        })
+      (triple
+         (quad (frequency [ (4, return false); (1, return true) ]) (int_bound 1)
+            (int_bound 0xFFFF) (int_bound 200))
+         (quad (int_range (-1) 4) bool bool bool)
+         (quad (frequency [ (6, return false); (1, return true) ])
+            (frequency [ (4, return 0); (1, return 1); (1, return 2) ])
+            (int_range 1 60)
+            (frequency [ (6, return 0); (1, return 1); (1, return 3) ]))))
+
+let raw_of_ev ~video_ssrcs ev =
+  let ssrc =
+    if ev.e_audio then 78 else video_ssrcs.(ev.e_rendition mod Array.length video_ssrcs)
+  in
+  let dd_ext =
+    if ev.e_audio || ev.e_template < 0 then []
+    else
+      let dd =
+        {
+          Dd.start_of_frame = ev.e_sof;
+          end_of_frame = ev.e_eof;
+          template_id = ev.e_template;
+          frame_number = ev.e_frame;
+          structure = (if ev.e_structure then Some Dd.l1t3_structure else None);
+        }
+      in
+      [ { Packet.id = Dd.extension_id; data = Dd.serialize dd } ]
+  in
+  let extra =
+    match ev.e_extra with
+    | 1 -> [ { Packet.id = 5; data = Bytes.make 3 '\xAB' } ]
+    | 2 -> [ { Packet.id = 20; data = Bytes.make 2 '\xCD' } ]  (* forces two-byte profile *)
+    | _ -> []
+  in
+  let pkt =
+    Packet.make ~marker:ev.e_marker ~extensions:(dd_ext @ extra) ~payload_type:96
+      ~sequence:ev.e_seq ~timestamp:(ev.e_frame * 3000) ~ssrc
+      (Bytes.make ev.e_payload 'p')
+  in
+  let buf = Packet.serialize pkt in
+  if ev.e_padding = 0 then buf
+  else begin
+    let n = ev.e_padding in
+    let out = Bytes.make (Bytes.length buf + n) '\000' in
+    Bytes.blit buf 0 out 0 (Bytes.length buf);
+    Bytes.set out (Bytes.length out - 1) (Char.chr n);
+    Bytes.set out 0 (Char.chr (Char.code (Bytes.get buf 0) lor 0x20));
+    out
+  end
+
+(* Run one randomized stream through a world in the given mode; return the
+   byte-exact egress as seen by the receiver. *)
+let egress_of_stream ~mode ~simulcast evs =
+  let renditions = if simulcast then [| 77; 177 |] else [||] in
+  let rewrite = if simulcast then None else Some Scallop.Seq_rewrite.S_LR in
+  let w = setup ~mode ~rewrite ~renditions () in
+  if not simulcast then Dp.set_leg_target w.dp ~receiver:2 ~video_ssrc:77 Dd.DT_15fps;
+  List.iteri
+    (fun i ev ->
+      (* exercise splice rebasing by toggling the requested rendition *)
+      if simulcast && i mod 7 = 3 then
+        Dp.set_leg_rendition w.dp ~leg_port ((i / 7) mod 2);
+      Network.send w.network
+        (Dgram.v ~src:sender_addr ~dst:(Addr.v sfu_ip uplink_port)
+           (raw_of_ev ~video_ssrcs:(if simulcast then renditions else [| 77 |]) ev));
+      Engine.run w.engine)
+    evs;
+  let stats = Dp.fastpath_stats w.dp in
+  Alcotest.(check int) "no paranoid mismatches" 0 stats.Dp.fp_paranoid_mismatches;
+  List.rev_map (fun (d : Dgram.t) -> Bytes.to_string d.Dgram.payload) !(w.received)
+
+let prop_fast_slow_identical =
+  QCheck.Test.make ~count:60 ~name:"fast and slow egress byte-identical (S-LR leg)"
+    (QCheck.make QCheck.Gen.(list_size (int_range 1 40) gen_ev))
+    (fun evs ->
+      let fast = egress_of_stream ~mode:Dp.Fast ~simulcast:false evs in
+      let slow = egress_of_stream ~mode:Dp.Slow ~simulcast:false evs in
+      let paranoid = egress_of_stream ~mode:Dp.Paranoid ~simulcast:false evs in
+      fast = slow && paranoid = slow)
+
+let prop_fast_slow_identical_simulcast =
+  QCheck.Test.make ~count:60 ~name:"fast and slow egress byte-identical (simulcast splice)"
+    (QCheck.make QCheck.Gen.(list_size (int_range 1 40) gen_ev))
+    (fun evs ->
+      let fast = egress_of_stream ~mode:Dp.Fast ~simulcast:true evs in
+      let slow = egress_of_stream ~mode:Dp.Slow ~simulcast:true evs in
+      let paranoid = egress_of_stream ~mode:Dp.Paranoid ~simulcast:true evs in
+      fast = slow && paranoid = slow)
+
+let paranoid_checks_counted () =
+  let w = setup () in
+  send_media w (media_packet ~seq:100 ~frame:0 ~template:1 ());
+  send_media w (media_packet ~seq:101 ~frame:1 ~template:3 ());
+  let s = Dp.fastpath_stats w.dp in
+  Alcotest.(check bool) "checks ran" true (s.Dp.fp_paranoid_checks > 0);
+  Alcotest.(check int) "no mismatches" 0 s.Dp.fp_paranoid_mismatches;
+  Alcotest.(check bool) "fast ingress counted" true (s.Dp.fp_fast_pkts >= 2)
+
+let replica_copies_counted () =
+  let w = setup ~mode:Dp.Fast () in
+  send_media w (media_packet ~seq:1 ~frame:0 ~template:1 ());
+  send_media w (media_packet ~seq:2 ~frame:4 ~template:1 ());
+  let s = Dp.fastpath_stats w.dp in
+  Alcotest.(check int) "replica copies counted" 2 s.Dp.fp_replica_copies;
+  Alcotest.(check int) "fast ingress" 2 s.Dp.fp_fast_pkts;
+  Alcotest.(check int) "no slow ingress" 0 s.Dp.fp_slow_pkts
+
+(* A 3-receiver meeting goes through the PRE replicate path: the second
+   packet with identical metadata must be a cache hit, and a tree
+   mutation must invalidate before it can serve a stale fan-out. *)
+let pre_cache_hit_miss_invalidate () =
+  let w = setup ~mode:Dp.Fast () in
+  let meeting =
+    Scallop.Trees.register_meeting (Dp.trees w.dp) Scallop.Trees.Nra
+      ~participants:[ (11, 111); (12, 112); (13, 113) ]
+      ~senders:[ 11 ]
+  in
+  let up = 43_000 in
+  Dp.register_uplink w.dp ~port:up ~sender:11 ~meeting ~video_ssrc:577 ~audio_ssrc:578;
+  Dp.register_leg w.dp ~receiver:12 ~video_ssrc:577 ~audio_ssrc:578 ~dst:receiver_addr
+    ~src_port:44_000 ~uplink_port:up ~rewrite:None;
+  Dp.register_leg w.dp ~receiver:13 ~video_ssrc:577 ~audio_ssrc:578 ~dst:receiver_addr
+    ~src_port:44_001 ~uplink_port:up ~rewrite:None;
+  let send seq =
+    Network.send w.network
+      (Dgram.v ~src:sender_addr ~dst:(Addr.v sfu_ip up)
+         (Packet.serialize (media_packet ~ssrc:577 ~seq ~frame:0 ~template:1 ())));
+    Engine.run w.engine
+  in
+  send 1;
+  let s1 = Dp.fastpath_stats w.dp in
+  Alcotest.(check bool) "first packet misses" true (s1.Dp.fp_cache_misses >= 1);
+  send 2;
+  let s2 = Dp.fastpath_stats w.dp in
+  Alcotest.(check bool) "second packet hits" true (s2.Dp.fp_cache_hits > s1.Dp.fp_cache_hits);
+  (* mutate the tree: the resident entry must be flushed, not served *)
+  Scallop.Trees.remove_participant (Dp.trees w.dp) meeting 13;
+  let s3 = Dp.fastpath_stats w.dp in
+  Alcotest.(check bool) "mutation invalidates" true
+    (s3.Dp.fp_cache_invalidations > s2.Dp.fp_cache_invalidations);
+  Dp.unregister_leg w.dp ~receiver:13 ~video_ssrc:577;
+  let before = List.length !(w.received) in
+  send 3;
+  let after = List.length !(w.received) in
+  Alcotest.(check int) "only the remaining receiver is served" 1 (after - before)
+
 let () =
   Alcotest.run "dataplane"
     [
@@ -233,4 +422,13 @@ let () =
           Alcotest.test_case "stun to cpu" `Quick stun_to_cpu_only;
           Alcotest.test_case "unknown counted" `Quick unknown_traffic_counted;
         ] );
+      ( "fastpath",
+        QCheck_alcotest.to_alcotest prop_fast_slow_identical
+        :: QCheck_alcotest.to_alcotest prop_fast_slow_identical_simulcast
+        :: [
+             Alcotest.test_case "paranoid checks counted" `Quick paranoid_checks_counted;
+             Alcotest.test_case "replica copies counted" `Quick replica_copies_counted;
+             Alcotest.test_case "pre cache hit/miss/invalidate" `Quick
+               pre_cache_hit_miss_invalidate;
+           ] );
     ]

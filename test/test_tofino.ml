@@ -130,6 +130,67 @@ let pre_dynamic_membership () =
   Pre.remove_node_from_tree pre 1 n;
   Alcotest.(check int) "removed" 0 (List.length (Pre.replicate pre ~mgid:1 ~l1_xid:0 ~rid:9 ~l2_xid:0))
 
+let pre_insertion_order_preserved () =
+  let pre = Pre.create () in
+  Pre.create_tree pre ~mgid:1 ~nodes:[];
+  let ns = List.map (fun r -> Pre.create_l1_node pre ~rid:r ~ports:[ 50 + r ] ()) [ 3; 1; 2 ] in
+  List.iter (fun n -> Pre.add_node_to_tree pre 1 n) ns;
+  Alcotest.(check (list int)) "members in insertion order" ns (Pre.tree_nodes pre 1);
+  Alcotest.(check (list int)) "replicas in insertion order" [ 53; 51; 52 ]
+    (List.map (fun (r : Pre.replica) -> r.Pre.port) (Pre.replicate pre ~mgid:1 ~l1_xid:0 ~rid:9 ~l2_xid:0))
+
+(* --- fan-out cache ------------------------------------------------------------- *)
+
+let cached pre ~mgid ~l1_xid ~rid ~l2_xid =
+  Array.to_list (Pre.replicate_cached pre ~mgid ~l1_xid ~rid ~l2_xid)
+
+let pre_cache_hit_miss () =
+  let pre = Pre.create () in
+  let nodes = List.init 3 (fun i -> Pre.create_l1_node pre ~rid:i ~ports:[ 10 + i ] ()) in
+  Pre.create_tree pre ~mgid:1 ~nodes;
+  let spec = Pre.replicate pre ~mgid:1 ~l1_xid:0 ~rid:99 ~l2_xid:0 in
+  let first = cached pre ~mgid:1 ~l1_xid:0 ~rid:99 ~l2_xid:0 in
+  let second = cached pre ~mgid:1 ~l1_xid:0 ~rid:99 ~l2_xid:0 in
+  Alcotest.(check bool) "cached = spec" true (first = spec && second = spec);
+  let s = Pre.cache_stats pre in
+  Alcotest.(check int) "one miss" 1 s.Pre.misses;
+  Alcotest.(check int) "one hit" 1 s.Pre.hits;
+  Alcotest.(check int) "one resident entry" 1 s.Pre.entries;
+  (* a distinct metadata tuple is its own entry *)
+  ignore (cached pre ~mgid:1 ~l1_xid:0 ~rid:1 ~l2_xid:0);
+  Alcotest.(check int) "second entry" 2 (Pre.cache_stats pre).Pre.entries
+
+let pre_cache_invalidated_on_mutation () =
+  let pre = Pre.create () in
+  Pre.create_tree pre ~mgid:1 ~nodes:[];
+  let a = Pre.create_l1_node pre ~rid:0 ~ports:[ 10 ] () in
+  let b = Pre.create_l1_node pre ~rid:1 ~ports:[ 11 ] () in
+  Pre.add_node_to_tree pre 1 a;
+  Pre.add_node_to_tree pre 1 b;
+  let before = cached pre ~mgid:1 ~l1_xid:0 ~rid:99 ~l2_xid:0 in
+  Alcotest.(check int) "both ports" 2 (List.length before);
+  (* every mutation class must flush the memo table *)
+  Pre.remove_node_from_tree pre 1 b;
+  let s = Pre.cache_stats pre in
+  Alcotest.(check int) "flush counted" 1 s.Pre.invalidations;
+  Alcotest.(check int) "no resident entries" 0 s.Pre.entries;
+  let after = cached pre ~mgid:1 ~l1_xid:0 ~rid:99 ~l2_xid:0 in
+  Alcotest.(check bool) "stale entry not served" true
+    (after = Pre.replicate pre ~mgid:1 ~l1_xid:0 ~rid:99 ~l2_xid:0
+    && List.length after = 1);
+  (* L2 exclusion-set updates are mutations too *)
+  ignore (cached pre ~mgid:1 ~l1_xid:0 ~rid:0 ~l2_xid:7);
+  Pre.set_l2_xid_ports pre ~xid:7 ~ports:[ 10 ];
+  Alcotest.(check int) "l2 write flushes" 0 (Pre.cache_stats pre).Pre.entries;
+  Alcotest.(check int) "exclusion applies" 0
+    (List.length (cached pre ~mgid:1 ~l1_xid:0 ~rid:0 ~l2_xid:7));
+  (* flushing an empty cache is not counted as an invalidation *)
+  let inv = (Pre.cache_stats pre).Pre.invalidations in
+  Pre.destroy_tree pre 1;
+  Pre.set_l2_xid_ports pre ~xid:8 ~ports:[ 1 ];
+  Alcotest.(check int) "empty flush not counted" (inv + 1)
+    (Pre.cache_stats pre).Pre.invalidations
+
 (* --- qcheck: pruning is exact --------------------------------------------------- *)
 
 let prop_pruning_exact =
@@ -322,6 +383,10 @@ let () =
           Alcotest.test_case "destroy frees" `Quick pre_destroy_frees;
           Alcotest.test_case "exclusive membership" `Quick pre_node_membership_exclusive;
           Alcotest.test_case "dynamic membership" `Quick pre_dynamic_membership;
+          Alcotest.test_case "insertion order preserved" `Quick pre_insertion_order_preserved;
+          Alcotest.test_case "cache hit/miss" `Quick pre_cache_hit_miss;
+          Alcotest.test_case "cache invalidated on mutation" `Quick
+            pre_cache_invalidated_on_mutation;
         ] );
       ( "table",
         [
