@@ -141,15 +141,23 @@ let fanout_run ~mode ~receivers ~packets =
   in
   (* pre-serialize the ingress stream so packet construction is not timed *)
   let stream = Array.init packets (fun i -> raw i (i / 2)) in
+  (* per-packet wall latency (ingress to full fan-out drained) lands in a
+     log-bucketed histogram; chaining one clock read per packet keeps the
+     instrumentation cost far below the ~10 µs a packet takes *)
+  let hist = Scallop_util.Stats.Histogram.create () in
   let t0 = Unix.gettimeofday () in
+  let t_prev = ref t0 in
   Array.iter
     (fun buf ->
       Netsim.Network.send network (Netsim.Dgram.v ~src ~dst:sfu buf);
-      Netsim.Engine.run engine)
+      Netsim.Engine.run engine;
+      let t = Unix.gettimeofday () in
+      Scallop_util.Stats.Histogram.observe hist ((t -. !t_prev) *. 1e9);
+      t_prev := t)
     stream;
-  let elapsed = Unix.gettimeofday () -. t0 in
+  let elapsed = !t_prev -. t0 in
   let pps = float_of_int packets /. elapsed in
-  (pps, Scallop.Dataplane.fastpath_stats dp)
+  (pps, hist, Scallop.Dataplane.fastpath_stats dp)
 
 let json_escape s =
   let b = Buffer.create (String.length s) in
@@ -170,23 +178,30 @@ let fanout_bench ~quick ~micro =
      scheduler hiccup must not decide the gate *)
   let best mode =
     let runs = List.init 3 (fun _ -> fanout_run ~mode ~receivers ~packets) in
-    List.fold_left (fun acc (pps, st) -> if pps > fst acc then (pps, st) else acc)
+    List.fold_left
+      (fun ((best_pps, _, _) as acc) ((pps, _, _) as r) ->
+        if pps > best_pps then r else acc)
       (List.hd runs) (List.tl runs)
   in
-  let slow_pps, _ = best Scallop.Dataplane.Slow in
-  let fast_pps, fast_stats = best Scallop.Dataplane.Fast in
+  let p50 h = Scallop_util.Stats.Histogram.percentile h 50.0 in
+  let p99 h = Scallop_util.Stats.Histogram.percentile h 99.0 in
+  let slow_pps, slow_hist, _ = best Scallop.Dataplane.Slow in
+  let fast_pps, fast_hist, fast_stats = best Scallop.Dataplane.Fast in
   let paranoid_ok =
     (* differential gate: both paths over the same stream, byte-compared *)
     match fanout_run ~mode:Scallop.Dataplane.Paranoid ~receivers ~packets:(min packets 2_000) with
-    | _, s -> s.Scallop.Dataplane.fp_paranoid_mismatches = 0
+    | _, _, s -> s.Scallop.Dataplane.fp_paranoid_mismatches = 0
     | exception Scallop.Dataplane.Differential_mismatch msg ->
         Printf.printf "DIFFERENTIAL MISMATCH: %s\n" msg;
         false
   in
   let speedup = fast_pps /. slow_pps in
   Printf.printf "receivers: %d  packets: %d\n" receivers packets;
-  Printf.printf "slow path: %10.0f pps\n" slow_pps;
-  Printf.printf "fast path: %10.0f pps   (cache hits %d / misses %d)\n" fast_pps
+  Printf.printf "slow path: %10.0f pps   (per-packet p50 %.0f ns, p99 %.0f ns)\n"
+    slow_pps (p50 slow_hist) (p99 slow_hist);
+  Printf.printf
+    "fast path: %10.0f pps   (per-packet p50 %.0f ns, p99 %.0f ns; cache hits %d / misses %d)\n"
+    fast_pps (p50 fast_hist) (p99 fast_hist)
     fast_stats.Scallop.Dataplane.fp_cache_hits fast_stats.Scallop.Dataplane.fp_cache_misses;
   Printf.printf "speedup:   %10.2fx\n" speedup;
   Printf.printf "paranoid differential check: %s\n" (if paranoid_ok then "ok" else "FAILED");
@@ -194,9 +209,13 @@ let fanout_bench ~quick ~micro =
   Printf.fprintf oc
     "{\n  \"benchmark\": \"fanout_pps\",\n  \"receivers\": %d,\n  \"packets\": %d,\n  \
      \"slow_pps\": %.1f,\n  \"fast_pps\": %.1f,\n  \"speedup\": %.3f,\n  \
+     \"slow_p50_ns\": %.1f,\n  \"slow_p99_ns\": %.1f,\n  \
+     \"fast_p50_ns\": %.1f,\n  \"fast_p99_ns\": %.1f,\n  \
      \"paranoid_ok\": %b,\n  \"cache_hits\": %d,\n  \"cache_misses\": %d,\n  \
      \"microbench_ns_per_op\": {%s}\n}\n"
-    receivers packets slow_pps fast_pps speedup paranoid_ok
+    receivers packets slow_pps fast_pps speedup
+    (p50 slow_hist) (p99 slow_hist) (p50 fast_hist) (p99 fast_hist)
+    paranoid_ok
     fast_stats.Scallop.Dataplane.fp_cache_hits
     fast_stats.Scallop.Dataplane.fp_cache_misses
     (String.concat ", "

@@ -121,9 +121,33 @@ let simulate_cmd =
                    materialized by both the zero-copy fast path and the record slow \
                    path and byte-compared; any divergence aborts the run.")
   in
-  let run participants senders seconds downlink_mbps ctrl_rtt_ms ctrl_loss check paranoid =
+  let trace_out =
+    Arg.(value & opt (some string) None
+         & info [ "trace-out" ] ~docv:"FILE"
+             ~doc:"Write a Chrome trace-event JSON of the run to $(docv) (open in \
+                   chrome://tracing or Perfetto). Virtual-time timestamps make the \
+                   file byte-identical across runs with the same seed.")
+  in
+  let trace_level =
+    let levels =
+      [
+        ("off", Scallop_obs.Trace.Off);
+        ("rpc", Scallop_obs.Trace.Rpc);
+        ("packet", Scallop_obs.Trace.Packet);
+        ("verbose", Scallop_obs.Trace.Verbose);
+      ]
+    in
+    Arg.(value & opt (enum levels) Scallop_obs.Trace.Packet
+         & info [ "trace-level" ] ~docv:"LEVEL"
+             ~doc:"Trace detail when --trace-out is given: $(b,rpc) (control-plane \
+                   spans only), $(b,packet) (adds per-packet causal events), \
+                   $(b,verbose) (adds suppressed replicas). Default: packet.")
+  in
+  let run participants senders seconds downlink_mbps ctrl_rtt_ms ctrl_loss check paranoid
+      trace_out trace_level =
    try
     let senders = Option.value senders ~default:participants in
+    if trace_out <> None then Scallop_obs.Trace.set_level trace_level;
     let control =
       Scallop.Rpc_transport.degraded ~loss:ctrl_loss
         ~rtt_ns:(Netsim.Engine.ms ctrl_rtt_ms) ()
@@ -200,6 +224,16 @@ let simulate_cmd =
       Printf.printf "paranoid: %d egress datagrams byte-compared, %d mismatches\n"
         fp.Scallop.Dataplane.fp_paranoid_checks
         fp.Scallop.Dataplane.fp_paranoid_mismatches;
+    (* the trace note goes to stderr so stdout stays byte-identical to an
+       untraced run — CI diffs the two to prove tracing is inert *)
+    Option.iter
+      (fun path ->
+        Scallop_obs.Trace.write_chrome_json path;
+        Printf.eprintf "trace: %d event(s) written to %s (%d dropped)\n"
+          (List.length (Scallop_obs.Trace.events ()))
+          path
+          (Scallop_obs.Trace.dropped ()))
+      trace_out;
     if check then begin
       let findings = Scallop_analysis.verify stack.Experiments.Common.controller in
       let errors = Scallop_analysis.errors findings in
@@ -232,7 +266,7 @@ let simulate_cmd =
     (Cmd.info "simulate" ~doc:"Run one meeting through Scallop and print a QoE report.")
     Term.(term_result
             (const run $ participants $ senders $ seconds $ downlink_mbps $ ctrl_rtt_ms
-             $ ctrl_loss $ check $ paranoid))
+             $ ctrl_loss $ check $ paranoid $ trace_out $ trace_level))
 
 let check_cmd =
   let ctrl_rtt_ms =
@@ -254,14 +288,14 @@ let check_cmd =
       let fast =
         { Netsim.Link.default with rate_bps = infinity; propagation_ns = 100_000 }
       in
-      let switch ip_str =
+      let switch ip_str obs_label =
         let ip = Addr.ip_of_string ip_str in
         Netsim.Network.add_host network ~ip ~uplink:fast ~downlink:fast ();
-        let dp = Scallop.Dataplane.create engine network ~ip () in
+        let dp = Scallop.Dataplane.create engine network ~ip ~obs_label () in
         let agent = Scallop.Switch_agent.create engine dp () in
         (agent, dp)
       in
-      let s0 = switch "10.0.0.1" and s1 = switch "10.0.0.2" in
+      let s0 = switch "10.0.0.1" "sw0" and s1 = switch "10.0.0.2" "sw1" in
       let control =
         Scallop.Rpc_transport.degraded ~loss:ctrl_loss
           ~rtt_ns:(Netsim.Engine.ms ctrl_rtt_ms) ()
@@ -316,18 +350,10 @@ let check_cmd =
       Scallop.Controller.leave controller p0;
       run_for 1.0;
       verify_point "after churn";
-      List.iteri
-        (fun i (_, dp) ->
-          let fp = Scallop.Dataplane.fastpath_stats dp in
-          Printf.printf
-            "sw%d fast path: %d fast / %d slow ingress, %d replica copies; PRE cache: \
-             %d hits, %d misses, %d invalidations, %d resident\n"
-            i fp.Scallop.Dataplane.fp_fast_pkts fp.Scallop.Dataplane.fp_slow_pkts
-            fp.Scallop.Dataplane.fp_replica_copies fp.Scallop.Dataplane.fp_cache_hits
-            fp.Scallop.Dataplane.fp_cache_misses
-            fp.Scallop.Dataplane.fp_cache_invalidations
-            fp.Scallop.Dataplane.fp_cache_entries)
-        [ s0; s1 ];
+      (* the registry-backed view of both switches (fast path, PRE cache,
+         agent and controller RPC counters), one sorted dump instead of a
+         bespoke printf per series *)
+      print_string (Scallop_obs.Metrics.dump ());
       if !total_errors = 0 then begin
         Printf.printf "all state checks clean\n";
         Ok ()
@@ -348,6 +374,35 @@ let check_cmd =
          "Drive a cascaded meeting through churn and statically verify the \
           controller/agent/data-plane state invariants at every quiescent point.")
     Term.(term_result (const run $ ctrl_rtt_ms $ ctrl_loss $ seed))
+
+let metrics_cmd =
+  let json =
+    Arg.(value & flag
+         & info [ "json" ] ~doc:"Emit the registry as JSON instead of Prometheus text.")
+  in
+  let participants =
+    Arg.(value & opt int 3 & info [ "n"; "participants" ] ~doc:"Participants.")
+  in
+  let seconds =
+    Arg.(value & opt float 2.0 & info [ "d"; "duration" ] ~doc:"Simulated seconds.")
+  in
+  let run json participants seconds =
+    let stack = Experiments.Common.make_scallop ~seed:99 () in
+    let _mid, _members =
+      Experiments.Common.scallop_meeting stack ~participants ~senders:participants ()
+    in
+    Netsim.Engine.run stack.Experiments.Common.engine
+      ~until:(Netsim.Engine.sec seconds);
+    print_string
+      (if json then Scallop_obs.Metrics.dump_json () else Scallop_obs.Metrics.dump ())
+  in
+  Cmd.v
+    (Cmd.info "metrics"
+       ~doc:
+         "Run a short canonical meeting and dump every registry-backed metric \
+          (data-plane fast path, PRE cache, control-plane RPC) in Prometheus text \
+          or JSON form.")
+    Term.(const run $ json $ participants $ seconds)
 
 let trace_cmd =
   let meetings =
@@ -431,4 +486,4 @@ let () =
   exit
     (Cmd.eval
        (Cmd.group info
-          [ list_cmd; run_cmd; capacity_cmd; simulate_cmd; check_cmd; trace_cmd ]))
+          [ list_cmd; run_cmd; capacity_cmd; simulate_cmd; check_cmd; metrics_cmd; trace_cmd ]))

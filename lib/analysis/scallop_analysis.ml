@@ -32,6 +32,7 @@ type finding = {
   kind : kind;
   subject : string;
   explanation : string;
+  trace_ids : int list;
 }
 
 let severity_name = function Error -> "error" | Warning -> "warning"
@@ -61,7 +62,10 @@ let kind_name = function
 
 let pp_finding ppf f =
   Format.fprintf ppf "%-7s %-10s %-20s %-28s %s" (severity_name f.severity)
-    (layer_name f.layer) (kind_name f.kind) f.subject f.explanation
+    (layer_name f.layer) (kind_name f.kind) f.subject f.explanation;
+  if f.trace_ids <> [] then
+    Format.fprintf ppf " [traces: %s]"
+      (String.concat "," (List.map string_of_int f.trace_ids))
 
 let report findings =
   String.concat "\n"
@@ -169,11 +173,14 @@ let snapshot ctrl =
 
 type ctx = { mutable acc : finding list }
 
-let add ctx severity layer kind subject explanation =
-  ctx.acc <- { severity; layer; kind; subject; explanation } :: ctx.acc
+let add ?(trace_ids = []) ctx severity layer kind subject explanation =
+  ctx.acc <- { severity; layer; kind; subject; explanation; trace_ids } :: ctx.acc
 
 let errf ctx layer kind subject fmt =
   Printf.ksprintf (add ctx Error layer kind subject) fmt
+
+let errf_traced ctx ~trace_ids layer kind subject fmt =
+  Printf.ksprintf (add ~trace_ids ctx Error layer kind subject) fmt
 
 let warnf ctx layer kind subject fmt =
   Printf.ksprintf (add ctx Warning layer kind subject) fmt
@@ -858,11 +865,30 @@ let check_intent ctx snap =
    diff — the cache-coherence analogue of the behavioural reachability
    check. *)
 
+(* Traced packets whose fan-out was served for this exact cache key: the
+   per-packet timelines that let an operator see where a stale entry's
+   replicas actually went. *)
+let fanout_trace_ids ~mgid ~l1_xid ~rid ~l2_xid =
+  let module Tr = Scallop_obs.Trace in
+  let matches (e : Tr.event) =
+    e.Tr.name = "pre_fanout" && e.Tr.trace >= 0
+    && List.for_all
+         (fun (k, v) ->
+           match List.assoc_opt k e.Tr.args with Some (Tr.I x) -> x = v | _ -> false)
+         [ ("mgid", mgid); ("l1_xid", l1_xid); ("rid", rid); ("l2_xid", l2_xid) ]
+  in
+  List.sort_uniq compare
+    (List.filter_map
+       (fun e -> if matches e then Some e.Tr.trace else None)
+       (Tr.events ()))
+
 let check_pre_cache ctx sw =
   P.iter_cache sw.sw_pre (fun ~mgid ~l1_xid ~rid ~l2_xid ~replicas ->
       let fresh = P.replicate sw.sw_pre ~mgid ~l1_xid ~rid ~l2_xid in
       if Array.to_list replicas <> fresh then
-        errf ctx Pre Stale_pre_cache
+        errf_traced ctx
+          ~trace_ids:(fanout_trace_ids ~mgid ~l1_xid ~rid ~l2_xid)
+          Pre Stale_pre_cache
           (Printf.sprintf "sw%d/pre-cache:%#x" sw.sw_index mgid)
           "cached fan-out for (mgid=%#x, l1_xid=%d, rid=%d, l2_xid=%d) has %d \
            replicas; recomputing from the live trees yields %d — invalidation \

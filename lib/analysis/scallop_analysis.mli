@@ -66,6 +66,12 @@ type finding = {
   kind : kind;
   subject : string;  (** e.g. ["sw0/uplink:40001"] *)
   explanation : string;
+  trace_ids : int list;
+      (** causal trace ids of packets that exercised the faulty state
+          (see {!Scallop_obs.Trace.timeline}); [[]] when tracing was off
+          or no traced packet touched it. Currently populated for
+          {!Stale_pre_cache}: every traced packet whose fan-out was
+          served from the stale entry. *)
 }
 
 val severity_name : severity -> string

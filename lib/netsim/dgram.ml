@@ -2,9 +2,10 @@ type t = {
   src : Scallop_util.Addr.t;
   dst : Scallop_util.Addr.t;
   payload : bytes;
+  trace : int;
 }
 
-let v ~src ~dst payload = { src; dst; payload }
+let v ?(trace = -1) ~src ~dst payload = { src; dst; payload; trace }
 
 (* 14 B Ethernet + 20 B IPv4 + 8 B UDP *)
 let header_overhead = 42

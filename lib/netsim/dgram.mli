@@ -5,9 +5,14 @@ type t = {
   src : Scallop_util.Addr.t;
   dst : Scallop_util.Addr.t;
   payload : bytes;
+  trace : int;
+      (** Per-packet trace id from {!Scallop_obs.Trace.next_packet_id};
+          [-1] = untraced. Observability metadata only — it rides along
+          with the datagram so links and receivers can stamp causal
+          events, and is never part of the simulated wire bytes. *)
 }
 
-val v : src:Scallop_util.Addr.t -> dst:Scallop_util.Addr.t -> bytes -> t
+val v : ?trace:int -> src:Scallop_util.Addr.t -> dst:Scallop_util.Addr.t -> bytes -> t
 
 val wire_size : t -> int
 (** Payload plus the 42-byte Ethernet+IPv4+UDP overhead — what links and

@@ -1,4 +1,5 @@
 module Rng = Scallop_util.Rng
+module Trace = Scallop_obs.Trace
 
 type jitter =
   | No_jitter
@@ -89,14 +90,36 @@ let send t dgram =
   t.sent <- t.sent + 1;
   let cfg = t.cfg in
   let size = Dgram.wire_size dgram in
-  if lose_packet t cfg then t.dropped <- t.dropped + 1
-  else if t.queued_bytes + size > cfg.queue_bytes then t.dropped <- t.dropped + 1
+  (* the causal timeline only follows packets that carry a trace id, so
+     untraced traffic costs exactly this one comparison *)
+  let traced = dgram.Dgram.trace >= 0 && Trace.enabled Trace.Packet in
+  if lose_packet t cfg then begin
+    t.dropped <- t.dropped + 1;
+    if traced then
+      Trace.instant ~ts:(Engine.now t.engine) ~trace:dgram.Dgram.trace ~cat:"link"
+        "link_drop" ~args:[ ("reason", Trace.S "loss") ]
+  end
+  else if t.queued_bytes + size > cfg.queue_bytes then begin
+    t.dropped <- t.dropped + 1;
+    if traced then
+      Trace.instant ~ts:(Engine.now t.engine) ~trace:dgram.Dgram.trace ~cat:"link"
+        "link_drop"
+        ~args:[ ("reason", Trace.S "queue"); ("queued_bytes", Trace.I t.queued_bytes) ]
+  end
   else begin
     let now = Engine.now t.engine in
     let start = max now t.busy_until in
     let tx = tx_time_ns cfg size in
     let departure = start + tx in
     t.busy_until <- departure;
+    if traced then
+      Trace.instant ~ts:now ~trace:dgram.Dgram.trace ~cat:"link" "link_enqueue"
+        ~args:
+          [
+            ("size", Trace.I size);
+            ("departure_ns", Trace.I departure);
+            ("queued_bytes", Trace.I t.queued_bytes);
+          ];
     (* zero serialization time means zero queue occupancy: the release
        event would fire at the same instant it was scheduled, so skip the
        bookkeeping entirely rather than pay two event-queue operations per
@@ -118,6 +141,9 @@ let send t dgram =
     Engine.at t.engine ~time:arrival (fun () ->
         t.delivered <- t.delivered + 1;
         t.bytes_delivered <- t.bytes_delivered + size;
+        if dgram.Dgram.trace >= 0 && Trace.enabled Trace.Packet then
+          Trace.instant ~ts:arrival ~trace:dgram.Dgram.trace ~cat:"link" "link_deliver"
+            ~args:[ ("size", Trace.I size) ];
         t.sink dgram)
   end
 

@@ -1,0 +1,137 @@
+module Stats = Scallop_util.Stats
+
+type counter = { mutable c : int }
+type gauge = { mutable g : float }
+
+type metric =
+  | Counter of counter
+  | Gauge of gauge
+  | Histogram of Stats.Histogram.t
+  | Callback of (unit -> float)
+
+type entry = { help : string; metric : metric }
+
+(* Keyed by (name, canonically rendered label set). *)
+let registry : (string * string, entry) Hashtbl.t = Hashtbl.create 64
+
+let render_labels labels =
+  match List.sort compare labels with
+  | [] -> ""
+  | labels ->
+      "{"
+      ^ String.concat ","
+          (List.map (fun (k, v) -> Printf.sprintf "%s=%S" k v) labels)
+      ^ "}"
+
+let register ?(labels = []) ?(help = "") name metric =
+  Hashtbl.replace registry (name, render_labels labels) { help; metric }
+
+let counter ?labels ?help name =
+  let c = { c = 0 } in
+  register ?labels ?help name (Counter c);
+  c
+
+let incr c = c.c <- c.c + 1
+let add c n = c.c <- c.c + n
+let value c = c.c
+
+let gauge ?labels ?help name =
+  let g = { g = 0.0 } in
+  register ?labels ?help name (Gauge g);
+  g
+
+let set g v = g.g <- v
+let gauge_value g = g.g
+
+let histogram ?labels ?help ?bounds name =
+  let h = Stats.Histogram.create ?bounds () in
+  register ?labels ?help name (Histogram h);
+  h
+
+let register_callback ?labels ?help name f = register ?labels ?help name (Callback f)
+
+let unregister ?(labels = []) name = Hashtbl.remove registry (name, render_labels labels)
+
+let reset () = Hashtbl.reset registry
+
+(* %.17g round-trips every float but prints integers as integers via the
+   shortest-representation check below; keep it simple and deterministic. *)
+let float_str v =
+  if Float.is_integer v && Float.abs v < 1e15 then Printf.sprintf "%.0f" v
+  else Printf.sprintf "%g" v
+
+let sorted_entries () =
+  Hashtbl.fold (fun k e acc -> (k, e) :: acc) registry []
+  |> List.sort (fun (k1, _) (k2, _) -> compare k1 k2)
+
+let dump () =
+  let b = Buffer.create 1024 in
+  let last_name = ref "" in
+  List.iter
+    (fun ((name, labels), e) ->
+      if name <> !last_name then begin
+        last_name := name;
+        if e.help <> "" then Buffer.add_string b (Printf.sprintf "# HELP %s %s\n" name e.help);
+        let ty =
+          match e.metric with
+          | Counter _ -> "counter"
+          | Gauge _ | Callback _ -> "gauge"
+          | Histogram _ -> "histogram"
+        in
+        Buffer.add_string b (Printf.sprintf "# TYPE %s %s\n" name ty)
+      end;
+      match e.metric with
+      | Counter c -> Buffer.add_string b (Printf.sprintf "%s%s %d\n" name labels c.c)
+      | Gauge g -> Buffer.add_string b (Printf.sprintf "%s%s %s\n" name labels (float_str g.g))
+      | Callback f -> Buffer.add_string b (Printf.sprintf "%s%s %s\n" name labels (float_str (f ())))
+      | Histogram h ->
+          let label_prefix =
+            if labels = "" then "{" else String.sub labels 0 (String.length labels - 1) ^ ","
+          in
+          Stats.Histogram.iter_buckets h (fun ~le ~count ->
+              let le_str = if le = infinity then "+Inf" else float_str le in
+              Buffer.add_string b
+                (Printf.sprintf "%s_bucket%sle=\"%s\"} %d\n" name label_prefix le_str count));
+          Buffer.add_string b
+            (Printf.sprintf "%s_sum%s %s\n" name labels (float_str (Stats.Histogram.sum h)));
+          Buffer.add_string b
+            (Printf.sprintf "%s_count%s %d\n" name labels (Stats.Histogram.count h)))
+    (sorted_entries ());
+  Buffer.contents b
+
+let json_escape s =
+  let b = Buffer.create (String.length s) in
+  String.iter
+    (function
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | c when Char.code c < 0x20 -> Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+let dump_json () =
+  let b = Buffer.create 1024 in
+  Buffer.add_string b "{";
+  let first = ref true in
+  List.iter
+    (fun ((name, labels), e) ->
+      if !first then first := false else Buffer.add_string b ",";
+      Buffer.add_string b (Printf.sprintf "\n  \"%s\": " (json_escape (name ^ labels)));
+      match e.metric with
+      | Counter c -> Buffer.add_string b (string_of_int c.c)
+      | Gauge g -> Buffer.add_string b (float_str g.g)
+      | Callback f -> Buffer.add_string b (float_str (f ()))
+      | Histogram h ->
+          if Stats.Histogram.count h = 0 then
+            Buffer.add_string b "{\"count\": 0, \"sum\": 0}"
+          else
+            Buffer.add_string b
+              (Printf.sprintf "{\"count\": %d, \"sum\": %s, \"p50\": %s, \"p99\": %s}"
+                 (Stats.Histogram.count h)
+                 (float_str (Stats.Histogram.sum h))
+                 (float_str (Stats.Histogram.percentile h 50.0))
+                 (float_str (Stats.Histogram.percentile h 99.0))))
+    (sorted_entries ());
+  Buffer.add_string b "\n}\n";
+  Buffer.contents b

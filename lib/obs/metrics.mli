@@ -1,0 +1,58 @@
+(** Process-wide metrics registry: named counters, gauges and log-bucketed
+    histograms with a Prometheus-style text dump and a JSON export.
+
+    Hot-path discipline: a handle returned by {!counter} / {!gauge} /
+    {!histogram} is a plain mutable record the caller keeps; {!incr},
+    {!add} and {!set} are O(1) field mutations with zero allocation. The
+    registry is only consulted at registration and dump time, never on
+    the update path.
+
+    Registration has {e replace} semantics: registering a (name, labels)
+    pair that already exists installs a fresh zeroed handle and detaches
+    the previous one (its holder can keep mutating it; dumps show the new
+    instance). Components that are created per simulated world — data
+    planes, PRE instances, RPC clients — therefore own their metrics
+    without cross-world aggregation: the dump always reflects the most
+    recently created instance under each name. *)
+
+type counter
+type gauge
+
+val counter : ?labels:(string * string) list -> ?help:string -> string -> counter
+(** Register (or replace) a counter starting at 0. *)
+
+val incr : counter -> unit
+val add : counter -> int -> unit
+val value : counter -> int
+
+val gauge : ?labels:(string * string) list -> ?help:string -> string -> gauge
+val set : gauge -> float -> unit
+val gauge_value : gauge -> float
+
+val histogram :
+  ?labels:(string * string) list ->
+  ?help:string ->
+  ?bounds:float array ->
+  string ->
+  Scallop_util.Stats.Histogram.t
+(** Register (or replace) a {!Scallop_util.Stats.Histogram}; observe on
+    the returned handle directly. *)
+
+val register_callback :
+  ?labels:(string * string) list -> ?help:string -> string -> (unit -> float) -> unit
+(** A gauge whose value is polled at dump time — for quantities another
+    data structure already maintains (cache residency, table occupancy). *)
+
+val unregister : ?labels:(string * string) list -> string -> unit
+
+val dump : unit -> string
+(** Prometheus text exposition format, entries sorted by name then
+    labels — deterministic for a deterministic run. *)
+
+val dump_json : unit -> string
+(** One JSON object keyed by [name{labels}]; histograms expand to
+    [{count, sum, p50, p99}]. *)
+
+val reset : unit -> unit
+(** Drop every registered entry (tests / fresh worlds). Existing handles
+    keep working but are no longer dumped. *)

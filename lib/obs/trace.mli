@@ -1,0 +1,89 @@
+(** Deterministic structured tracing: spans and instant events stamped
+    with virtual time, collected in a ring buffer and exported as Chrome
+    trace-event JSON (open the file in [chrome://tracing] or Perfetto).
+
+    Determinism contract: timestamps are supplied by callers from
+    {!Netsim.Engine.now} virtual time, trace ids come from a resettable
+    monotonic allocator, and the exporter serializes the ring buffer in
+    insertion order with integer-only arithmetic — so two runs with the
+    same seed produce byte-identical trace files.
+
+    Gating: {!enabled} is a single integer comparison against the current
+    level; every instrumentation site guards with it, so a disabled
+    tracer costs one predictable branch per site and performs no
+    allocation and no sink writes. Packet-level events can additionally
+    be sampled 1-in-N via {!set_sample_every}. *)
+
+(** Levels are cumulative: [Rpc] captures control-plane spans only,
+    [Packet] adds per-packet causal events, [Verbose] adds suppressed
+    replicas, per-attempt RPC retries and other high-volume detail. *)
+type level = Off | Rpc | Packet | Verbose
+
+val set_level : level -> unit
+val level : unit -> level
+
+val enabled : level -> bool
+(** [enabled l] — the current level is at least [l]. The hot-path gate. *)
+
+type value = I of int | S of string
+
+type event = {
+  ts : int;  (** virtual nanoseconds *)
+  dur : int;  (** span duration in ns; [-1] for instant events *)
+  cat : string;  (** component: "dp", "pre", "link", "client", "rpc" *)
+  name : string;
+  trace : int;  (** per-packet trace id; [-1] when unrelated to a packet *)
+  args : (string * value) list;
+}
+
+val instant :
+  ts:int -> ?trace:int -> ?args:(string * value) list -> cat:string -> string -> unit
+
+val complete :
+  ts:int ->
+  dur:int ->
+  ?trace:int ->
+  ?args:(string * value) list ->
+  cat:string ->
+  string ->
+  unit
+(** A span that already finished: begin time [ts], duration [dur]. *)
+
+val next_packet_id : unit -> int
+(** Allocate the next per-packet trace id, honouring the sampling rate:
+    returns [-1] for packets sampled out (callers skip all events for
+    them). Ids are dense and start at 0 after {!reset}. *)
+
+val set_sample_every : int -> unit
+(** Trace every Nth packet (default 1 = all). Deterministic counter-based
+    sampling, not random. *)
+
+val set_capacity : int -> unit
+(** Resize the ring buffer (drops buffered events). Default 262,144. *)
+
+val writes : unit -> int
+(** Total events written to the sink since the last {!reset} — 0 proves a
+    disabled-tracing run never touched the buffer. *)
+
+val dropped : unit -> int
+(** Events overwritten after the ring wrapped. *)
+
+val events : unit -> event list
+(** Buffered events, oldest first. *)
+
+val timeline : trace:int -> event list
+(** Every buffered event carrying the given per-packet trace id, in
+    order — the causal ingress → fan-out → egress → link → receiver
+    timeline of one packet. *)
+
+val to_chrome_json : unit -> string
+(** The whole buffer in Chrome trace-event format (JSON object with a
+    [traceEvents] array). Byte-deterministic for identical event
+    sequences. *)
+
+val write_chrome_json : string -> unit
+(** [to_chrome_json] into a file. *)
+
+val reset : unit -> unit
+(** Clear the buffer, counters and the trace-id allocator. Keeps the
+    level and capacity. *)

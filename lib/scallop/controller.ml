@@ -74,6 +74,7 @@ let create engine network rng ~agents ?(control = Rpc_transport.default) () =
     Array.mapi
       (fun idx (agent, dp) ->
         Rpc_transport.Client.connect engine (Rng.split rng) ~config:control
+          ~label:(Printf.sprintf "sw%d" idx)
           ~local:(Addr.v controller_ip (control_port + idx))
           ~remote:(Addr.v (Dataplane.ip dp) control_port)
           (Switch_agent.rpc_server agent))

@@ -1,5 +1,7 @@
 module Addr = Scallop_util.Addr
 module Stats = Scallop_util.Stats
+module Metrics = Scallop_obs.Metrics
+module Trace = Scallop_obs.Trace
 module Engine = Netsim.Engine
 module Network = Netsim.Network
 module Dgram = Netsim.Dgram
@@ -91,6 +93,7 @@ type t = {
   engine : Engine.t;
   network : Network.t;
   ip : int;
+  obs_label : string;
   pre : Tofino.Pre.t;
   trees : Trees.t;
   pipeline_latency_ns : int;
@@ -113,11 +116,13 @@ type t = {
   mutable egress_bytes : int;
   mutable replicas_suppressed : int;
   mutable mode : mode;
-  mutable fast_pkts : int;
-  mutable slow_pkts : int;
-  mutable replica_copies : int;
-  mutable paranoid_checks : int;
-  mutable paranoid_mismatches : int;
+  (* registry-backed fast-path counters (O(1) field increments; the
+     fastpath_stats record stays the read view) *)
+  fast_pkts : Metrics.counter;
+  slow_pkts : Metrics.counter;
+  replica_copies : Metrics.counter;
+  paranoid_checks : Metrics.counter;
+  paranoid_mismatches : Metrics.counter;
   forward_delay : Stats.Samples.t;
   parser_stats : Tofino.Parser.t;
   mutable egress_hook : receiver:int -> ssrc:int -> template:int option -> size:int -> unit;
@@ -128,17 +133,20 @@ type t = {
 let hmac_latency_ns = 150
 
 let create engine network ~ip ?pre_limits ?(pipeline_latency_ns = 600)
-    ?(cpu_port_latency_ns = 50_000) ?(header_auth = false) ?(mode = Fast) () =
+    ?(cpu_port_latency_ns = 50_000) ?(header_auth = false) ?(mode = Fast)
+    ?(obs_label = "sw0") () =
   let pre =
     match pre_limits with
-    | Some limits -> Tofino.Pre.create ~limits ()
-    | None -> Tofino.Pre.create ()
+    | Some limits -> Tofino.Pre.create ~limits ~obs_label ()
+    | None -> Tofino.Pre.create ~obs_label ()
   in
+  let labels = [ ("switch", obs_label) ] in
   let t =
     {
       engine;
       network;
       ip;
+      obs_label;
       pre;
       trees = Trees.create pre;
       pipeline_latency_ns =
@@ -164,11 +172,21 @@ let create engine network ~ip ?pre_limits ?(pipeline_latency_ns = 600)
       egress_bytes = 0;
       replicas_suppressed = 0;
       mode;
-      fast_pkts = 0;
-      slow_pkts = 0;
-      replica_copies = 0;
-      paranoid_checks = 0;
-      paranoid_mismatches = 0;
+      fast_pkts =
+        Metrics.counter ~labels ~help:"ingress media packets forwarded via copy-and-patch"
+          "scallop_dp_fast_pkts";
+      slow_pkts =
+        Metrics.counter ~labels ~help:"ingress media packets that took the record path"
+          "scallop_dp_slow_pkts";
+      replica_copies =
+        Metrics.counter ~labels ~help:"fast-path fan-out replica buffer copies"
+          "scallop_dp_replica_copies";
+      paranoid_checks =
+        Metrics.counter ~labels ~help:"egress datagrams byte-compared across both paths"
+          "scallop_dp_paranoid_checks";
+      paranoid_mismatches =
+        Metrics.counter ~labels ~help:"paranoid byte comparisons that failed"
+          "scallop_dp_paranoid_mismatches";
       forward_delay = Stats.Samples.create ();
       parser_stats = Tofino.Parser.create ();
       egress_hook = (fun ~receiver:_ ~ssrc:_ ~template:_ ~size:_ -> ());
@@ -177,6 +195,7 @@ let create engine network ~ip ?pre_limits ?(pipeline_latency_ns = 600)
   t
 
 let ip t = t.ip
+let obs_label t = t.obs_label
 let trees t = t.trees
 let pre t = t.pre
 let mode t = t.mode
@@ -195,14 +214,14 @@ let inject t dgram = Network.send t.network dgram
    departure instant, so replicas are staged into [acc] and sent by a
    single scheduled flush — one event-queue operation per ingress packet
    instead of one per replica. *)
-let emit t ~acc ~receiver ~ssrc ~template ~src_port ~dst payload =
+let emit t ~acc ~trace ~receiver ~ssrc ~template ~src_port ~dst payload =
   let size = Bytes.length payload + 42 in
   if t.header_auth then t.headers_authenticated <- t.headers_authenticated + 1;
   t.egress_pkts <- t.egress_pkts + 1;
   t.egress_bytes <- t.egress_bytes + size;
   t.egress_hook ~receiver ~ssrc ~template ~size;
   Stats.Samples.observe t.forward_delay (float_of_int t.pipeline_latency_ns);
-  acc := Dgram.v ~src:(Addr.v t.ip src_port) ~dst payload :: !acc
+  acc := Dgram.v ~trace ~src:(Addr.v t.ip src_port) ~dst payload :: !acc
 
 let flush_egress t ~ingress_ns acc =
   match !acc with
@@ -334,6 +353,7 @@ type media_ctx = {
   c_fields : Dd.fields option;
   c_view : Packet.View.t option;  (** [Some] iff fast materialization is sound *)
   c_slow : (Packet.t * Dd.t option) Lazy.t;
+  mutable c_trace : int;  (** causal trace id; -1 = untraced *)
 }
 
 (* What the pipeline does to one replica's header. *)
@@ -374,7 +394,7 @@ let decide leg ~ssrc ~seq (fields : Dd.fields option) =
 (* Fast materialization: one copy of the ingress buffer, then fixed-offset
    patches — the model equivalent of the hardware header rewrite. *)
 let materialize_fast t (view : Packet.View.t) action =
-  t.replica_copies <- t.replica_copies + 1;
+  Metrics.incr t.replica_copies;
   let buf = Bytes.copy view.Packet.View.buf in
   (match action with
   | Emit_verbatim | Suppress -> ()
@@ -416,9 +436,9 @@ let materialize t ctx action =
   | Paranoid, Some view ->
       let fast = materialize_fast t view action in
       let slow = materialize_slow (Lazy.force ctx.c_slow) action in
-      t.paranoid_checks <- t.paranoid_checks + 1;
+      Metrics.incr t.paranoid_checks;
       if not (Bytes.equal fast slow) then begin
-        t.paranoid_mismatches <- t.paranoid_mismatches + 1;
+        Metrics.incr t.paranoid_mismatches;
         raise
           (Differential_mismatch
              (Printf.sprintf
@@ -433,7 +453,11 @@ let egress_media t ~acc ~receiver ctx =
   | None -> ()
   | Some leg -> (
       match decide leg ~ssrc:ctx.c_ssrc ~seq:ctx.c_seq ctx.c_fields with
-      | Suppress -> t.replicas_suppressed <- t.replicas_suppressed + 1
+      | Suppress ->
+          t.replicas_suppressed <- t.replicas_suppressed + 1;
+          if ctx.c_trace >= 0 && Trace.enabled Trace.Verbose then
+            Trace.instant ~ts:(Engine.now t.engine) ~trace:ctx.c_trace ~cat:"dp"
+              "suppress" ~args:[ ("receiver", Trace.I receiver) ]
       | action ->
           let ssrc, template =
             match action with
@@ -441,8 +465,12 @@ let egress_media t ~acc ~receiver ctx =
             | Emit_seq { template; _ } -> (ctx.c_ssrc, Some template)
             | Emit_splice { ssrc; template; _ } -> (ssrc, Some template)
           in
-          emit t ~acc ~receiver ~ssrc ~template ~src_port:leg.src_port
-            ~dst:leg.dst
+          if ctx.c_trace >= 0 && Trace.enabled Trace.Packet then
+            Trace.instant ~ts:(Engine.now t.engine) ~trace:ctx.c_trace ~cat:"dp"
+              "egress"
+              ~args:[ ("receiver", Trace.I receiver); ("ssrc", Trace.I ssrc) ];
+          emit t ~acc ~trace:ctx.c_trace ~receiver ~ssrc ~template
+            ~src_port:leg.src_port ~dst:leg.dst
             (materialize t ctx action))
 
 let fanout t ~ingress_ns uplink ctx =
@@ -458,14 +486,38 @@ let fanout t ~ingress_ns uplink ctx =
   | Trees.No_receivers -> ()
   | Trees.Unicast { receiver; _ } -> egress_media t ~acc ~receiver ctx
   | Trees.Replicate { mgid; l1_xid; rid; l2_xid } ->
+      let traced = ctx.c_trace >= 0 && Trace.enabled Trace.Packet in
+      let fanout_event ~replicas ~cache =
+        Trace.instant ~ts:ingress_ns ~trace:ctx.c_trace ~cat:"pre" "pre_fanout"
+          ~args:
+            [
+              ("mgid", Trace.I mgid);
+              ("l1_xid", Trace.I l1_xid);
+              ("rid", Trace.I rid);
+              ("l2_xid", Trace.I l2_xid);
+              ("replicas", Trace.I replicas);
+              ("cache", Trace.S cache);
+            ]
+      in
       let each (r : Tofino.Pre.replica) =
         match Trees.receiver_of_replica t.trees uplink.meeting ~mgid ~rid:r.rid with
         | Some receiver -> egress_media t ~acc ~receiver ctx
         | None -> ()
       in
-      if t.mode = Slow then
-        List.iter each (Tofino.Pre.replicate t.pre ~mgid ~l1_xid ~rid ~l2_xid)
-      else Array.iter each (Tofino.Pre.replicate_cached t.pre ~mgid ~l1_xid ~rid ~l2_xid));
+      if t.mode = Slow then begin
+        let replicas = Tofino.Pre.replicate t.pre ~mgid ~l1_xid ~rid ~l2_xid in
+        if traced then fanout_event ~replicas:(List.length replicas) ~cache:"bypass";
+        List.iter each replicas
+      end
+      else begin
+        let hits_before = if traced then Tofino.Pre.cache_hit_count t.pre else 0 in
+        let replicas = Tofino.Pre.replicate_cached t.pre ~mgid ~l1_xid ~rid ~l2_xid in
+        if traced then
+          fanout_event ~replicas:(Array.length replicas)
+            ~cache:
+              (if Tofino.Pre.cache_hit_count t.pre > hits_before then "hit" else "miss");
+        Array.iter each replicas
+      end);
   flush_egress t ~ingress_ns acc
 
 (* Build the per-ingress context. In [Slow] mode this is the pre-fast-path
@@ -493,6 +545,7 @@ let ingest t uplink (dgram : Dgram.t) =
             c_fields = Option.map Dd.fields_of_t dd;
             c_view = None;
             c_slow = Lazy.from_val (pkt, dd);
+            c_trace = -1;
           }
   else
     match Packet.View.of_bytes ~ext_id:Dd.extension_id dgram.payload with
@@ -527,6 +580,7 @@ let ingest t uplink (dgram : Dgram.t) =
             c_fields = fields;
             c_view = (if fast_ok then Some view else None);
             c_slow = slow;
+            c_trace = -1;
           }
 
 let handle_media t uplink (dgram : Dgram.t) =
@@ -556,8 +610,25 @@ let handle_media t uplink (dgram : Dgram.t) =
         t.ingress.rtp_video_pkts <- t.ingress.rtp_video_pkts + 1;
         t.ingress.rtp_video_bytes <- t.ingress.rtp_video_bytes + size
       end;
-      if ctx.c_view <> None then t.fast_pkts <- t.fast_pkts + 1
-      else t.slow_pkts <- t.slow_pkts + 1;
+      if ctx.c_view <> None then Metrics.incr t.fast_pkts
+      else Metrics.incr t.slow_pkts;
+      (* Causal tracing: adopt the ingress datagram's id when the sender
+         stamped one, else sample a fresh id. Both tests are false when
+         tracing is off, so the untraced path pays two comparisons. *)
+      (if Trace.enabled Trace.Packet then begin
+         ctx.c_trace <-
+           (if dgram.Dgram.trace >= 0 then dgram.Dgram.trace
+            else Trace.next_packet_id ());
+         if ctx.c_trace >= 0 then
+           Trace.instant ~ts:ingress_ns ~trace:ctx.c_trace ~cat:"dp" "ingress"
+             ~args:
+               [
+                 ("ssrc", Trace.I ctx.c_ssrc);
+                 ("seq", Trace.I ctx.c_seq);
+                 ("size", Trace.I size);
+                 ("path", Trace.S (if ctx.c_view <> None then "fast" else "slow"));
+               ]
+       end);
       fanout t ~ingress_ns uplink ctx
 
 (* --- feedback path ----------------------------------------------------------- *)
@@ -585,8 +656,8 @@ let handle_sender_rtcp t uplink (dgram : Dgram.t) =
   | Trees.Unicast { receiver; _ } -> (
       match Tofino.Table.lookup t.legs (receiver, uplink.video_ssrc) with
       | Some leg ->
-          emit t ~acc ~receiver ~ssrc:uplink.video_ssrc ~template:None
-            ~src_port:leg.src_port ~dst:leg.dst dgram.payload
+          emit t ~acc ~trace:dgram.Dgram.trace ~receiver ~ssrc:uplink.video_ssrc
+            ~template:None ~src_port:leg.src_port ~dst:leg.dst dgram.payload
       | None -> ())
   | Trees.Replicate { mgid; l1_xid; rid; l2_xid } ->
       let each (r : Tofino.Pre.replica) =
@@ -594,8 +665,9 @@ let handle_sender_rtcp t uplink (dgram : Dgram.t) =
         | Some receiver -> (
             match Tofino.Table.lookup t.legs (receiver, uplink.video_ssrc) with
             | Some leg ->
-                emit t ~acc ~receiver ~ssrc:uplink.video_ssrc ~template:None
-                  ~src_port:leg.src_port ~dst:leg.dst dgram.payload
+                emit t ~acc ~trace:dgram.Dgram.trace ~receiver
+                  ~ssrc:uplink.video_ssrc ~template:None ~src_port:leg.src_port
+                  ~dst:leg.dst dgram.payload
             | None -> ())
         | None -> ()
       in
@@ -714,10 +786,10 @@ let handler t (dgram : Dgram.t) =
       t.ingress.other_bytes <- t.ingress.other_bytes + size
 
 let create engine network ~ip ?pre_limits ?pipeline_latency_ns ?cpu_port_latency_ns
-    ?header_auth ?mode () =
+    ?header_auth ?mode ?obs_label () =
   let t =
     create engine network ~ip ?pre_limits ?pipeline_latency_ns ?cpu_port_latency_ns
-      ?header_auth ?mode ()
+      ?header_auth ?mode ?obs_label ()
   in
   Network.bind_host network ~ip (handler t);
   t
@@ -747,11 +819,11 @@ type fastpath_stats = {
 let fastpath_stats t =
   let c = Tofino.Pre.cache_stats t.pre in
   {
-    fp_fast_pkts = t.fast_pkts;
-    fp_slow_pkts = t.slow_pkts;
-    fp_replica_copies = t.replica_copies;
-    fp_paranoid_checks = t.paranoid_checks;
-    fp_paranoid_mismatches = t.paranoid_mismatches;
+    fp_fast_pkts = Metrics.value t.fast_pkts;
+    fp_slow_pkts = Metrics.value t.slow_pkts;
+    fp_replica_copies = Metrics.value t.replica_copies;
+    fp_paranoid_checks = Metrics.value t.paranoid_checks;
+    fp_paranoid_mismatches = Metrics.value t.paranoid_mismatches;
     fp_cache_hits = c.Tofino.Pre.hits;
     fp_cache_misses = c.Tofino.Pre.misses;
     fp_cache_invalidations = c.Tofino.Pre.invalidations;

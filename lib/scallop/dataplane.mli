@@ -44,9 +44,16 @@ val create :
   ?cpu_port_latency_ns:int ->
   ?header_auth:bool ->
   ?mode:mode ->
+  ?obs_label:string ->
   unit ->
   t
 (** Defaults: 600 ns pipeline, 50 µs CPU port, [Fast] forwarding mode.
+
+    [obs_label] (default ["sw0"]) names this switch in the metrics
+    registry (label [switch="..."] on the [scallop_dp_*] series) and is
+    forwarded to the embedded {!Tofino.Pre} instance; re-creating a
+    switch under the same label replaces its registry entries rather
+    than aggregating into them.
 
     [header_auth] enables the paper's §8 extension: recomputing an HMAC
     over the (rewritten) RTP header of every egress replica, as the paper
@@ -55,6 +62,11 @@ val create :
     (SRTP-compatible), so nothing else changes. *)
 
 val ip : t -> int
+
+val obs_label : t -> string
+(** The metrics-registry label this switch was created with (reused by
+    {!Switch_agent} for its own per-switch series). *)
+
 val trees : t -> Trees.t
 val pre : t -> Tofino.Pre.t
 
@@ -170,7 +182,9 @@ type fastpath_stats = {
 
 val fastpath_stats : t -> fastpath_stats
 (** Fast-path and PRE fan-out cache counters, for experiments and
-    [scallop_cli check]. *)
+    [scallop_cli check]. A view over the registry-backed
+    [scallop_dp_*] / [scallop_pre_cache_*] series (see
+    {!Scallop_obs.Metrics}). *)
 
 val set_egress_hook :
   t -> (receiver:int -> ssrc:int -> template:int option -> size:int -> unit) -> unit

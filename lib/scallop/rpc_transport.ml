@@ -1,5 +1,7 @@
 module Addr = Scallop_util.Addr
 module Rng = Scallop_util.Rng
+module Metrics = Scallop_obs.Metrics
+module Trace = Scallop_obs.Trace
 module Engine = Netsim.Engine
 module Link = Netsim.Link
 module Dgram = Netsim.Dgram
@@ -126,6 +128,7 @@ module Server = struct
     | Rpc.Request { seq; request } ->
         t.requests_received <- t.requests_received + 1;
         t.on_receive ();
+        let replayed = Hashtbl.mem t.seen seq in
         let reply =
           match Hashtbl.find_opt t.seen seq with
           | Some cached ->
@@ -141,6 +144,14 @@ module Server = struct
               remember t seq reply;
               reply
         in
+        if Trace.enabled Trace.Rpc then
+          Trace.instant ~ts:(Engine.now t.engine) ~cat:"rpc" "rpc_exec"
+            ~args:
+              [
+                ("name", Trace.S (Rpc.request_name request));
+                ("seq", Trace.I seq);
+                ("replayed", Trace.S (if replayed then "true" else "false"));
+              ];
         t.replies_sent <- t.replies_sent + 1;
         let payload = Rpc.encode (Rpc.Reply { seq; reply }) in
         transmit t ~reply_via ~seq ~reply (Dgram.v ~src:dgram.dst ~dst:dgram.src payload)
@@ -174,51 +185,59 @@ module Client = struct
     cfg : config;
     local : Addr.t;
     remote : Addr.t;
+    label : string;
     channel : Control_channel.t;
     pending : (int, outcome ref) Hashtbl.t;
     mutable request_fault : (seq:int -> attempt:int -> Rpc.request -> fault) option;
     mutable next_seq : int;
-    mutable calls : int;
-    mutable wire_requests : int;
-    mutable retries : int;
-    mutable replies_received : int;
-    mutable stale_replies : int;
-    mutable failures : int;
+    (* registry-backed (label [client="..."]); the stats record is the view *)
+    calls : Metrics.counter;
+    wire_requests : Metrics.counter;
+    retries : Metrics.counter;
+    replies_received : Metrics.counter;
+    stale_replies : Metrics.counter;
+    failures : Metrics.counter;
   }
 
   let on_reply t (dgram : Dgram.t) =
     match Rpc.decode dgram.payload with
-    | exception Rpc.Decode_error _ -> t.stale_replies <- t.stale_replies + 1
-    | Rpc.Request _ -> t.stale_replies <- t.stale_replies + 1
+    | exception Rpc.Decode_error _ -> Metrics.incr t.stale_replies
+    | Rpc.Request _ -> Metrics.incr t.stale_replies
     | Rpc.Reply { seq; reply } -> (
         match Hashtbl.find_opt t.pending seq with
         | Some ({ contents = Waiting } as cell) ->
-            t.replies_received <- t.replies_received + 1;
+            Metrics.incr t.replies_received;
             cell := Got reply
         | Some _ | None ->
             (* duplicate or post-timeout reply; the call already settled *)
-            t.stale_replies <- t.stale_replies + 1)
+            Metrics.incr t.stale_replies)
 
-  let connect engine rng ?(config = default) ~local ~remote server =
+  let connect engine rng ?(config = default) ?(label = "ctl") ~local ~remote server =
     let channel =
       Control_channel.create engine rng ~fwd:config.link ~rev:config.link ()
     in
+    let labels = [ ("client", label) ] in
+    let counter help name = Metrics.counter ~labels ~help name in
     let t =
       {
         engine;
         cfg = config;
         local;
         remote;
+        label;
         channel;
         pending = Hashtbl.create 8;
         request_fault = None;
         next_seq = 0;
-        calls = 0;
-        wire_requests = 0;
-        retries = 0;
-        replies_received = 0;
-        stale_replies = 0;
-        failures = 0;
+        calls = counter "RPC calls issued" "scallop_rpc_calls";
+        wire_requests =
+          counter "request datagrams put on the wire (retries/dups included)"
+            "scallop_rpc_wire_requests";
+        retries = counter "retransmissions after a timeout" "scallop_rpc_retries";
+        replies_received = counter "replies that settled a call" "scallop_rpc_replies";
+        stale_replies =
+          counter "late/duplicate replies for settled calls" "scallop_rpc_stale_replies";
+        failures = counter "calls that exhausted every retry" "scallop_rpc_failures";
       }
     in
     Control_channel.set_fwd_sink channel (fun dgram ->
@@ -243,33 +262,35 @@ module Client = struct
     match action with
     | Drop -> ()
     | Delay ns ->
-        t.wire_requests <- t.wire_requests + 1;
+        Metrics.incr t.wire_requests;
         Engine.schedule t.engine ~after:ns (fun () ->
             Control_channel.send_fwd t.channel dgram)
     | Duplicate ->
-        t.wire_requests <- t.wire_requests + 2;
+        Metrics.add t.wire_requests 2;
         Control_channel.send_fwd t.channel dgram;
         Control_channel.send_fwd t.channel dgram
     | Pass ->
-        t.wire_requests <- t.wire_requests + 1;
+        Metrics.incr t.wire_requests;
         Control_channel.send_fwd t.channel dgram
 
   (* One attempt: (maybe) put the request on the wire, and arm the retry
      timer. Retries reuse the seq — the agent's replay cache depends on
-     it — with exponentially backed-off timeouts. *)
-  let rec attempt_call t cell ~seq ~attempt request =
+     it — with exponentially backed-off timeouts. [attempts] records how
+     many attempts the call made, for its trace span. *)
+  let rec attempt_call t cell ~attempts ~seq ~attempt request =
     let payload = Rpc.encode (Rpc.Request { seq; request }) in
     transmit t ~seq ~attempt request (Dgram.v ~src:t.local ~dst:t.remote payload);
     Engine.schedule t.engine ~after:(backoff_ns t attempt) (fun () ->
         match !cell with
         | Waiting ->
             if attempt >= t.cfg.max_retries then begin
-              t.failures <- t.failures + 1;
+              Metrics.incr t.failures;
               cell := Gave_up
             end
             else begin
-              t.retries <- t.retries + 1;
-              attempt_call t cell ~seq ~attempt:(attempt + 1) request
+              Metrics.incr t.retries;
+              incr attempts;
+              attempt_call t cell ~attempts ~seq ~attempt:(attempt + 1) request
             end
         | Got _ | Gave_up -> ())
 
@@ -279,14 +300,33 @@ module Client = struct
      flight. With the ideal default link the reply arrives at the same
      instant and no virtual time passes. *)
   let call t request =
-    t.calls <- t.calls + 1;
+    Metrics.incr t.calls;
     let seq = t.next_seq in
     t.next_seq <- seq + 1;
     let cell = ref Waiting in
+    let attempts = ref 1 in
+    let start_ns = Engine.now t.engine in
+    (* one complete span per call, stamped whether it settled or timed
+       out — retries stay inside the span rather than becoming events *)
+    let span ~ok =
+      if Trace.enabled Trace.Rpc then
+        Trace.complete ~ts:start_ns
+          ~dur:(Engine.now t.engine - start_ns)
+          ~cat:"rpc"
+          (Rpc.request_name request)
+          ~args:
+            [
+              ("client", Trace.S t.label);
+              ("seq", Trace.I seq);
+              ("attempts", Trace.I !attempts);
+              ("ok", Trace.S (if ok then "true" else "false"));
+            ]
+    in
     Hashtbl.replace t.pending seq cell;
-    attempt_call t cell ~seq ~attempt:0 request;
+    attempt_call t cell ~attempts ~seq ~attempt:0 request;
     let give_up () =
       Hashtbl.remove t.pending seq;
+      span ~ok:false;
       raise
         (Timed_out
            { op = Rpc.request_name request; seq; attempts = t.cfg.max_retries + 1 })
@@ -295,6 +335,7 @@ module Client = struct
       match !cell with
       | Got reply ->
           Hashtbl.remove t.pending seq;
+          span ~ok:true;
           reply
       | Gave_up -> give_up ()
       | Waiting -> if Engine.step t.engine then pump () else give_up ()
@@ -307,11 +348,11 @@ module Client = struct
 
   let stats t =
     {
-      calls = t.calls;
-      wire_requests = t.wire_requests;
-      retries = t.retries;
-      replies_received = t.replies_received;
-      stale_replies = t.stale_replies;
-      failures = t.failures;
+      calls = Metrics.value t.calls;
+      wire_requests = Metrics.value t.wire_requests;
+      retries = Metrics.value t.retries;
+      replies_received = Metrics.value t.replies_received;
+      stale_replies = Metrics.value t.stale_replies;
+      failures = Metrics.value t.failures;
     }
 end

@@ -79,16 +79,22 @@ module Client : sig
     Netsim.Engine.t ->
     Scallop_util.Rng.t ->
     ?config:config ->
+    ?label:string ->
     local:Scallop_util.Addr.t ->
     remote:Scallop_util.Addr.t ->
     Server.t ->
     t
   (** Builds the control channel to [Server] and wires both sinks.
       [local]/[remote] only label the datagrams (the channel is
-      point-to-point). *)
+      point-to-point). [label] (default ["ctl"]) names this client in
+      the metrics registry (label [client="..."] on the
+      [scallop_rpc_*] series) and in its trace spans. *)
 
   val call : t -> Rpc.request -> Rpc.reply
   (** Send, retry on timeout, return the (possibly replayed) reply.
+      When tracing is at level [Rpc] or above, each call emits one
+      complete span (category ["rpc"], named after the request) whose
+      duration covers every retry, with [seq]/[attempts]/[ok] args.
       @raise Timed_out when [max_retries] retransmissions all expire. *)
 
   val set_request_fault :

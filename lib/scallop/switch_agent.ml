@@ -60,7 +60,7 @@ type t = {
   stream_by_uplink : (int, sender_stream) Hashtbl.t;
   leg_index : (int, sender_stream * leg_info) Hashtbl.t;  (** by leg_port *)
   mutable next_meeting : int;
-  mutable rpc_calls : int;
+  rpc_calls : Scallop_obs.Metrics.counter;
   mutable cpu_packets : int;
   mutable cpu_bytes : int;
   mutable stun_answered : int;
@@ -482,7 +482,11 @@ let create engine dp ?(rewrite = Seq_rewrite.S_LM) ?(select = default_select)
       stream_by_uplink = Hashtbl.create 64;
       leg_index = Hashtbl.create 256;
       next_meeting = 0;
-      rpc_calls = 0;
+      rpc_calls =
+        Scallop_obs.Metrics.counter
+          ~labels:[ ("switch", Dataplane.obs_label dp) ]
+          ~help:"control requests the agent received on the wire (dups included)"
+          "scallop_agent_rpc_calls";
       cpu_packets = 0;
       cpu_bytes = 0;
       stun_answered = 0;
@@ -498,7 +502,7 @@ let create engine dp ?(rewrite = Seq_rewrite.S_LM) ?(select = default_select)
   t.rpc_server <-
     Some
       (Rpc_transport.Server.create engine
-         ~on_receive:(fun () -> t.rpc_calls <- t.rpc_calls + 1)
+         ~on_receive:(fun () -> Scallop_obs.Metrics.incr t.rpc_calls)
          ~handler:(fun req -> dispatch t req)
          ());
   t
@@ -518,7 +522,7 @@ type stats = {
 
 let stats (t : t) =
   {
-    rpc_calls = t.rpc_calls;
+    rpc_calls = Scallop_obs.Metrics.value t.rpc_calls;
     cpu_packets = t.cpu_packets;
     cpu_bytes = t.cpu_bytes;
     stun_answered = t.stun_answered;

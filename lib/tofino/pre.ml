@@ -19,6 +19,8 @@ type replica = { rid : int; port : int }
 
 type cache_stats = { hits : int; misses : int; invalidations : int; entries : int }
 
+module Metrics = Scallop_obs.Metrics
+
 type t = {
   lim : limits;
   nodes : (node_id, node) Hashtbl.t;
@@ -29,27 +31,39 @@ type t = {
      Any mutation of trees, nodes or L2-XID sets flushes the whole table —
      correctness over retention, mutations are control-plane-rare. *)
   cache : (int * int * int * int, replica array) Hashtbl.t;
-  mutable cache_hits : int;
-  mutable cache_misses : int;
-  mutable cache_invalidations : int;
+  (* registry-backed (same O(1) field mutation as a plain int); the
+     cache_stats record remains the read view *)
+  cache_hits : Metrics.counter;
+  cache_misses : Metrics.counter;
+  cache_invalidations : Metrics.counter;
 }
 
-let create ?(limits = tofino2_limits) () =
-  {
-    lim = limits;
-    nodes = Hashtbl.create 1024;
-    trees = Hashtbl.create 256;
-    l2_xids = Hashtbl.create 64;
-    next_node_id = 0;
-    cache = Hashtbl.create 1024;
-    cache_hits = 0;
-    cache_misses = 0;
-    cache_invalidations = 0;
-  }
+let create ?(limits = tofino2_limits) ?(obs_label = "pre0") () =
+  let labels = [ ("pre", obs_label) ] in
+  let t =
+    {
+      lim = limits;
+      nodes = Hashtbl.create 1024;
+      trees = Hashtbl.create 256;
+      l2_xids = Hashtbl.create 64;
+      next_node_id = 0;
+      cache = Hashtbl.create 1024;
+      cache_hits =
+        Metrics.counter ~labels ~help:"PRE fan-out cache hits" "scallop_pre_cache_hits";
+      cache_misses =
+        Metrics.counter ~labels ~help:"PRE fan-out cache misses" "scallop_pre_cache_misses";
+      cache_invalidations =
+        Metrics.counter ~labels ~help:"PRE fan-out cache flushes that dropped entries"
+          "scallop_pre_cache_invalidations";
+    }
+  in
+  Metrics.register_callback ~labels ~help:"resident PRE fan-out cache entries"
+    "scallop_pre_cache_entries" (fun () -> float_of_int (Hashtbl.length t.cache));
+  t
 
 let flush_cache t =
   if Hashtbl.length t.cache > 0 then begin
-    t.cache_invalidations <- t.cache_invalidations + 1;
+    Metrics.incr t.cache_invalidations;
     Hashtbl.reset t.cache
   end
 
@@ -161,19 +175,21 @@ let replicate_cached t ~mgid ~l1_xid ~rid ~l2_xid =
   let key = (mgid, l1_xid, rid, l2_xid) in
   match Hashtbl.find_opt t.cache key with
   | Some arr ->
-      t.cache_hits <- t.cache_hits + 1;
+      Metrics.incr t.cache_hits;
       arr
   | None ->
-      t.cache_misses <- t.cache_misses + 1;
+      Metrics.incr t.cache_misses;
       let arr = Array.of_list (replicate t ~mgid ~l1_xid ~rid ~l2_xid) in
       Hashtbl.replace t.cache key arr;
       arr
 
+let cache_hit_count t = Metrics.value t.cache_hits
+
 let cache_stats t =
   {
-    hits = t.cache_hits;
-    misses = t.cache_misses;
-    invalidations = t.cache_invalidations;
+    hits = Metrics.value t.cache_hits;
+    misses = Metrics.value t.cache_misses;
+    invalidations = Metrics.value t.cache_invalidations;
     entries = Hashtbl.length t.cache;
   }
 

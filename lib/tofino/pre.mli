@@ -24,7 +24,10 @@ type limits = { max_trees : int; max_l1_nodes : int; max_rids_per_tree : int }
 val tofino2_limits : limits
 (** 65,536 trees; 16,777,216 L1 nodes; 65,536 RIDs per tree. *)
 
-val create : ?limits:limits -> unit -> t
+val create : ?limits:limits -> ?obs_label:string -> unit -> t
+(** [obs_label] names this instance in the metrics registry (label
+    [pre="..."] on the [scallop_pre_cache_*] series); re-creating an
+    instance under the same label replaces its registry entries. *)
 
 type node_id = int
 type mgid = int
@@ -76,7 +79,13 @@ type cache_stats = { hits : int; misses : int; invalidations : int; entries : in
 
 val cache_stats : t -> cache_stats
 (** [invalidations] counts flushes that actually dropped entries;
-    [entries] is the current resident entry count. *)
+    [entries] is the current resident entry count. A view over the
+    registry-backed counters (see {!Scallop_obs.Metrics}). *)
+
+val cache_hit_count : t -> int
+(** Just the hit counter — cheap enough for the data plane to read
+    before/after one {!replicate_cached} call when stamping a trace
+    event with hit/miss. *)
 
 val iter_cache :
   t ->

@@ -1,6 +1,7 @@
 module Addr = Scallop_util.Addr
 module Rng = Scallop_util.Rng
 module Timeseries = Scallop_util.Timeseries
+module Trace = Scallop_obs.Trace
 module Engine = Netsim.Engine
 module Network = Netsim.Network
 module Dgram = Netsim.Dgram
@@ -281,7 +282,8 @@ let send_stun_check t conn =
 
 (* --- dispatch ------------------------------------------------------------- *)
 
-let handle_rtp t conn buf =
+let handle_rtp t conn (dgram : Dgram.t) =
+  let buf = dgram.Dgram.payload in
   match Packet.parse buf with
   | exception Rtp.Wire.Parse_error _ -> ()
   | pkt ->
@@ -296,7 +298,22 @@ let handle_rtp t conn buf =
           conn.gcc
       end
       else if pkt.Packet.ssrc = conn.audio_ssrc then
-        Option.iter (fun rx -> Codec.Audio_receiver.receive rx ~time_ns:now pkt) conn.audio_rx
+        Option.iter (fun rx -> Codec.Audio_receiver.receive rx ~time_ns:now pkt) conn.audio_rx;
+      (* terminal hop of the causal timeline: the packet reached the
+         receiving endpoint and (for video) advanced the decoder *)
+      if dgram.Dgram.trace >= 0 && Trace.enabled Trace.Packet then
+        Trace.instant ~ts:now ~trace:dgram.Dgram.trace ~cat:"client" "client_rx"
+          ~args:
+            [
+              ("ssrc", Trace.I pkt.Packet.ssrc);
+              ("seq", Trace.I pkt.Packet.sequence);
+              ( "frames_decoded",
+                Trace.I
+                  (match conn.video_rx with
+                  | Some rx when pkt.Packet.ssrc = conn.video_ssrc ->
+                      Codec.Video_receiver.frames_decoded rx
+                  | Some _ | None -> -1) );
+            ]
 
 let handle_rtcp t conn buf =
   match Rtp.Rtcp.parse_compound buf with
@@ -360,7 +377,7 @@ let handle_dgram t conn (dgram : Dgram.t) =
   if conn.open_ then begin
     t.rx_hook ~time_ns:(Engine.now t.engine) dgram;
     match Rtp.Demux.classify dgram.payload with
-    | Rtp.Demux.Rtp_media -> handle_rtp t conn dgram.payload
+    | Rtp.Demux.Rtp_media -> handle_rtp t conn dgram
     | Rtp.Demux.Rtcp_feedback -> handle_rtcp t conn dgram.payload
     | Rtp.Demux.Stun_packet -> handle_stun t conn dgram.payload
     | Rtp.Demux.Unknown -> ()

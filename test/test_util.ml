@@ -157,6 +157,74 @@ let samples_grows () =
   done;
   Alcotest.(check int) "count" 10_000 (Stats.Samples.count s)
 
+let samples_nan_raises () =
+  let s = Stats.Samples.create () in
+  Alcotest.check_raises "NaN rejected"
+    (Invalid_argument "Stats.Samples.observe: NaN") (fun () ->
+      Stats.Samples.observe s Float.nan)
+
+(* Regression: sorting with polymorphic compare handled negative floats
+   and -0.0/0.0 by structural comparison of their boxed representation;
+   Float.compare must give a total numeric order, so percentiles over
+   sign-mixed data stay correct. *)
+let samples_negative_sort () =
+  let s = Stats.Samples.create () in
+  List.iter (Stats.Samples.observe s) [ 5.0; -3.0; 0.0; -0.0; 4.0; -7.0; 1.0 ];
+  check_float "min" (-7.0) (Stats.Samples.percentile s 0.0);
+  check_float "max" 5.0 (Stats.Samples.percentile s 100.0);
+  check_float "median" 0.0 (Stats.Samples.median s)
+
+(* --- Stats.Histogram -------------------------------------------------------- *)
+
+let hist_basic () =
+  let h = Stats.Histogram.create () in
+  List.iter (Stats.Histogram.observe h) [ 150.0; 1_500.0; 1_500.0; 2e10 ];
+  Alcotest.(check int) "count" 4 (Stats.Histogram.count h);
+  check_float "sum" (150.0 +. 1_500.0 +. 1_500.0 +. 2e10) (Stats.Histogram.sum h);
+  check_float "min" 150.0 (Stats.Histogram.min h);
+  check_float "max" 2e10 (Stats.Histogram.max h)
+
+let hist_percentile_interpolates () =
+  let h = Stats.Histogram.create () in
+  for i = 1 to 1_000 do
+    Stats.Histogram.observe h (float_of_int i *. 1_000.0)
+  done;
+  (* 1 µs .. 1 ms uniform: the log buckets are coarse, but interpolated
+     percentiles must stay within a bucket width of the true value *)
+  let p50 = Stats.Histogram.percentile h 50.0 in
+  let p99 = Stats.Histogram.percentile h 99.0 in
+  Alcotest.(check bool) "p50 in range" true (p50 > 250_000.0 && p50 < 800_000.0);
+  Alcotest.(check bool) "p99 in range" true (p99 > 700_000.0 && p99 <= 1_000_000.0);
+  Alcotest.(check bool) "ordered" true (p50 <= p99)
+
+let hist_buckets_cumulative () =
+  let h = Stats.Histogram.create ~bounds:[| 10.0; 100.0; 1000.0 |] () in
+  List.iter (Stats.Histogram.observe h) [ 5.0; 50.0; 500.0; 5000.0 ];
+  let acc = ref [] in
+  Stats.Histogram.iter_buckets h (fun ~le ~count -> acc := (le, count) :: !acc);
+  match List.rev !acc with
+  | [ (le0, c0); (le1, c1); (le2, c2); (le3, c3) ] ->
+      check_float "le0" 10.0 le0;
+      Alcotest.(check int) "cum count 0" 1 c0;
+      check_float "le1" 100.0 le1;
+      Alcotest.(check int) "cum count 1" 2 c1;
+      check_float "le2" 1000.0 le2;
+      Alcotest.(check int) "cum count 2" 3 c2;
+      Alcotest.(check bool) "overflow le is inf" true (le3 = Float.infinity);
+      Alcotest.(check int) "cum count 3" 4 c3
+  | l -> Alcotest.failf "expected 4 buckets, got %d" (List.length l)
+
+let hist_nan_raises () =
+  let h = Stats.Histogram.create () in
+  Alcotest.check_raises "NaN rejected"
+    (Invalid_argument "Stats.Histogram.observe: NaN") (fun () ->
+      Stats.Histogram.observe h Float.nan)
+
+let hist_bad_bounds () =
+  Alcotest.check_raises "non-ascending bounds"
+    (Invalid_argument "Stats.Histogram.create: bounds not strictly ascending")
+    (fun () -> ignore (Stats.Histogram.create ~bounds:[| 1.0; 1.0 |] ()))
+
 (* --- Timeseries ------------------------------------------------------------ *)
 
 let ts_binning () =
@@ -324,6 +392,18 @@ let () =
           Alcotest.test_case "interleaved sorting" `Quick samples_interleaved_sorting;
           Alcotest.test_case "empty raises" `Quick samples_empty_raises;
           Alcotest.test_case "growth" `Quick samples_grows;
+          Alcotest.test_case "NaN rejected" `Quick samples_nan_raises;
+          Alcotest.test_case "negative sort regression" `Quick
+            samples_negative_sort;
+        ] );
+      ( "histogram",
+        [
+          Alcotest.test_case "basic" `Quick hist_basic;
+          Alcotest.test_case "percentile interpolates" `Quick
+            hist_percentile_interpolates;
+          Alcotest.test_case "cumulative buckets" `Quick hist_buckets_cumulative;
+          Alcotest.test_case "NaN rejected" `Quick hist_nan_raises;
+          Alcotest.test_case "bad bounds" `Quick hist_bad_bounds;
         ] );
       ( "timeseries",
         [
