@@ -121,6 +121,21 @@ let simulate_cmd =
                    materialized by both the zero-copy fast path and the record slow \
                    path and byte-compared; any divergence aborts the run.")
   in
+  let chaos =
+    Arg.(value & flag
+         & info [ "chaos" ]
+             ~doc:"Inject a seed-derived fault schedule against the switch: one \
+                   power-cycle, one control partition and one degraded-control burst, \
+                   spread disjointly over the run. Arms the controller's heartbeat \
+                   failure detector; the run is extended past the last fault so every \
+                   repair (epoch-triggered resync or deferred-queue drain) completes. \
+                   Deterministic: the same seeds reproduce the identical run.")
+  in
+  let chaos_seed =
+    Arg.(value & opt int 1
+         & info [ "chaos-seed" ] ~docv:"SEED"
+             ~doc:"Seed for the --chaos fault schedule (placement and durations).")
+  in
   let trace_out =
     Arg.(value & opt (some string) None
          & info [ "trace-out" ] ~docv:"FILE"
@@ -144,7 +159,7 @@ let simulate_cmd =
                    $(b,verbose) (adds suppressed replicas). Default: packet.")
   in
   let run participants senders seconds downlink_mbps ctrl_rtt_ms ctrl_loss check paranoid
-      trace_out trace_level =
+      chaos chaos_seed trace_out trace_level =
    try
     let senders = Option.value senders ~default:participants in
     if trace_out <> None then Scallop_obs.Trace.set_level trace_level;
@@ -165,8 +180,53 @@ let simulate_cmd =
              ~ip:(Experiments.Common.client_ip (participants - 1)))
           (mbps *. 1e6))
       downlink_mbps;
-    Netsim.Engine.run stack.Experiments.Common.engine
-      ~until:(Netsim.Engine.sec seconds);
+    let run_until = ref (Netsim.Engine.sec seconds) in
+    if chaos then begin
+      Scallop.Controller.start_health stack.Experiments.Common.controller;
+      let schedule =
+        Netsim.Chaos.generate
+          (Scallop_util.Rng.create chaos_seed)
+          ~nodes:1
+          ~horizon_ns:(Netsim.Engine.sec seconds)
+          ~crashes:1 ~partitions:1 ~loss_bursts:1 ~loss:0.3 ~disjoint:true ()
+        (* meeting setup over a lossy control channel consumes virtual
+           time; anchor the schedule at "now" so no fault is in the past *)
+        |> Netsim.Chaos.shift (Netsim.Engine.now stack.Experiments.Common.engine)
+      in
+      Printf.printf "chaos schedule:\n%s\n" (Netsim.Chaos.describe schedule);
+      let chan =
+        Scallop.Controller.control_channel stack.Experiments.Common.controller 0
+      in
+      Netsim.Chaos.install stack.Experiments.Common.engine schedule
+        ~crash:(fun _ -> Scallop.Switch_agent.crash stack.Experiments.Common.agent)
+        ~restart:(fun _ -> Scallop.Switch_agent.restart stack.Experiments.Common.agent)
+        ~set_loss:(fun _ loss ->
+          Netsim.Link.set_loss (Scallop.Rpc_transport.Client.request_link chan) loss;
+          Netsim.Link.set_loss (Scallop.Rpc_transport.Client.reply_link chan) loss);
+      (* leave room after the last heal for detection + repair *)
+      run_until :=
+        max !run_until (Netsim.Chaos.horizon_end schedule + Netsim.Engine.sec 5.0)
+    end;
+    Netsim.Engine.run stack.Experiments.Common.engine ~until:!run_until;
+    if chaos then begin
+      Scallop.Controller.stop_health stack.Experiments.Common.controller;
+      List.iter
+        (fun (e : Scallop.Controller.recovery_event) ->
+          Printf.printf
+            "recovery: %s of sw%d — detected %.1f ms, recovered %.1f ms (%d RPCs)\n"
+            (match e.Scallop.Controller.re_kind with
+            | `Resync -> "resync"
+            | `Drain -> "drain")
+            e.Scallop.Controller.re_agent
+            (float_of_int e.Scallop.Controller.re_detected_ns /. 1e6)
+            (float_of_int e.Scallop.Controller.re_recovered_ns /. 1e6)
+            e.Scallop.Controller.re_ops)
+        (List.rev
+           (Scallop.Controller.recovery_log stack.Experiments.Common.controller));
+      Printf.printf "post-chaos agent state: %s\n"
+        (Scallop.Controller.health_name
+           (Scallop.Controller.agent_health stack.Experiments.Common.controller 0))
+    end;
     let table =
       Scallop_util.Table.create ~title:"Per-stream receive quality"
         ~columns:[ "receiver"; "sender"; "decoded fps"; "jitter (ms)"; "freezes" ]
@@ -266,7 +326,8 @@ let simulate_cmd =
     (Cmd.info "simulate" ~doc:"Run one meeting through Scallop and print a QoE report.")
     Term.(term_result
             (const run $ participants $ senders $ seconds $ downlink_mbps $ ctrl_rtt_ms
-             $ ctrl_loss $ check $ paranoid $ trace_out $ trace_level))
+             $ ctrl_loss $ check $ paranoid $ chaos $ chaos_seed $ trace_out
+             $ trace_level))
 
 let check_cmd =
   let ctrl_rtt_ms =

@@ -25,6 +25,7 @@ type kind =
   | Stale_pre_cache
   | Intent_drift
   | Shadow_drift
+  | Deferred_overflow
 
 type finding = {
   severity : severity;
@@ -59,6 +60,7 @@ let kind_name = function
   | Stale_pre_cache -> "stale-pre-cache"
   | Intent_drift -> "intent-drift"
   | Shadow_drift -> "shadow-drift"
+  | Deferred_overflow -> "deferred-overflow"
 
 let pp_finding ppf f =
   Format.fprintf ppf "%-7s %-10s %-20s %-28s %s" (severity_name f.severity)
@@ -186,6 +188,17 @@ let warnf ctx layer kind subject fmt =
   Printf.ksprintf (add ctx Warning layer kind subject) fmt
 
 let ports_str ports = String.concat "," (List.map string_of_int ports)
+
+(* A switch the controller's failure detector has declared Dead is
+   {e expected} to lag intent — mutations towards it are queued, not
+   applied, while its data plane keeps forwarding last-known state — so
+   intent-coupled checks stand down for it until it heals. Switch-internal
+   invariants (PRE structure, shadow vs ground truth, allocators) still
+   apply: a partition must not corrupt anything. *)
+let dead_in (intent : C.intent) idx =
+  List.exists
+    (fun (h : C.health_view) -> h.C.hv_agent = idx && h.C.hv_state = C.Dead)
+    intent.C.in_health
 
 (* --- PRE structure: trees, nodes, RIDs -------------------------------------- *)
 
@@ -709,6 +722,7 @@ let check_intent ctx snap =
   let find_participant pid =
     List.find_opt (fun (p : C.participant_view) -> p.C.pv_pid = pid) intent.C.in_participants
   in
+  let dead idx = dead_in intent idx in
   List.iter
     (fun (mv : C.meeting_view) ->
       List.iter
@@ -726,6 +740,14 @@ let check_intent ctx snap =
         mv.C.cmv_members;
       List.iter
         (fun (idx, agent_mid) ->
+          if dead idx then ()
+          else if agent_mid < 0 then
+            errf ctx Controller Intent_drift
+              (Printf.sprintf "sw%d/meeting:%d" idx mv.C.cmv_mid)
+              "site still carries provisional agent meeting id %d though the switch is \
+               not Dead"
+              agent_mid
+          else
           match List.find_opt (fun sw -> sw.sw_index = idx) snap.snap_switches with
           | None ->
               errf ctx Controller Intent_drift
@@ -832,6 +854,8 @@ let check_intent ctx snap =
     intent.C.in_meetings;
   List.iter
     (fun sw ->
+      if dead sw.sw_index then ()
+      else
       List.iter
         (fun (am : A.meeting_view) ->
           let referenced =
@@ -895,6 +919,24 @@ let check_pre_cache ctx sw =
            discipline violated"
           mgid l1_xid rid l2_xid (Array.length replicas) (List.length fresh))
 
+(* --- failure-detector state --------------------------------------------------
+
+   Losing ops to the deferred-queue cap is tolerated (the heal path falls
+   back to a full resync) but worth surfacing: an operator seeing it should
+   raise the cap or shorten outages. Warning severity — [assert_clean]
+   gates on errors only, and a forced resync converges regardless. *)
+
+let check_health ctx snap =
+  List.iter
+    (fun (h : C.health_view) ->
+      if h.C.hv_dropped > 0 then
+        warnf ctx Controller Deferred_overflow
+          (Printf.sprintf "sw%d/deferred" h.C.hv_agent)
+          "deferred queue overflowed: %d op(s) dropped (%d still queued) — heal will \
+           use a full resync instead of a drain"
+          h.C.hv_dropped h.C.hv_deferred)
+    snap.snap_intent.C.in_health
+
 (* --- entry points ------------------------------------------------------------ *)
 
 let check ?(totals = R.tofino2) snap =
@@ -904,7 +946,8 @@ let check ?(totals = R.tofino2) snap =
       check_pre ctx sw;
       check_pre_cache ctx sw;
       check_xids ctx sw;
-      List.iter (check_uplink ctx snap.snap_intent sw) sw.sw_uplinks;
+      if not (dead_in snap.snap_intent sw.sw_index) then
+        List.iter (check_uplink ctx snap.snap_intent sw) sw.sw_uplinks;
       check_legs ctx sw;
       check_feedback ctx sw;
       check_tables ctx sw;
@@ -913,6 +956,7 @@ let check ?(totals = R.tofino2) snap =
       check_shadow ctx sw)
     snap.snap_switches;
   check_intent ctx snap;
+  check_health ctx snap;
   List.rev ctx.acc
 
 let verify ?totals ctrl = check ?totals (snapshot ctrl)
@@ -924,3 +968,33 @@ let assert_clean ?(what = "state verification") ctrl =
       failwith
         (Printf.sprintf "%s: %d invariant violation(s)\n%s" what (List.length errs)
            (report errs))
+
+(* --- anti-entropy -------------------------------------------------------------
+
+   Periodic reconciliation: verify, replay intent onto every reachable
+   switch an error finding implicates, verify again. Per-switch finding
+   subjects follow the ["sw<idx>/..."] convention, which is how a finding
+   names its repair target; controller-only findings (bad member records)
+   have no switch to repair and are left to surface. *)
+
+type repair_report = {
+  rr_before : finding list;
+  rr_repairs : (int * int option) list;
+  rr_after : finding list;
+}
+
+let finding_switch f =
+  try Some (Scanf.sscanf f.subject "sw%d/" (fun i -> i))
+  with Scanf.Scan_failure _ | Failure _ | End_of_file -> None
+
+let reconcile ?totals ctrl =
+  let before = check ?totals (snapshot ctrl) in
+  let targets =
+    errors before
+    |> List.filter_map finding_switch
+    |> List.sort_uniq compare
+    |> List.filter (fun idx -> C.agent_health ctrl idx <> C.Dead)
+  in
+  let repairs = List.map (fun idx -> (idx, C.resync_switch ctrl idx)) targets in
+  let after = if repairs = [] then before else check ?totals (snapshot ctrl) in
+  { rr_before = before; rr_repairs = repairs; rr_after = after }

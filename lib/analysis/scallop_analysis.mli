@@ -59,6 +59,10 @@ type kind =
           flush-on-mutation discipline was bypassed *)
   | Intent_drift  (** controller intent vs agent shadow mismatch *)
   | Shadow_drift  (** agent shadow vs data-plane ground truth mismatch *)
+  | Deferred_overflow
+      (** the controller's deferred-op queue for a Dead switch hit its
+          cap and dropped ops (Warning: the heal path compensates with a
+          full resync, but the operator should know) *)
 
 type finding = {
   severity : severity;
@@ -153,3 +157,29 @@ val assert_clean : ?what:string -> Scallop.Controller.t -> unit
 (** Verify and raise [Failure] with the pretty-printed error findings if
     any invariant is violated — the one-liner for tests and experiment
     quiescent points. *)
+
+(** {1 Anti-entropy}
+
+    Checking is free of side effects; {!reconcile} is the active
+    counterpart, pairing the verifier with the controller's
+    {!Scallop.Controller.resync_switch} repair primitive. Switches the
+    failure detector currently marks Dead are exempt both from
+    intent-coupled checks (their drift is the failure model working —
+    the data plane keeps forwarding last-known state while ops queue)
+    and from repair (they are unreachable; their heal path replays
+    intent anyway). *)
+
+type repair_report = {
+  rr_before : finding list;  (** what the first verification found *)
+  rr_repairs : (int * int option) list;
+      (** (switch, RPCs issued) per resync; [None] when the switch went
+          Dead mid-replay *)
+  rr_after : finding list;  (** the re-verification after repairs *)
+}
+
+val reconcile :
+  ?totals:Tofino.Resources.totals -> Scallop.Controller.t -> repair_report
+(** Verify; resync every reachable switch implicated in an error finding
+    (subjects of the form ["sw<idx>/..."]) from controller intent;
+    verify again. With no error findings (or none naming a reachable
+    switch) nothing is repaired and [rr_after == rr_before]. *)

@@ -1,0 +1,31 @@
+(** Failure-recovery experiment: a live meeting survives a seed-derived
+    chaos schedule — a switch power-cycle, a controller↔switch control
+    partition, and a degraded-control burst — with churn landing
+    mid-outage.
+
+    Measures, all in virtual time: detection→recovery latency per repair
+    (a full intent resync after the reboot, a deferred-queue drain after
+    the partition), media continuity through the partition (egress
+    replicas emitted while control is severed), and a full
+    {!Scallop_analysis} verification after the last heal, which must be
+    error-free. *)
+
+type recovery = {
+  kind : string;  (** ["resync"] or ["drain"] *)
+  detected_ms : float;  (** when the failure detector declared Dead *)
+  recovered_ms : float;  (** when the repair committed *)
+  latency_ms : float;
+  ops : int;  (** RPCs the repair took *)
+}
+
+type result = {
+  schedule : Netsim.Chaos.schedule;
+  recoveries : recovery list;  (** oldest first *)
+  partition_egress : (int * int) list;
+      (** (partition start ns, egress replicas during the outage) *)
+  deferred_drained : int;  (** peak ops queued against a Dead switch *)
+  findings_after : Scallop_analysis.finding list;  (** post-recovery verify *)
+}
+
+val compute : ?quick:bool -> ?seed:int -> unit -> result
+val run : ?quick:bool -> unit -> unit

@@ -117,6 +117,13 @@ let all =
       run = (fun ?quick () -> Control_plane.run ?quick ());
     };
     {
+      id = "failover";
+      title = "Failure recovery: crash/partition chaos vs clean re-convergence";
+      paper_claim = "the data plane forwards last-known state through control outages; \
+                     the controller re-converges by epoch (resync) or queue drain";
+      run = (fun ?quick () -> Failover.run ?quick ());
+    };
+    {
       id = "ablations";
       title = "Design-choice ablations (feedback filter, sequence rewriting)";
       paper_claim = "naive feedback converges to the slowest receiver (5.3); raw gaps trigger endless retransmissions (6.2)";

@@ -3,6 +3,8 @@ module Rng = Scallop_util.Rng
 module Engine = Netsim.Engine
 module Network = Netsim.Network
 module Client = Webrtc.Client
+module Metrics = Scallop_obs.Metrics
+module Trace = Scallop_obs.Trace
 
 type meeting_id = int
 type participant_id = int
@@ -18,6 +20,7 @@ type participant = {
   sends : bool;
   video_ssrc : int;
   audio_ssrc : int;
+  renditions : (int * int) array;  (** simulcast (ssrc, bitrate); [||] for SVC *)
   send_conn : Client.connection option;
   mutable recv_conns : (participant_id * Client.connection) list;
   mutable sites : int list;  (** switches where this participant is registered *)
@@ -36,11 +39,94 @@ type site = {
   agent_mid : Switch_agent.meeting_id;
 }
 
+(* Everything needed to re-issue one Register_leg verbatim during a
+   resync. Recorded at leg creation because the values (allocated SFU
+   ports, the receiver connection's address) exist nowhere else in
+   controller state once the original RPC has been sent. *)
+type leg_intent = {
+  li_idx : int;  (** switch the leg lives on *)
+  li_kind : stream_kind;
+  li_sender : participant_id;
+  li_uplink_port : int;
+  li_receiver : participant_id;  (** real pid, or relay pseudo pid *)
+  li_leg_port : int;
+  li_dst : Addr.t;
+  li_adaptive : bool;
+}
+
 type meeting = {
   mid : meeting_id;
   primary : int;  (** default home switch for joiners *)
   sites : (int, site) Hashtbl.t;
   mutable members : participant_id list;
+  mutable leg_intents : leg_intent list;  (** creation order *)
+  mutable pair_targets : ((participant_id * participant_id) * Av1.Dd.decode_target) list;
+}
+
+(* --- failure-detector state ---------------------------------------------------
+
+   Per-agent health is a three-state machine driven by heartbeat probes:
+   Healthy -(missed probes)-> Suspect -(more)-> Dead -(pong)-> Healthy.
+   While an agent is Dead its session mutations are queued (bounded,
+   oldest dropped first); a pong carrying the known epoch drains the
+   queue in order, a pong with a new epoch means the agent rebooted
+   blank and triggers a full intent replay instead. *)
+
+type agent_health = Healthy | Suspect | Dead
+
+type health_config = {
+  heartbeat_every_ns : int;
+  probe_timeout_ns : int;
+  suspect_after : int;  (** consecutive missed probes before Suspect *)
+  dead_after : int;  (** consecutive missed probes before Dead *)
+  deferred_cap : int;  (** max ops queued per Dead agent *)
+}
+
+let default_health_config =
+  {
+    heartbeat_every_ns = Engine.ms 500;
+    probe_timeout_ns = Engine.ms 250;
+    suspect_after = 2;
+    dead_after = 4;
+    deferred_cap = 256;
+  }
+
+type recovery_event = {
+  re_agent : int;
+  re_kind : [ `Resync | `Drain ];
+  re_detected_ns : int;  (** when the agent was declared Dead *)
+  re_recovered_ns : int;  (** when replay/drain finished *)
+  re_ops : int;  (** RPCs it took *)
+}
+
+type deferred_op = {
+  d_mid : meeting_id;
+  d_build : agent_mid:int -> Rpc.request;
+      (** closes over everything but the agent-side meeting id, which may
+          still be provisional at queue time *)
+}
+
+type agent_state = {
+  mutable ah : agent_health;
+  mutable ah_epoch : int;  (** last epoch seen in a Pong; -1 before the first *)
+  mutable ah_missed : int;  (** consecutive missed probes *)
+  mutable ah_detected_ns : int;
+  mutable ah_healing : bool;  (** a resync/drain is in flight; ignore probe results *)
+  ah_deferred : deferred_op Queue.t;
+  mutable ah_dropped : int;  (** ops lost to the cap since the last replay *)
+  ah_gauge : Metrics.gauge;
+}
+
+type health_state = {
+  hc : health_config;
+  hs_agents : agent_state array;
+  mutable hs_running : bool;
+  hb_sent : Metrics.counter;
+  hb_missed : Metrics.counter;
+  hs_resync_full : Metrics.counter;
+  hs_repair_ops : Metrics.counter;
+  hs_deferred : Metrics.gauge;
+  mutable hs_recovery : recovery_event list;  (** newest first *)
 }
 
 type t = {
@@ -60,6 +146,8 @@ type t = {
   mutable next_sfu_port : int;
   mutable next_egress_port : int;
   mutable sdp_messages : int;
+  mutable health : health_state option;  (** None until {!start_health} *)
+  mutable next_provisional : int;  (** provisional agent meeting ids, < -1 *)
 }
 
 (* The controller's address on the management network — a label on
@@ -96,6 +184,8 @@ let create engine network rng ~agents ?(control = Rpc_transport.default) () =
     next_sfu_port = 40_000;
     next_egress_port = 1;
     sdp_messages = 0;
+    health = None;
+    next_provisional = -2;
   }
 
 let fresh_sfu_port t =
@@ -130,7 +220,7 @@ let create_meeting t =
   let mid = t.next_meeting in
   t.next_meeting <- mid + 1;
   Hashtbl.replace t.meetings mid
-    { mid; primary; sites = Hashtbl.create 2; members = [] };
+    { mid; primary; sites = Hashtbl.create 2; members = []; leg_intents = []; pair_targets = [] };
   mid
 
 let find_meeting t mid =
@@ -147,34 +237,146 @@ let find_participant t pid =
 
    Every agent operation is a typed message shipped over that switch's
    control channel; the call blocks (in virtual time) until the agent's
-   reply lands. An [Error] reply surfaces as [Invalid_argument], a dead
-   channel as [Rpc_transport.Timed_out]. *)
+   reply lands. An [Error] reply surfaces as [Invalid_argument]. A dead
+   channel depends on whether health tracking runs: with it, the agent
+   is marked Dead and the op is queued for the heal/restart replay;
+   without it (the pre-failure-detector contract), the transport error
+   surfaces as [Rpc_transport.Timed_out]. *)
 
-let rpc t idx req =
+let health_rank = function Healthy -> 0 | Suspect -> 1 | Dead -> 2
+let health_name = function Healthy -> "healthy" | Suspect -> "suspect" | Dead -> "dead"
+
+let is_dead t idx =
+  match t.health with Some h -> h.hs_agents.(idx).ah = Dead | None -> false
+
+let set_agent_health h idx st =
+  let a = h.hs_agents.(idx) in
+  a.ah <- st;
+  Metrics.set a.ah_gauge (float_of_int (health_rank st))
+
+let refresh_deferred_gauge h =
+  let depth =
+    Array.fold_left (fun acc a -> acc + Queue.length a.ah_deferred) 0 h.hs_agents
+  in
+  Metrics.set h.hs_deferred (float_of_int depth)
+
+let mark_dead t h idx =
+  let a = h.hs_agents.(idx) in
+  if a.ah <> Dead then begin
+    a.ah_detected_ns <- Engine.now t.engine;
+    set_agent_health h idx Dead;
+    if Trace.enabled Trace.Rpc then
+      Trace.instant ~ts:(Engine.now t.engine) ~cat:"ctrl" "agent_dead"
+        ~args:[ ("agent", Trace.I idx) ]
+  end
+
+let push_deferred h idx op =
+  let a = h.hs_agents.(idx) in
+  Queue.push op a.ah_deferred;
+  if Queue.length a.ah_deferred > h.hc.deferred_cap then begin
+    (* oldest-first drop: the queue keeps the most recent intent; the
+       hole it leaves forces a full resync instead of a drain on heal *)
+    ignore (Queue.pop a.ah_deferred);
+    a.ah_dropped <- a.ah_dropped + 1
+  end;
+  refresh_deferred_gauge h
+
+let raise_timed_out req err =
+  let attempts = match err with `Gave_up n -> n | `Timeout -> 0 in
+  raise (Rpc_transport.Timed_out { op = Rpc.request_name req; seq = -1; attempts })
+
+(* One blocking call with failure-detector semantics: [None] means the
+   transport gave up and the agent is now Dead. *)
+let call_reply t idx req =
   match Rpc_transport.Client.call t.rpcs.(idx) req with
-  | Rpc.Ack -> ()
-  | Rpc.Meeting_created _ ->
-      invalid_arg
-        (Printf.sprintf "Controller: unexpected meeting-created reply to %s"
-           (Rpc.request_name req))
-  | Rpc.Error msg -> invalid_arg msg
+  | Ok reply -> Some reply
+  | Error err -> (
+      match t.health with
+      | Some h ->
+          mark_dead t h idx;
+          None
+      | None -> raise_timed_out req err)
+
+(* An [Error] reply from an agent that should know the state we installed
+   means the agent answered from a fresh boot (a restart raced an in-flight
+   call, so we saw the reply before any Pong carried the new epoch) or has
+   otherwise drifted. With the failure detector on we don't raise: the
+   agent is declared Dead and the op queued — the next heartbeat answers
+   with the bumped epoch and the whole switch is replayed from intent. *)
+let desync t idx msg =
+  match t.health with
+  | Some h ->
+      mark_dead t h idx;
+      None
+  | None -> invalid_arg msg
 
 let rpc_new_meeting t idx ~two_party =
-  match Rpc_transport.Client.call t.rpcs.(idx) (Rpc.New_meeting { two_party }) with
-  | Rpc.Meeting_created { meeting } -> meeting
-  | Rpc.Ack -> invalid_arg "Controller: missing meeting id in new-meeting reply"
-  | Rpc.Error msg -> invalid_arg msg
+  match call_reply t idx (Rpc.New_meeting { two_party }) with
+  | Some (Rpc.Meeting_created { meeting }) -> Some meeting
+  | Some (Rpc.Error msg) -> desync t idx msg
+  | Some (Rpc.Ack | Rpc.Pong _) ->
+      invalid_arg "Controller: missing meeting id in new-meeting reply"
+  | None -> None
 
-(* Lazily bring a meeting up on a switch. *)
+let provisional_mid t =
+  let mid = t.next_provisional in
+  t.next_provisional <- mid - 1;
+  mid
+
+(* Lazily bring a meeting up on a switch. While the switch is Dead the
+   site carries a provisional (negative) agent meeting id, swapped for a
+   real one when the deferred queue drains or a resync replays it. *)
 let site_of t m idx =
   match Hashtbl.find_opt m.sites idx with
   | Some s -> s
   | None ->
       let _, dp = t.agents.(idx) in
-      let agent_mid = rpc_new_meeting t idx ~two_party:false in
+      let agent_mid =
+        if is_dead t idx then provisional_mid t
+        else
+          match rpc_new_meeting t idx ~two_party:false with
+          | Some mid -> mid
+          | None -> provisional_mid t
+      in
       let s = { s_idx = idx; dp; agent_mid } in
       Hashtbl.replace m.sites idx s;
       s
+
+(* Issue one agent-state mutation on switch [idx] of meeting [m], or
+   queue it while the switch is Dead. Intent (the caller's bookkeeping)
+   is always updated by the caller regardless — the queue only carries
+   the wire side, so a leave or target change against an unreachable
+   switch never raises and never forks controller state. *)
+let agent_op t m idx (build : agent_mid:int -> Rpc.request) =
+  let defer h =
+    ignore (site_of t m idx);
+    push_deferred h idx { d_mid = m.mid; d_build = build }
+  in
+  match t.health with
+  | Some h when h.hs_agents.(idx).ah = Dead -> defer h
+  | _ -> (
+      let site = site_of t m idx in
+      if is_dead t idx then
+        (* the New_meeting inside site_of just hit a dead channel *)
+        match t.health with Some h -> defer h | None -> ()
+      else
+        let req = build ~agent_mid:site.agent_mid in
+        match call_reply t idx req with
+        | Some Rpc.Ack -> ()
+        | Some (Rpc.Error msg) -> (
+            (* same desync logic, but the op itself must survive for the
+               post-resync drain-or-replay *)
+            match t.health with
+            | Some h ->
+                mark_dead t h idx;
+                defer h
+            | None -> invalid_arg msg)
+        | Some (Rpc.Meeting_created _ | Rpc.Pong _) ->
+            invalid_arg
+              (Printf.sprintf "Controller: unexpected reply to %s" (Rpc.request_name req))
+        | None -> (
+            (* the agent died on this very call; keep the op for the drain *)
+            match t.health with Some h -> defer h | None -> ()))
 
 (* --- SDP plumbing -----------------------------------------------------------
 
@@ -247,7 +449,6 @@ let add_stream_port (p : participant) kind site port =
 
 let ensure_relay t m ~(sender : participant) ~kind ~to_switch =
   if not (List.mem_assoc to_switch (stream_ports sender kind)) then begin
-    let src_site = site_of t m sender.home in
     let dst_site = site_of t m to_switch in
     let video_ssrc, audio_ssrc = stream_ssrcs sender kind in
     (* the downstream switch sees the sender as a sending participant whose
@@ -255,54 +456,62 @@ let ensure_relay t m ~(sender : participant) ~kind ~to_switch =
        pseudo egress port never carries traffic) *)
     let relay_port = fresh_sfu_port t in
     if not (List.mem to_switch sender.sites) then begin
-      rpc t dst_site.s_idx
-        (Rpc.Register_participant
-           {
-             meeting = dst_site.agent_mid;
-             participant = sender.pid;
-             egress_port = egress_port_of t (sender_site_key sender.pid to_switch);
-             sends = true;
-           });
+      let sender_pid = sender.pid in
+      let egress_port = egress_port_of t (sender_site_key sender.pid to_switch) in
+      agent_op t m to_switch (fun ~agent_mid ->
+          Rpc.Register_participant
+            { meeting = agent_mid; participant = sender_pid; egress_port; sends = true });
       sender.sites <- to_switch :: sender.sites
     end;
-    rpc t dst_site.s_idx
-      (Rpc.Register_uplink
-         {
-           meeting = dst_site.agent_mid;
-           sender = sender.pid;
-           port = relay_port;
-           video_ssrc;
-           audio_ssrc;
-           full_bitrate = stream_bitrate kind;
-           renditions = [||];
-         });
+    (let sender_pid = sender.pid in
+     let full_bitrate = stream_bitrate kind in
+     agent_op t m to_switch (fun ~agent_mid ->
+         Rpc.Register_uplink
+           {
+             meeting = agent_mid;
+             sender = sender_pid;
+             port = relay_port;
+             video_ssrc;
+             audio_ssrc;
+             full_bitrate;
+             renditions = [||];
+           }));
     add_stream_port sender kind to_switch relay_port;
     (* the upstream switch sees the downstream switch as one receiver *)
     let rpid = relay_pid to_switch in
     let rkey = (m.mid, sender.home, to_switch) in
     if not (Hashtbl.mem t.relay_receivers rkey) then begin
       Hashtbl.replace t.relay_receivers rkey ();
-      rpc t src_site.s_idx
-        (Rpc.Register_participant
-           {
-             meeting = src_site.agent_mid;
-             participant = rpid;
-             egress_port = egress_port_of t (relay_site_key m.mid to_switch);
-             sends = false;
-           })
+      let egress_port = egress_port_of t (relay_site_key m.mid to_switch) in
+      agent_op t m sender.home (fun ~agent_mid ->
+          Rpc.Register_participant
+            { meeting = agent_mid; participant = rpid; egress_port; sends = false })
     end;
     let leg_port = fresh_sfu_port t in
-    rpc t src_site.s_idx
-      (Rpc.Register_leg
-         {
-           meeting = src_site.agent_mid;
-           sender = sender.pid;
-           uplink_port = Some (List.assoc sender.home (stream_ports sender kind));
-           receiver = rpid;
-           leg_port;
-           dst = Addr.v (Dataplane.ip dst_site.dp) relay_port;
-           adaptive = false;
-         })
+    let li =
+      {
+        li_idx = sender.home;
+        li_kind = kind;
+        li_sender = sender.pid;
+        li_uplink_port = List.assoc sender.home (stream_ports sender kind);
+        li_receiver = rpid;
+        li_leg_port = leg_port;
+        li_dst = Addr.v (Dataplane.ip dst_site.dp) relay_port;
+        li_adaptive = false;
+      }
+    in
+    m.leg_intents <- m.leg_intents @ [ li ];
+    agent_op t m sender.home (fun ~agent_mid ->
+        Rpc.Register_leg
+          {
+            meeting = agent_mid;
+            sender = li.li_sender;
+            uplink_port = Some li.li_uplink_port;
+            receiver = li.li_receiver;
+            leg_port = li.li_leg_port;
+            dst = li.li_dst;
+            adaptive = false;
+          })
   end
 
 (* Wire one (sender -> receiver) leg on the receiver's home switch:
@@ -332,17 +541,30 @@ let create_stream_leg t m ~kind ~(sender : participant) ~(receiver : participant
   (match kind with
   | Camera -> receiver.recv_conns <- (sender.pid, conn) :: receiver.recv_conns
   | Screen -> receiver.screen_recv_conns <- (sender.pid, conn) :: receiver.screen_recv_conns);
-  rpc t site.s_idx
-    (Rpc.Register_leg
-       {
-         meeting = site.agent_mid;
-         sender = sender.pid;
-         uplink_port = Some (List.assoc receiver.home (stream_ports sender kind));
-         receiver = receiver.pid;
-         leg_port;
-         dst = Client.local_addr conn;
-         adaptive = true;
-       })
+  let li =
+    {
+      li_idx = receiver.home;
+      li_kind = kind;
+      li_sender = sender.pid;
+      li_uplink_port = List.assoc receiver.home (stream_ports sender kind);
+      li_receiver = receiver.pid;
+      li_leg_port = leg_port;
+      li_dst = Client.local_addr conn;
+      li_adaptive = true;
+    }
+  in
+  m.leg_intents <- m.leg_intents @ [ li ];
+  agent_op t m receiver.home (fun ~agent_mid ->
+      Rpc.Register_leg
+        {
+          meeting = agent_mid;
+          sender = li.li_sender;
+          uplink_port = Some li.li_uplink_port;
+          receiver = li.li_receiver;
+          leg_port = li.li_leg_port;
+          dst = li.li_dst;
+          adaptive = true;
+        })
 
 let create_leg t m ~sender ~receiver = create_stream_leg t m ~kind:Camera ~sender ~receiver
 
@@ -372,9 +594,13 @@ let gc_relays t m =
   List.iter
     (fun (src, dst) ->
       Hashtbl.remove t.relay_receivers (m.mid, src, dst);
-      let site = site_of t m src in
-      rpc t site.s_idx
-        (Rpc.Remove_participant { meeting = site.agent_mid; participant = relay_pid dst }))
+      let rpid = relay_pid dst in
+      m.leg_intents <-
+        List.filter
+          (fun l -> not (l.li_idx = src && l.li_receiver = rpid))
+          m.leg_intents;
+      agent_op t m src (fun ~agent_mid ->
+          Rpc.Remove_participant { meeting = agent_mid; participant = rpid }))
     stale
 
 let join ?home ?(simulcast = false) t mid client ~send_media =
@@ -394,33 +620,33 @@ let join ?home ?(simulcast = false) t mid client ~send_media =
      (base, base+2, base+4) next to its audio (base+1) *)
   let video_ssrc = 0x200000 + (pid * 8) in
   let audio_ssrc = video_ssrc + 1 in
-  rpc t site.s_idx
-    (Rpc.Register_participant
-       { meeting = site.agent_mid; participant = pid; egress_port; sends = send_media });
+  let renditions =
+    if send_media && simulcast then
+      let cfg = Codec.Simulcast_source.default_config ~base_ssrc:video_ssrc in
+      Array.mapi
+        (fun i bitrate -> (video_ssrc + (2 * i), bitrate))
+        cfg.Codec.Simulcast_source.bitrates
+    else [||]
+  in
+  agent_op t m home (fun ~agent_mid ->
+      Rpc.Register_participant
+        { meeting = agent_mid; participant = pid; egress_port; sends = send_media });
   let cam_ports = ref [] in
   let send_conn =
     if send_media then begin
       let uplink_port = fresh_sfu_port t in
       cam_ports := [ (home, uplink_port) ];
-      let renditions =
-        if simulcast then
-          let cfg = Codec.Simulcast_source.default_config ~base_ssrc:video_ssrc in
-          Array.mapi
-            (fun i bitrate -> (video_ssrc + (2 * i), bitrate))
-            cfg.Codec.Simulcast_source.bitrates
-        else [||]
-      in
-      rpc t site.s_idx
-        (Rpc.Register_uplink
-           {
-             meeting = site.agent_mid;
-             sender = pid;
-             port = uplink_port;
-             video_ssrc;
-             audio_ssrc;
-             full_bitrate = 2_500_000;
-             renditions;
-           });
+      agent_op t m home (fun ~agent_mid ->
+          Rpc.Register_uplink
+            {
+              meeting = agent_mid;
+              sender = pid;
+              port = uplink_port;
+              video_ssrc;
+              audio_ssrc;
+              full_bitrate = 2_500_000;
+              renditions;
+            });
       (* the participant's own offer, spliced to the uplink *)
       let local_port = Client.fresh_port client in
       let offer =
@@ -452,6 +678,7 @@ let join ?home ?(simulcast = false) t mid client ~send_media =
       sends = send_media;
       video_ssrc;
       audio_ssrc;
+      renditions;
       send_conn;
       recv_conns = [];
       sites = [ home ];
@@ -486,17 +713,17 @@ let start_screen_share t pid =
   let site = site_of t m p.home in
   let video_ssrc, audio_ssrc = stream_ssrcs p Screen in
   let uplink_port = fresh_sfu_port t in
-  rpc t site.s_idx
-    (Rpc.Register_uplink
-       {
-         meeting = site.agent_mid;
-         sender = pid;
-         port = uplink_port;
-         video_ssrc;
-         audio_ssrc;
-         full_bitrate = stream_bitrate Screen;
-         renditions = [||];
-       });
+  agent_op t m p.home (fun ~agent_mid ->
+      Rpc.Register_uplink
+        {
+          meeting = agent_mid;
+          sender = pid;
+          port = uplink_port;
+          video_ssrc;
+          audio_ssrc;
+          full_bitrate = stream_bitrate Screen;
+          renditions = [||];
+        });
   add_stream_port p Screen p.home uplink_port;
   (* the sharer's own offer for the new media section, spliced as usual *)
   let local_port = Client.fresh_port p.client in
@@ -532,10 +759,14 @@ let stop_screen_share t pid =
       (* tear the stream down on every switch it was relayed to *)
       List.iter
         (fun (idx, port) ->
-          let site = site_of t m idx in
-          rpc t site.s_idx (Rpc.Unregister_uplink { meeting = site.agent_mid; port }))
+          agent_op t m idx (fun ~agent_mid ->
+              Rpc.Unregister_uplink { meeting = agent_mid; port }))
         p.screen_ports;
       p.screen_ports <- [];
+      m.leg_intents <-
+        List.filter
+          (fun l -> not (l.li_sender = pid && l.li_kind = Screen))
+          m.leg_intents;
       Client.close_connection p.client conn;
       p.screen <- None;
       List.iter
@@ -560,13 +791,16 @@ let leave t pid =
       stop_screen_share t pid;
       let m = find_meeting t p.meeting in
       m.members <- List.filter (fun x -> x <> pid) m.members;
+      m.leg_intents <-
+        List.filter (fun l -> l.li_sender <> pid && l.li_receiver <> pid) m.leg_intents;
+      m.pair_targets <-
+        List.filter (fun ((s, r), _) -> s <> pid && r <> pid) m.pair_targets;
       (* retire the participant everywhere it is registered — its home plus
          any switch it was relayed onto as a sender *)
       List.iter
         (fun idx ->
-          let site = site_of t m idx in
-          rpc t site.s_idx
-            (Rpc.Remove_participant { meeting = site.agent_mid; participant = pid }))
+          agent_op t m idx (fun ~agent_mid ->
+              Rpc.Remove_participant { meeting = agent_mid; participant = pid }))
         (List.sort_uniq compare p.sites);
       gc_relays t m;
       Option.iter (fun c -> Client.close_connection p.client c) p.send_conn;
@@ -595,9 +829,10 @@ let set_pair_target t ~sender ~receiver target =
   if s.meeting <> r.meeting then
     invalid_arg "Controller.set_pair_target: participants in different meetings";
   let m = find_meeting t s.meeting in
-  let site = site_of t m r.home in
-  rpc t site.s_idx
-    (Rpc.Set_pair_target { meeting = site.agent_mid; sender; receiver; target })
+  m.pair_targets <-
+    ((sender, receiver), target) :: List.remove_assoc (sender, receiver) m.pair_targets;
+  agent_op t m r.home (fun ~agent_mid ->
+      Rpc.Set_pair_target { meeting = agent_mid; sender; receiver; target })
 
 let recv_connection t pid ~from =
   let p = find_participant t pid in
@@ -648,6 +883,346 @@ let switch_agent t idx =
     invalid_arg (Printf.sprintf "Controller.switch_agent: no switch %d" idx);
   t.agents.(idx)
 
+(* --- failure recovery --------------------------------------------------------
+
+   Two repair paths bring a switch back in line with controller intent:
+
+   - {b resync}: [Reset] the agent, then replay every meeting that has a
+     site there from scratch — New_meeting, participants (members first,
+     relay pseudo receivers after), uplinks (camera then screen per
+     member), legs in creation order, pair targets. Because it starts
+     from a wipe it converges from {e any} agent state: a post-reboot
+     blank slate, a drift the verifier found, or a deferred queue that
+     overflowed and lost ops.
+
+   - {b drain}: the switch was merely unreachable (same epoch in its
+     Pong) and its state is intact, so the ops queued while it was Dead
+     are re-issued in order.
+
+   Both run inside blocking RPCs that pump the engine, so probe results
+   for the agent being repaired are suppressed ([ah_healing]) until the
+   repair commits or aborts. *)
+
+exception Resync_aborted
+
+let resync t idx =
+  let t0 = Engine.now t.engine in
+  let ops = ref 0 in
+  let send req =
+    incr ops;
+    match call_reply t idx req with
+    | Some Rpc.Ack -> ()
+    | Some (Rpc.Error msg) -> invalid_arg ("Controller.resync: " ^ msg)
+    | Some (Rpc.Meeting_created _ | Rpc.Pong _) ->
+        invalid_arg
+          (Printf.sprintf "Controller.resync: unexpected reply to %s"
+             (Rpc.request_name req))
+    | None -> raise Resync_aborted
+  in
+  let replay_meeting m =
+    match Hashtbl.find_opt m.sites idx with
+    | None -> ()
+    | Some site ->
+        let agent_mid =
+          incr ops;
+          match call_reply t idx (Rpc.New_meeting { two_party = false }) with
+          | Some (Rpc.Meeting_created { meeting }) -> meeting
+          | Some (Rpc.Error msg) -> invalid_arg ("Controller.resync: " ^ msg)
+          | Some (Rpc.Ack | Rpc.Pong _) ->
+              invalid_arg "Controller.resync: missing meeting id in new-meeting reply"
+          | None -> raise Resync_aborted
+        in
+        Hashtbl.replace m.sites idx { site with agent_mid };
+        (* participants registered on this switch, in join order; a sender
+           on a non-home switch is there to feed a relay uplink *)
+        List.iter
+          (fun pid ->
+            let p = find_participant t pid in
+            if List.mem idx p.sites then
+              let egress_port =
+                if idx = p.home then p.egress_port
+                else egress_port_of t (sender_site_key pid idx)
+              in
+              let sends = if idx = p.home then p.sends else true in
+              send
+                (Rpc.Register_participant
+                   { meeting = agent_mid; participant = pid; egress_port; sends }))
+          m.members;
+        (* relay pseudo receivers this switch fans out to, by destination *)
+        Hashtbl.fold
+          (fun (mid, src, dst) () acc ->
+            if mid = m.mid && src = idx then dst :: acc else acc)
+          t.relay_receivers []
+        |> List.sort compare
+        |> List.iter (fun dst ->
+               let egress_port = egress_port_of t (relay_site_key m.mid dst) in
+               send
+                 (Rpc.Register_participant
+                    {
+                      meeting = agent_mid;
+                      participant = relay_pid dst;
+                      egress_port;
+                      sends = false;
+                    }));
+        (* uplinks: camera then screen per member, in join order *)
+        List.iter
+          (fun pid ->
+            let p = find_participant t pid in
+            List.iter
+              (fun kind ->
+                match List.assoc_opt idx (stream_ports p kind) with
+                | None -> ()
+                | Some port ->
+                    let video_ssrc, audio_ssrc = stream_ssrcs p kind in
+                    let renditions =
+                      if kind = Camera && idx = p.home then p.renditions else [||]
+                    in
+                    send
+                      (Rpc.Register_uplink
+                         {
+                           meeting = agent_mid;
+                           sender = pid;
+                           port;
+                           video_ssrc;
+                           audio_ssrc;
+                           full_bitrate = stream_bitrate kind;
+                           renditions;
+                         }))
+              [ Camera; Screen ])
+          m.members;
+        (* legs in creation order *)
+        List.iter
+          (fun li ->
+            if li.li_idx = idx then
+              send
+                (Rpc.Register_leg
+                   {
+                     meeting = agent_mid;
+                     sender = li.li_sender;
+                     uplink_port = Some li.li_uplink_port;
+                     receiver = li.li_receiver;
+                     leg_port = li.li_leg_port;
+                     dst = li.li_dst;
+                     adaptive = li.li_adaptive;
+                   }))
+          m.leg_intents;
+        (* forced pair targets whose receiver leg lives here *)
+        List.sort compare m.pair_targets
+        |> List.iter (fun ((sender, receiver), target) ->
+               match Hashtbl.find_opt t.participants receiver with
+               | Some r when r.home = idx ->
+                   send (Rpc.Set_pair_target { meeting = agent_mid; sender; receiver; target })
+               | Some _ | None -> ())
+  in
+  try
+    send Rpc.Reset;
+    Hashtbl.fold (fun _ m acc -> m :: acc) t.meetings []
+    |> List.sort (fun a b -> compare a.mid b.mid)
+    |> List.iter replay_meeting;
+    if Trace.enabled Trace.Rpc then
+      Trace.complete ~ts:t0 ~dur:(Engine.now t.engine - t0) ~cat:"ctrl" "resync"
+        ~args:[ ("agent", Trace.I idx); ("ops", Trace.I !ops) ];
+    Some !ops
+  with Resync_aborted -> None
+
+(* Turn a provisional site (created while its switch was Dead) into a real
+   agent-side meeting; [None] when the switch died again under us. *)
+let materialize_site t m idx =
+  let site = site_of t m idx in
+  if site.agent_mid >= 0 then Some site
+  else
+    match rpc_new_meeting t idx ~two_party:false with
+    | Some agent_mid ->
+        let s = { site with agent_mid } in
+        Hashtbl.replace m.sites idx s;
+        Some s
+    | None -> None
+
+(* Re-issue queued ops in order. Stops (keeping the rest queued) if the
+   switch dies again. A queued op re-issued under a fresh sequence number
+   can double-execute when the original's reply was lost in the partition;
+   the agent answers those with [Error], which the drain tolerates — the
+   anti-entropy reconcile pass is what repairs any residual drift. *)
+let drain_deferred t h idx =
+  let a = h.hs_agents.(idx) in
+  let ops = ref 0 in
+  let alive = ref true in
+  while !alive && not (Queue.is_empty a.ah_deferred) do
+    let op = Queue.peek a.ah_deferred in
+    let m = find_meeting t op.d_mid in
+    match materialize_site t m idx with
+    | None -> alive := false
+    | Some site -> (
+        incr ops;
+        match call_reply t idx (op.d_build ~agent_mid:site.agent_mid) with
+        | Some (Rpc.Ack | Rpc.Error _) -> ignore (Queue.pop a.ah_deferred)
+        | Some (Rpc.Meeting_created _ | Rpc.Pong _) ->
+            invalid_arg "Controller: unexpected reply to deferred op"
+        | None -> alive := false)
+  done;
+  !ops
+
+let record_recovery t h idx ~kind ~ops =
+  let a = h.hs_agents.(idx) in
+  h.hs_recovery <-
+    {
+      re_agent = idx;
+      re_kind = kind;
+      re_detected_ns = a.ah_detected_ns;
+      re_recovered_ns = Engine.now t.engine;
+      re_ops = ops;
+    }
+    :: h.hs_recovery
+
+let on_pong t h idx ~epoch =
+  let a = h.hs_agents.(idx) in
+  if not a.ah_healing then begin
+    a.ah_missed <- 0;
+    let prev = a.ah in
+    let first = a.ah_epoch < 0 in
+    let rebooted = (not first) && epoch <> a.ah_epoch in
+    if (not rebooted) && prev <> Dead then begin
+      (* steady state (or Suspect clearing up); just track the epoch *)
+      a.ah_epoch <- epoch;
+      if prev <> Healthy then set_agent_health h idx Healthy
+    end
+    else begin
+      (* the switch is back — blank (new epoch) or intact (same epoch) *)
+      if prev <> Dead then a.ah_detected_ns <- Engine.now t.engine;
+      a.ah_healing <- true;
+      Fun.protect
+        ~finally:(fun () -> a.ah_healing <- false)
+        (fun () ->
+          let need_resync = rebooted || first || a.ah_dropped > 0 in
+          if need_resync then begin
+            (* controller intent already reflects every queued op, so the
+               replay regenerates them; the queue itself is obsolete *)
+            Queue.clear a.ah_deferred;
+            a.ah_dropped <- 0;
+            refresh_deferred_gauge h;
+            match resync t idx with
+            | Some ops ->
+                a.ah_epoch <- epoch;
+                Metrics.incr h.hs_resync_full;
+                Metrics.add h.hs_repair_ops ops;
+                set_agent_health h idx Healthy;
+                record_recovery t h idx ~kind:`Resync ~ops
+            | None -> ()  (* died again mid-replay; retried on its next pong *)
+          end
+          else begin
+            let ops = drain_deferred t h idx in
+            refresh_deferred_gauge h;
+            if Queue.is_empty a.ah_deferred then begin
+              a.ah_epoch <- epoch;
+              Metrics.add h.hs_repair_ops ops;
+              set_agent_health h idx Healthy;
+              record_recovery t h idx ~kind:`Drain ~ops
+            end
+            (* else: died again mid-drain; the rest stays queued *)
+          end)
+    end
+  end
+
+let on_miss t h idx =
+  let a = h.hs_agents.(idx) in
+  if not a.ah_healing then begin
+    a.ah_missed <- a.ah_missed + 1;
+    Metrics.incr h.hb_missed;
+    if a.ah_missed >= h.hc.dead_after then mark_dead t h idx
+    else if a.ah_missed >= h.hc.suspect_after && a.ah = Healthy then
+      set_agent_health h idx Suspect
+  end
+
+let heartbeat_tick t h =
+  Array.iteri
+    (fun idx _ ->
+      Metrics.incr h.hb_sent;
+      Rpc_transport.Client.probe t.rpcs.(idx) ~timeout_ns:h.hc.probe_timeout_ns Rpc.Ping
+        ~on_result:(fun result ->
+          if h.hs_running then
+            match result with
+            | Ok (Rpc.Pong { epoch }) -> on_pong t h idx ~epoch
+            | Ok (Rpc.Ack | Rpc.Error _ | Rpc.Meeting_created _) -> on_miss t h idx
+            | Error (`Timeout | `Gave_up _) -> on_miss t h idx))
+    h.hs_agents
+
+let arm_heartbeats t h =
+  Engine.every t.engine ~interval:h.hc.heartbeat_every_ns (fun () ->
+      if h.hs_running then heartbeat_tick t h;
+      h.hs_running)
+
+let start_health ?(config = default_health_config) t =
+  match t.health with
+  | Some h -> if not h.hs_running then begin h.hs_running <- true; arm_heartbeats t h end
+  | None ->
+      let hs_agents =
+        Array.init (Array.length t.agents) (fun idx ->
+            {
+              ah = Healthy;
+              ah_epoch = -1;
+              ah_missed = 0;
+              ah_detected_ns = 0;
+              ah_healing = false;
+              ah_deferred = Queue.create ();
+              ah_dropped = 0;
+              ah_gauge =
+                Metrics.gauge
+                  ~labels:[ ("agent", Printf.sprintf "sw%d" idx) ]
+                  ~help:"Failure-detector state (0 healthy, 1 suspect, 2 dead)"
+                  "scallop_ctrl_agent_state";
+            })
+      in
+      let h =
+        {
+          hc = config;
+          hs_agents;
+          hs_running = true;
+          hb_sent =
+            Metrics.counter ~help:"Heartbeat probes sent" "scallop_ctrl_heartbeat_sent";
+          hb_missed =
+            Metrics.counter ~help:"Heartbeat probes that timed out"
+              "scallop_ctrl_heartbeat_missed";
+          hs_resync_full =
+            Metrics.counter ~help:"Full intent replays onto a switch"
+              "scallop_ctrl_resync_full";
+          hs_repair_ops =
+            Metrics.counter ~help:"RPCs issued by resyncs and deferred-queue drains"
+              "scallop_ctrl_resync_repair_ops";
+          hs_deferred =
+            Metrics.gauge ~help:"Ops currently queued for Dead switches"
+              "scallop_ctrl_deferred_ops";
+          hs_recovery = [];
+        }
+      in
+      t.health <- Some h;
+      arm_heartbeats t h
+
+let stop_health t = match t.health with Some h -> h.hs_running <- false | None -> ()
+let health_running t = match t.health with Some h -> h.hs_running | None -> false
+
+let agent_health t idx =
+  if idx < 0 || idx >= Array.length t.agents then
+    invalid_arg (Printf.sprintf "Controller.agent_health: no switch %d" idx);
+  match t.health with Some h -> h.hs_agents.(idx).ah | None -> Healthy
+
+let recovery_log t = match t.health with Some h -> h.hs_recovery | None -> []
+
+(* Anti-entropy entry point: replay intent onto one switch regardless of
+   its health state (the verifier calls this for a live-but-drifted
+   switch). [None] if the switch went Dead during the replay. *)
+let resync_switch t idx =
+  if idx < 0 || idx >= Array.length t.agents then
+    invalid_arg (Printf.sprintf "Controller.resync_switch: no switch %d" idx);
+  match resync t idx with
+  | Some ops ->
+      (match t.health with
+      | Some h ->
+          Metrics.incr h.hs_resync_full;
+          Metrics.add h.hs_repair_ops ops
+      | None -> ());
+      Some ops
+  | None -> None
+
 (* --- introspection: the controller's intent, for Scallop_analysis -------- *)
 
 type participant_view = {
@@ -678,10 +1253,19 @@ type meeting_view = {
   cmv_sites : (int * int) list;
 }
 
+type health_view = {
+  hv_agent : int;
+  hv_state : agent_health;
+  hv_epoch : int;
+  hv_deferred : int;  (** ops queued for this (Dead) switch *)
+  hv_dropped : int;  (** ops lost to the deferred-queue cap since last replay *)
+}
+
 type intent = {
   in_participants : participant_view list;
   in_meetings : meeting_view list;
   in_relays : relay_view list;
+  in_health : health_view list;  (** [] until {!start_health} *)
 }
 
 let introspect t =
@@ -742,4 +1326,25 @@ let introspect t =
       t.relay_receivers []
     |> List.sort compare
   in
-  { in_participants = participants; in_meetings = meetings; in_relays = relays }
+  let health =
+    match t.health with
+    | None -> []
+    | Some h ->
+        Array.to_list
+          (Array.mapi
+             (fun idx a ->
+               {
+                 hv_agent = idx;
+                 hv_state = a.ah;
+                 hv_epoch = a.ah_epoch;
+                 hv_deferred = Queue.length a.ah_deferred;
+                 hv_dropped = a.ah_dropped;
+               })
+             h.hs_agents)
+  in
+  {
+    in_participants = participants;
+    in_meetings = meetings;
+    in_relays = relays;
+    in_health = health;
+  }

@@ -125,6 +125,83 @@ val relay_pid : int -> participant_id
     [idx]" when a cascaded meeting registers one switch as a receiver on
     another (Appendix A). *)
 
+(** {1 Failure detection and recovery}
+
+    Opt-in: until {!start_health} is called the controller keeps its
+    original contract — a control channel that exhausts its retries
+    raises {!Rpc_transport.Timed_out} out of the mutating call.
+
+    With health tracking on, the controller probes every agent with a
+    [Ping] heartbeat each [heartbeat_every_ns] of virtual time and runs
+    a per-agent state machine: [Healthy] → (missed probes ≥
+    [suspect_after]) → [Suspect] → (≥ [dead_after]) → [Dead]. Session
+    mutations against a [Dead] switch no longer raise: the wire side of
+    the op is queued (bounded by [deferred_cap]; overflow drops the
+    oldest op and forces a full resync on heal) while controller intent
+    updates normally. The data plane of a merely-partitioned switch
+    keeps forwarding its last-known state throughout.
+
+    When a probe answers again, the [Pong]'s epoch decides the repair:
+    same epoch — the switch was unreachable but intact, so the queue
+    drains in order; new epoch — the switch rebooted blank
+    ({!Switch_agent.restart}), so the controller replays every affected
+    meeting from intent ({e full resync}). Detection and recovery
+    timestamps land in {!recovery_log}. *)
+
+type agent_health = Healthy | Suspect | Dead
+
+type health_config = {
+  heartbeat_every_ns : int;
+  probe_timeout_ns : int;
+  suspect_after : int;  (** consecutive missed probes before Suspect *)
+  dead_after : int;  (** consecutive missed probes before Dead *)
+  deferred_cap : int;  (** max ops queued per Dead agent *)
+}
+
+val default_health_config : health_config
+(** 500 ms heartbeats, 250 ms probe timeout, Suspect after 2 misses,
+    Dead after 4, 256 queued ops per agent. *)
+
+val start_health : ?config:health_config -> t -> unit
+(** Arm the heartbeat loop. The loop keeps the engine's event queue
+    non-empty, so callers that [Engine.run] to quiescence must
+    {!stop_health} (or run [~until:]) to terminate. Restarting after
+    {!stop_health} re-arms the loop; [config] is only read the first
+    time. *)
+
+val stop_health : t -> unit
+(** Stop probing (idempotent). Agent states and queued ops survive a
+    stop/start cycle. *)
+
+val health_running : t -> bool
+
+val agent_health : t -> int -> agent_health
+(** State of the switch at the given agent-list index ([Healthy] when
+    health tracking was never started). *)
+
+val health_name : agent_health -> string
+(** ["healthy"] / ["suspect"] / ["dead"] — for logs and CLI output. *)
+
+type recovery_event = {
+  re_agent : int;
+  re_kind : [ `Resync | `Drain ];
+  re_detected_ns : int;  (** when the agent was declared Dead *)
+  re_recovered_ns : int;  (** when the replay/drain committed *)
+  re_ops : int;  (** RPCs the repair took *)
+}
+
+val recovery_log : t -> recovery_event list
+(** Completed repairs, newest first. [re_recovered_ns - re_detected_ns]
+    is the recovery latency the failover experiment reports. *)
+
+val resync_switch : t -> int -> int option
+(** Anti-entropy entry point: [Reset] the switch at the given index and
+    replay every meeting with a site there from controller intent,
+    regardless of health state — the repair for a live-but-drifted agent
+    (see {!Scallop_analysis}). Returns the number of RPCs issued, or
+    [None] if the switch went Dead mid-replay (with health tracking on,
+    the replay re-runs when its heartbeat answers again). *)
+
 (** {1 Introspection (read-only, for the {!Scallop_analysis} snapshot layer)}
 
     The controller's session {e intent}: what it believes it has
@@ -162,10 +239,19 @@ type meeting_view = {
   cmv_sites : (int * int) list;  (** switch index → agent meeting id there *)
 }
 
+type health_view = {
+  hv_agent : int;
+  hv_state : agent_health;
+  hv_epoch : int;  (** last epoch seen in a Pong; -1 before the first *)
+  hv_deferred : int;  (** ops queued for this (Dead) switch *)
+  hv_dropped : int;  (** ops lost to the deferred-queue cap since last replay *)
+}
+
 type intent = {
   in_participants : participant_view list;  (** sorted by pid *)
   in_meetings : meeting_view list;  (** sorted by mid *)
   in_relays : relay_view list;
+  in_health : health_view list;  (** one per switch; [] until {!start_health} *)
 }
 
 val introspect : t -> intent

@@ -304,6 +304,21 @@ let unregister_leg t ~receiver ~video_ssrc =
       in
       List.iter (Tofino.Table.remove t.legs) keys
 
+(* Power-cycle the match-action state: every table entry gone, every
+   stream-tracker cell zeroed, the stream-index allocator back to a
+   fresh boot. PRE trees are NOT touched here — they belong to the
+   agent's meeting records, and {!Switch_agent}'s wipe unregisters them
+   meeting by meeting before calling this. *)
+let reset t =
+  Tofino.Table.iter t.leg_by_port (fun _ leg ->
+      if leg.stream_index >= 0 then
+        Array.iter (fun r -> Tofino.Register.clear_index r leg.stream_index) t.trackers);
+  Tofino.Table.clear t.uplinks;
+  Tofino.Table.clear t.legs;
+  Tofino.Table.clear t.leg_by_port;
+  t.free_stream_indices <- [];
+  t.next_stream_index <- 0
+
 let set_leg_target t ~receiver ~video_ssrc target =
   match Tofino.Table.lookup t.legs (receiver, video_ssrc) with
   | None -> ()

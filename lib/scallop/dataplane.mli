@@ -117,6 +117,13 @@ val register_leg :
 
 val unregister_leg : t -> receiver:int -> video_ssrc:int -> unit
 
+val reset : t -> unit
+(** Power-cycle the match-action state: clear the uplink/egress/feedback
+    tables, zero every stream-tracker cell, rewind the stream-index
+    allocator. Does {e not} touch the PRE — tree teardown belongs to the
+    agent's meeting records ({!Switch_agent} wipes those first). The
+    crash half of the crash/resync story. *)
+
 val set_leg_target : t -> receiver:int -> video_ssrc:int -> Av1.Dd.decode_target -> unit
 (** Update the frame-skip cadence of a leg's rewriter. *)
 

@@ -35,8 +35,14 @@ type request =
       receiver : int;
       target : Dd.decode_target;
     }
+  | Ping
+  | Reset
 
-type reply = Meeting_created of { meeting : int } | Ack | Error of string
+type reply =
+  | Meeting_created of { meeting : int }
+  | Ack
+  | Pong of { epoch : int }
+  | Error of string
 
 type message =
   | Request of { seq : int; request : request }
@@ -52,6 +58,8 @@ let request_name = function
   | Remove_participant _ -> "remove-participant"
   | Unregister_uplink _ -> "unregister-uplink"
   | Set_pair_target _ -> "set-pair-target"
+  | Ping -> "ping"
+  | Reset -> "reset"
 
 (* --- wire codec --------------------------------------------------------------
 
@@ -112,10 +120,13 @@ let encode_request r =
         string_of_int receiver;
         string_of_int (Dd.index_of_target target);
       ]
+  | Ping -> [ "ping" ]
+  | Reset -> [ "reset" ]
 
 let encode_reply = function
   | Meeting_created { meeting } -> [ "meeting-created"; string_of_int meeting ]
   | Ack -> [ "ack" ]
+  | Pong { epoch } -> [ "pong"; string_of_int epoch ]
   | Error msg -> [ "error"; msg ]
 
 let encode msg =
@@ -193,12 +204,15 @@ let decode_request = function
           receiver = int_field "receiver" r;
           target = Dd.target_of_index (int_field "target" t);
         }
+  | [ "ping" ] -> Ping
+  | [ "reset" ] -> Reset
   | op :: _ -> fail "unknown or malformed request %S" op
   | [] -> fail "empty request"
 
 let decode_reply = function
   | [ "meeting-created"; m ] -> Meeting_created { meeting = int_field "meeting" m }
   | [ "ack" ] -> Ack
+  | [ "pong"; e ] -> Pong { epoch = int_field "epoch" e }
   | "error" :: rest -> Error (String.concat " " rest)
   | op :: _ -> fail "unknown or malformed reply %S" op
   | [] -> fail "empty reply"

@@ -41,10 +41,20 @@ type request =
       receiver : int;
       target : Av1.Dd.decode_target;
     }
+  | Ping
+      (** controller heartbeat; answered with {!Pong} carrying the
+          agent's restart epoch so the controller can tell a healed
+          partition (same epoch, state intact) from a fresh restart
+          (bumped epoch, state lost) *)
+  | Reset
+      (** wipe every meeting, stream and leg on the agent and its data
+          plane — the first step of a full resync, making intent replay
+          convergent from any drifted state *)
 
 type reply =
   | Meeting_created of { meeting : int }  (** answers [New_meeting] *)
   | Ack
+  | Pong of { epoch : int }  (** answers [Ping] *)
   | Error of string
       (** the agent rejected the request (e.g. unknown meeting); carried
           back as data, not an exception, so it survives the wire *)

@@ -39,6 +39,7 @@ let degraded ?(loss = 0.0) ~rtt_ns () =
   { default with link = { ideal_link with propagation_ns = rtt_ns / 2; loss } }
 
 type fault = Pass | Drop | Delay of int | Duplicate
+type error = [ `Timeout | `Gave_up of int ]
 
 exception
   Timed_out of {
@@ -64,6 +65,7 @@ module Server = struct
     replayed : int;
     replies_sent : int;
     decode_errors : int;
+    dropped_offline : int;
   }
 
   type t = {
@@ -73,11 +75,13 @@ module Server = struct
     seen : (int, Rpc.reply) Hashtbl.t;  (** reply cache by request seq *)
     seen_order : int Queue.t;
     mutable reply_fault : (seq:int -> Rpc.reply -> fault) option;
+    mutable online : bool;
     mutable requests_received : int;
     mutable executed : int;
     mutable replayed : int;
     mutable replies_sent : int;
     mutable decode_errors : int;
+    mutable dropped_offline : int;
   }
 
   let cache_capacity = 1024
@@ -90,14 +94,26 @@ module Server = struct
       seen = Hashtbl.create 64;
       seen_order = Queue.create ();
       reply_fault = None;
+      online = true;
       requests_received = 0;
       executed = 0;
       replayed = 0;
       replies_sent = 0;
       decode_errors = 0;
+      dropped_offline = 0;
     }
 
   let set_reply_fault t f = t.reply_fault <- f
+  let set_online t up = t.online <- up
+  let online t = t.online
+
+  (* A freshly restarted agent process has no memory of past sequence
+     numbers; dropping the cache models that. Retransmits of pre-crash
+     requests then re-execute, which is exactly the hazard the
+     controller's post-restart full resync exists to repair. *)
+  let flush_cache t =
+    Hashtbl.reset t.seen;
+    Queue.clear t.seen_order
 
   let remember t seq reply =
     Hashtbl.replace t.seen seq reply;
@@ -122,6 +138,8 @@ module Server = struct
      cache, so duplicate deliveries (retries, network duplication) never
      mutate agent state twice. *)
   let deliver t ~reply_via (dgram : Dgram.t) =
+    if not t.online then t.dropped_offline <- t.dropped_offline + 1
+    else
     match Rpc.decode dgram.payload with
     | exception Rpc.Decode_error _ -> t.decode_errors <- t.decode_errors + 1
     | Rpc.Reply _ -> t.decode_errors <- t.decode_errors + 1
@@ -163,6 +181,7 @@ module Server = struct
       replayed = t.replayed;
       replies_sent = t.replies_sent;
       decode_errors = t.decode_errors;
+      dropped_offline = t.dropped_offline;
     }
 end
 
@@ -180,6 +199,11 @@ module Client = struct
 
   type outcome = Waiting | Got of Rpc.reply | Gave_up
 
+  (* A pending seq is either a blocking [call] pumping the engine on an
+     outcome cell, or a fire-and-forget [probe] whose continuation runs
+     straight from the reply (or timeout) event. *)
+  type waiter = Sync of outcome ref | Async of ((Rpc.reply, error) result -> unit)
+
   type t = {
     engine : Engine.t;
     cfg : config;
@@ -187,7 +211,7 @@ module Client = struct
     remote : Addr.t;
     label : string;
     channel : Control_channel.t;
-    pending : (int, outcome ref) Hashtbl.t;
+    pending : (int, waiter) Hashtbl.t;
     mutable request_fault : (seq:int -> attempt:int -> Rpc.request -> fault) option;
     mutable next_seq : int;
     (* registry-backed (label [client="..."]); the stats record is the view *)
@@ -205,10 +229,14 @@ module Client = struct
     | Rpc.Request _ -> Metrics.incr t.stale_replies
     | Rpc.Reply { seq; reply } -> (
         match Hashtbl.find_opt t.pending seq with
-        | Some ({ contents = Waiting } as cell) ->
+        | Some (Sync ({ contents = Waiting } as cell)) ->
             Metrics.incr t.replies_received;
             cell := Got reply
-        | Some _ | None ->
+        | Some (Async k) ->
+            Metrics.incr t.replies_received;
+            Hashtbl.remove t.pending seq;
+            k (Ok reply)
+        | Some (Sync _) | None ->
             (* duplicate or post-timeout reply; the call already settled *)
             Metrics.incr t.stale_replies)
 
@@ -299,7 +327,7 @@ module Client = struct
      media, timers, other meetings — keep running while this call is in
      flight. With the ideal default link the reply arrives at the same
      instant and no virtual time passes. *)
-  let call t request =
+  let call_seq t request =
     Metrics.incr t.calls;
     let seq = t.next_seq in
     t.next_seq <- seq + 1;
@@ -322,25 +350,78 @@ module Client = struct
               ("ok", Trace.S (if ok then "true" else "false"));
             ]
     in
-    Hashtbl.replace t.pending seq cell;
+    Hashtbl.replace t.pending seq (Sync cell);
     attempt_call t cell ~attempts ~seq ~attempt:0 request;
-    let give_up () =
+    let give_up err =
       Hashtbl.remove t.pending seq;
       span ~ok:false;
-      raise
-        (Timed_out
-           { op = Rpc.request_name request; seq; attempts = t.cfg.max_retries + 1 })
+      (Error err, seq)
     in
     let rec pump () =
       match !cell with
       | Got reply ->
           Hashtbl.remove t.pending seq;
           span ~ok:true;
-          reply
-      | Gave_up -> give_up ()
-      | Waiting -> if Engine.step t.engine then pump () else give_up ()
+          (Ok reply, seq)
+      | Gave_up -> give_up (`Gave_up !attempts)
+      | Waiting ->
+          if Engine.step t.engine then pump ()
+          else
+            (* the world ran dry while the reply (or its retry timer) was
+               still outstanding — nothing can settle this call anymore *)
+            give_up `Timeout
     in
     pump ()
+
+  let call t request = fst (call_seq t request)
+
+  let call_exn t request =
+    match call_seq t request with
+    | Ok reply, _ -> reply
+    | Error err, seq ->
+        let attempts =
+          match err with `Gave_up n -> n | `Timeout -> 0
+        in
+        raise (Timed_out { op = Rpc.request_name request; seq; attempts })
+
+  (* One shot, no retries, never blocks: the heartbeat primitive. A
+     probe that gets no reply within [timeout_ns] is a data point (a
+     missed beat), not a failure worth the full retry ladder. *)
+  let probe t ?timeout_ns request ~on_result =
+    Metrics.incr t.calls;
+    let seq = t.next_seq in
+    t.next_seq <- seq + 1;
+    let timeout =
+      match timeout_ns with Some ns -> ns | None -> t.cfg.timeout_ns
+    in
+    let start_ns = Engine.now t.engine in
+    let span ~ok =
+      if Trace.enabled Trace.Rpc then
+        Trace.complete ~ts:start_ns
+          ~dur:(Engine.now t.engine - start_ns)
+          ~cat:"rpc"
+          (Rpc.request_name request)
+          ~args:
+            [
+              ("client", Trace.S t.label);
+              ("seq", Trace.I seq);
+              ("attempts", Trace.I 1);
+              ("ok", Trace.S (if ok then "true" else "false"));
+            ]
+    in
+    Hashtbl.replace t.pending seq
+      (Async
+         (fun result ->
+           span ~ok:(Result.is_ok result);
+           on_result result));
+    let payload = Rpc.encode (Rpc.Request { seq; request }) in
+    transmit t ~seq ~attempt:0 request (Dgram.v ~src:t.local ~dst:t.remote payload);
+    Engine.schedule t.engine ~after:timeout (fun () ->
+        match Hashtbl.find_opt t.pending seq with
+        | Some (Async k) ->
+            Hashtbl.remove t.pending seq;
+            k (Error `Timeout)
+        | Some (Sync _) | None -> ())
 
   let channel t = t.channel
   let request_link t = Control_channel.fwd_link t.channel

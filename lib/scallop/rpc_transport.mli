@@ -37,9 +37,18 @@ val degraded : ?loss:float -> rtt_ns:int -> unit -> config
 
 type fault = Pass | Drop | Delay of int | Duplicate
 
+type error = [ `Timeout | `Gave_up of int ]
+(** How a call can fail without a reply: [`Gave_up n] after [n]
+    attempts exhausted every retry; [`Timeout] when the simulated
+    world ran dry (or a single-shot {!Client.probe} expired) with the
+    reply still outstanding. Values, not exceptions — an unreachable
+    agent is an expected input to the controller's failure detector,
+    not an error condition. *)
+
 exception Timed_out of { op : string; seq : int; attempts : int }
-(** Raised by {!Client.call} after every retry is exhausted — the
-    controller-visible face of a dead control channel. *)
+(** Raised by {!Client.call_exn} after every retry is exhausted — the
+    exception face of {!error} for callers (CLI, tests) that treat a
+    dead control channel as fatal. *)
 
 module Server : sig
   type t
@@ -61,12 +70,26 @@ module Server : sig
 
   val set_reply_fault : t -> (seq:int -> Rpc.reply -> fault) option -> unit
 
+  val set_online : t -> bool -> unit
+  (** [set_online t false] models a crashed agent process: every
+      delivered request is dropped on the floor (counted in
+      [dropped_offline]), so client calls time out exactly as they
+      would against a dead host. *)
+
+  val online : t -> bool
+
+  val flush_cache : t -> unit
+  (** Drop the reply cache — a freshly restarted process remembers no
+      sequence numbers, so pre-crash retransmits re-execute instead of
+      replaying (the drift the post-restart resync repairs). *)
+
   type stats = {
     requests_received : int;  (** datagrams decoded as requests, dups included *)
     executed : int;  (** requests that ran the handler *)
     replayed : int;  (** duplicates answered from the reply cache *)
     replies_sent : int;
     decode_errors : int;
+    dropped_offline : int;  (** requests that arrived while offline *)
   }
 
   val stats : t -> stats
@@ -90,12 +113,27 @@ module Client : sig
       the metrics registry (label [client="..."] on the
       [scallop_rpc_*] series) and in its trace spans. *)
 
-  val call : t -> Rpc.request -> Rpc.reply
-  (** Send, retry on timeout, return the (possibly replayed) reply.
-      When tracing is at level [Rpc] or above, each call emits one
-      complete span (category ["rpc"], named after the request) whose
-      duration covers every retry, with [seq]/[attempts]/[ok] args.
-      @raise Timed_out when [max_retries] retransmissions all expire. *)
+  val call : t -> Rpc.request -> (Rpc.reply, error) result
+  (** Send, retry on timeout, return the (possibly replayed) reply, or
+      [Error (`Gave_up n)] once [max_retries] retransmissions all
+      expire — never raises, so the controller can treat an
+      unreachable agent as a state transition rather than an
+      exception. When tracing is at level [Rpc] or above, each call
+      emits one complete span (category ["rpc"], named after the
+      request) whose duration covers every retry, with
+      [seq]/[attempts]/[ok] args. *)
+
+  val call_exn : t -> Rpc.request -> Rpc.reply
+  (** [call] for callers without a failure detector.
+      @raise Timed_out on any [Error]. *)
+
+  val probe : t -> ?timeout_ns:int -> Rpc.request -> on_result:((Rpc.reply, error) result -> unit) -> unit
+  (** Single attempt, no retries, no blocking: puts the request on the
+      wire and returns; [on_result] fires from the reply event, or
+      with [Error `Timeout] after [timeout_ns] (default: the config's
+      first-attempt timeout). The heartbeat primitive — a missed probe
+      is a data point for the failure detector, not a call worth the
+      retry ladder. *)
 
   val set_request_fault :
     t -> (seq:int -> attempt:int -> Rpc.request -> fault) option -> unit

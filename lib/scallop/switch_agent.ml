@@ -60,6 +60,8 @@ type t = {
   stream_by_uplink : (int, sender_stream) Hashtbl.t;
   leg_index : (int, sender_stream * leg_info) Hashtbl.t;  (** by leg_port *)
   mutable next_meeting : int;
+  mutable alive : bool;
+  mutable epoch : int;  (** bumped on every restart; carried in Pong *)
   rpc_calls : Scallop_obs.Metrics.counter;
   mutable cpu_packets : int;
   mutable cpu_bytes : int;
@@ -100,7 +102,11 @@ let rebuild t m want =
       List.iter
         (fun l ->
           if l.target <> Dd.DT_30fps then
-            if m.pair_specific then
+            (* [pair_specific] is sticky across membership changes, but
+               pair-level targets only exist in Ra_sr trees — under any
+               other design (e.g. the meeting shrank to two-party) the
+               pair target degrades to a per-receiver target *)
+            if m.pair_specific && want = Trees.Ra_sr then
               Trees.set_pair_target (Dataplane.trees t.dp) handle' ~sender:s.sender
                 ~receiver:l.receiver l.target
             else
@@ -287,7 +293,9 @@ let set_pair_target t ~meeting:mid ~sender ~receiver target =
           Dataplane.set_leg_target t.dp ~receiver ~video_ssrc:stream.video_ssrc target
       | None -> ())
   | None -> ());
-  Trees.set_pair_target (Dataplane.trees t.dp) m.handle ~sender ~receiver target
+  if m.design = Trees.Ra_sr then
+    Trees.set_pair_target (Dataplane.trees t.dp) m.handle ~sender ~receiver target
+  else Trees.set_receiver_target (Dataplane.trees t.dp) m.handle ~receiver target
 
 (* --- CPU-port packet handling ------------------------------------------------ *)
 
@@ -346,7 +354,7 @@ let apply_target t m stream leg target =
     leg.last_target_change_ns <- Engine.now t.engine;
     t.target_changes <- t.target_changes + 1;
     Dataplane.set_leg_target t.dp ~receiver:leg.receiver ~video_ssrc:stream.video_ssrc target;
-    if m.pair_specific then
+    if m.pair_specific && m.design = Trees.Ra_sr then
       Trees.set_pair_target (Dataplane.trees t.dp) m.handle ~sender:stream.sender
         ~receiver:leg.receiver target
     else
@@ -426,6 +434,8 @@ let on_av1_structure t (dgram : Dgram.t) =
           | dd -> if dd.Dd.structure <> None then t.structures_seen <- t.structures_seen + 1))
 
 let cpu_handler t (dgram : Dgram.t) =
+  if not t.alive then ()
+  else begin
   t.cpu_packets <- t.cpu_packets + 1;
   t.cpu_bytes <- t.cpu_bytes + Dgram.wire_size dgram;
   match Rtp.Demux.classify dgram.payload with
@@ -433,6 +443,7 @@ let cpu_handler t (dgram : Dgram.t) =
   | Rtp.Demux.Rtcp_feedback -> on_rtcp_copy t dgram
   | Rtp.Demux.Rtp_media -> on_av1_structure t dgram
   | Rtp.Demux.Unknown -> ()
+  end
 
 (* --- control-plane endpoint --------------------------------------------------
 
@@ -440,6 +451,19 @@ let cpu_handler t (dgram : Dgram.t) =
    [Invalid_argument]s are converted to [Rpc.Error] replies by the
    server, so a bad request degrades into a typed error at the
    controller instead of an exception inside the agent. *)
+
+(* Forget every session: meeting records (releasing their PRE trees),
+   stream/leg indexes, then the data-plane tables. Shared by the Reset
+   request (resync step one) and the crash path (a dead switch keeps no
+   state). *)
+let wipe t =
+  Hashtbl.iter
+    (fun _ m -> Trees.unregister_meeting (Dataplane.trees t.dp) m.handle)
+    t.meetings;
+  Hashtbl.reset t.meetings;
+  Hashtbl.reset t.stream_by_uplink;
+  Hashtbl.reset t.leg_index;
+  Dataplane.reset t.dp
 
 let dispatch t (req : Rpc.request) : Rpc.reply =
   match req with
@@ -466,6 +490,10 @@ let dispatch t (req : Rpc.request) : Rpc.reply =
   | Rpc.Set_pair_target { meeting; sender; receiver; target } ->
       set_pair_target t ~meeting ~sender ~receiver target;
       Rpc.Ack
+  | Rpc.Ping -> Rpc.Pong { epoch = t.epoch }
+  | Rpc.Reset ->
+      wipe t;
+      Rpc.Ack
 
 let create engine dp ?(rewrite = Seq_rewrite.S_LM) ?(select = default_select)
     ?(migration_enabled = true) ?(rewriting_enabled = true) ?(feedback_filter = true) () =
@@ -482,6 +510,8 @@ let create engine dp ?(rewrite = Seq_rewrite.S_LM) ?(select = default_select)
       stream_by_uplink = Hashtbl.create 64;
       leg_index = Hashtbl.create 256;
       next_meeting = 0;
+      alive = true;
+      epoch = 0;
       rpc_calls =
         Scallop_obs.Metrics.counter
           ~labels:[ ("switch", Dataplane.obs_label dp) ]
@@ -508,6 +538,33 @@ let create engine dp ?(rewrite = Seq_rewrite.S_LM) ?(select = default_select)
   t
 
 let rpc_server t = Option.get t.rpc_server
+
+(* --- crash / restart ---------------------------------------------------------
+
+   The failure model is a whole-switch power loss: the agent process and
+   the ASIC tables die together (the memory is gone the instant the
+   lights go out), and a later restart is a fresh boot — empty state, no
+   reply cache, and a bumped epoch so the controller's next heartbeat
+   can tell "rebooted and blank" from "was merely unreachable". *)
+
+let alive t = t.alive
+let epoch t = t.epoch
+
+let crash t =
+  if t.alive then begin
+    t.alive <- false;
+    Rpc_transport.Server.set_online (rpc_server t) false;
+    wipe t
+  end
+
+let restart t =
+  crash t;
+  t.epoch <- t.epoch + 1;
+  t.next_meeting <- 0;
+  t.alive <- true;
+  let server = rpc_server t in
+  Rpc_transport.Server.flush_cache server;
+  Rpc_transport.Server.set_online server true
 
 type stats = {
   rpc_calls : int;

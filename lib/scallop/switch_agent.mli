@@ -114,6 +114,28 @@ val rpc_server : t -> Rpc_transport.Server.t
     deliveries are answered from the server's replay cache, keeping
     every operation idempotent on the wire. *)
 
+(** {1 Crash and restart}
+
+    The failure model is a whole-switch power loss: agent process and
+    ASIC tables die together. {!crash} takes the switch down — session
+    state and data-plane tables are wiped (the memory is gone with the
+    power), the RPC endpoint stops answering, the CPU port goes deaf.
+    {!restart} is a fresh boot: empty state, empty RPC replay cache,
+    and a bumped {!epoch}, which the agent reports in every heartbeat
+    [Pong] so the controller can tell "rebooted and blank" (full
+    resync needed) from "was merely unreachable" (deferred ops can
+    simply drain). *)
+
+val crash : t -> unit
+(** Idempotent: crashing a dead switch does nothing. *)
+
+val restart : t -> unit
+(** Boot (back) up with empty state and [epoch + 1]. Restarting a
+    running switch models a reboot — the crash happens implicitly. *)
+
+val alive : t -> bool
+val epoch : t -> int
+
 (** {1 Statistics} *)
 
 type stats = {

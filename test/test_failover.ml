@@ -1,0 +1,385 @@
+(* Failure detection and recovery: crash/restart resync, partition
+   tolerance (media keeps flowing while control is severed, deferred ops
+   drain on heal), deferred-queue overflow, and anti-entropy repair.
+   The QCheck property is the heart of it: a run that crashes mid-way
+   and resyncs from intent must converge to the same agent state as the
+   run that never crashed. *)
+
+module Engine = Netsim.Engine
+module Link = Netsim.Link
+module Rng = Scallop_util.Rng
+module C = Scallop.Controller
+module A = Scallop.Switch_agent
+module D = Scallop.Dataplane
+module T = Scallop.Rpc_transport
+module An = Scallop_analysis
+module Common = Experiments.Common
+
+(* Canonical agent shadow state for equivalence checks: everything the
+   control plane installed, minus media-driven fields — adaptive-leg
+   targets and the best-downlink selection evolve with traffic the
+   crashed run did not deliver, and meeting ids / tree handles are
+   allocator artifacts of the replay. [amv_pair_specific] is also out:
+   it is a sticky mode bit ("a pair target was ever set"), and when the
+   pinned pair leaves before the crash the controller rightly drops the
+   pin from intent, so the replayed agent cannot (and should not)
+   reconstruct the stickiness. *)
+let canon_agent agent =
+  A.introspect agent
+  |> List.map (fun (m : A.meeting_view) ->
+         let streams =
+           m.A.amv_streams
+           |> List.map (fun (s : A.stream_view) ->
+                  let legs =
+                    s.A.asv_legs
+                    |> List.map (fun (l : A.leg_view) ->
+                           ( l.A.alv_port,
+                             l.A.alv_receiver,
+                             l.A.alv_adaptive,
+                             if l.A.alv_adaptive then None else Some l.A.alv_target ))
+                    |> List.sort compare
+                  in
+                  ( s.A.asv_uplink_port,
+                    s.A.asv_sender,
+                    s.A.asv_video_ssrc,
+                    s.A.asv_audio_ssrc,
+                    Array.to_list s.A.asv_renditions,
+                    legs ))
+           |> List.sort compare
+         in
+         ( List.sort compare m.A.amv_members,
+           List.sort compare m.A.amv_senders,
+           streams ))
+  |> List.sort compare
+
+let set_control_loss stack loss =
+  let chan = C.control_channel stack.Common.controller 0 in
+  Link.set_loss (T.Client.request_link chan) loss;
+  Link.set_loss (T.Client.reply_link chan) loss
+
+let run_to stack seconds =
+  Engine.run stack.Common.engine ~until:(Engine.sec seconds)
+
+let health_view stack =
+  match (C.introspect stack.Common.controller).C.in_health with
+  | [ h ] -> h
+  | hs -> Alcotest.failf "expected one health view, got %d" (List.length hs)
+
+(* --- crash + restart: epoch bump forces a full resync ------------------- *)
+
+let crash_restart_resyncs () =
+  let stack = Common.make_scallop ~seed:31 () in
+  let mid, _parts = Common.scallop_meeting stack ~participants:4 ~senders:2 () in
+  C.start_health stack.controller;
+  run_to stack 1.5;
+  A.crash stack.agent;
+  run_to stack 4.0;
+  Alcotest.(check string)
+    "declared dead while down" "dead"
+    (C.health_name (C.agent_health stack.controller 0));
+  (* mutate intent while the switch is dead: must not raise, must queue *)
+  let pids = C.meeting_participants stack.controller mid in
+  C.set_pair_target stack.controller ~sender:(List.hd pids)
+    ~receiver:(List.nth pids 2) Av1.Dd.DT_15fps;
+  Alcotest.(check bool) "op deferred" true ((health_view stack).C.hv_deferred > 0);
+  A.restart stack.agent;
+  run_to stack 8.0;
+  C.stop_health stack.controller;
+  Alcotest.(check string)
+    "healthy after heal" "healthy"
+    (C.health_name (C.agent_health stack.controller 0));
+  let resyncs =
+    List.filter (fun e -> e.C.re_kind = `Resync) (C.recovery_log stack.controller)
+  in
+  Alcotest.(check bool) "a resync happened" true (resyncs <> []);
+  Alcotest.(check int) "deferred queue empty" 0 (health_view stack).C.hv_deferred;
+  (* the deferred pin was replayed: the meeting runs pair-specific trees
+     (the target itself may keep adapting with feedback afterwards) *)
+  Alcotest.(check bool)
+    "pair pin survived the replay" true
+    (List.exists
+       (fun (m : A.meeting_view) -> m.A.amv_pair_specific)
+       (A.introspect stack.agent));
+  An.assert_clean ~what:"post crash/restart resync" stack.controller
+
+(* --- partition: media continues, control ops defer and drain ------------ *)
+
+let partition_keeps_media_flowing () =
+  let stack = Common.make_scallop ~seed:32 () in
+  let _mid, parts = Common.scallop_meeting stack ~participants:4 ~senders:2 () in
+  C.start_health stack.controller;
+  run_to stack 2.0;
+  set_control_loss stack 1.0;
+  run_to stack 5.0;
+  Alcotest.(check string)
+    "partition declared dead" "dead"
+    (C.health_name (C.agent_health stack.controller 0));
+  let epoch_before = A.epoch stack.agent in
+  (* control-plane mutations while partitioned: defer, don't raise *)
+  let pids = List.map fst parts in
+  C.set_pair_target stack.controller ~sender:(List.hd pids)
+    ~receiver:(List.nth pids 3) Av1.Dd.DT_7_5fps;
+  C.leave stack.controller (List.nth pids 2);
+  Alcotest.(check bool) "ops deferred" true ((health_view stack).C.hv_deferred >= 2);
+  (* the data plane forwards last-known state through the outage *)
+  let egress_mid = D.egress_pkts stack.dp in
+  run_to stack 6.5;
+  Alcotest.(check bool)
+    "media flowed during the partition" true
+    (D.egress_pkts stack.dp > egress_mid + 100);
+  set_control_loss stack 0.0;
+  run_to stack 9.0;
+  C.stop_health stack.controller;
+  Alcotest.(check int) "agent never rebooted" epoch_before (A.epoch stack.agent);
+  let drains =
+    List.filter (fun e -> e.C.re_kind = `Drain) (C.recovery_log stack.controller)
+  in
+  Alcotest.(check bool) "queue drained (no resync needed)" true (drains <> []);
+  Alcotest.(check int) "deferred queue empty" 0 (health_view stack).C.hv_deferred;
+  (* the deferred leave was applied on drain *)
+  Alcotest.(check bool)
+    "deferred leave applied" true
+    (not
+       (List.mem
+          (C.agent_participant_id stack.controller (List.nth pids 2))
+          (A.meeting_members stack.agent 0)));
+  An.assert_clean ~what:"post partition drain" stack.controller
+
+(* --- deferred-queue overflow: bounded, oldest dropped, resync on heal --- *)
+
+let overflow_forces_resync () =
+  let stack = Common.make_scallop ~seed:33 () in
+  let _mid, parts = Common.scallop_meeting stack ~participants:4 ~senders:2 () in
+  C.start_health
+    ~config:{ C.default_health_config with C.deferred_cap = 3 }
+    stack.controller;
+  run_to stack 1.5;
+  A.crash stack.agent;
+  run_to stack 4.0;
+  let pids = List.map fst parts in
+  let targets = [ Av1.Dd.DT_7_5fps; Av1.Dd.DT_15fps; Av1.Dd.DT_30fps ] in
+  List.iter
+    (fun t ->
+      List.iter
+        (fun r ->
+          if r <> List.hd pids then
+            C.set_pair_target stack.controller ~sender:(List.hd pids) ~receiver:r t)
+        pids)
+    targets;
+  let h = health_view stack in
+  Alcotest.(check int) "queue capped" 3 h.C.hv_deferred;
+  Alcotest.(check bool) "oldest ops dropped" true (h.C.hv_dropped > 0);
+  let findings = An.verify stack.controller in
+  Alcotest.(check bool)
+    "overflow surfaces as a warning finding" true
+    (List.exists
+       (fun (f : An.finding) ->
+         f.An.kind = An.Deferred_overflow && f.An.severity = An.Warning)
+       findings);
+  Alcotest.(check (list string)) "but not as an error" []
+    (List.map (fun (f : An.finding) -> f.An.explanation) (An.errors findings));
+  A.restart stack.agent;
+  run_to stack 8.0;
+  C.stop_health stack.controller;
+  let resyncs =
+    List.filter (fun e -> e.C.re_kind = `Resync) (C.recovery_log stack.controller)
+  in
+  Alcotest.(check bool) "drop forced a full resync" true (resyncs <> []);
+  Alcotest.(check int) "drop counter cleared" 0 (health_view stack).C.hv_dropped;
+  (* the last pinned target per pair came from intent, not the queue *)
+  An.assert_clean ~what:"post overflow resync" stack.controller;
+  Alcotest.(check bool)
+    "no overflow warning after replay" true
+    (not
+       (List.exists
+          (fun (f : An.finding) -> f.An.kind = An.Deferred_overflow)
+          (An.verify stack.controller)))
+
+(* --- anti-entropy: reconcile repairs a live-but-drifted switch ---------- *)
+
+let reconcile_repairs_drift () =
+  let stack = Common.make_scallop ~seed:34 () in
+  let _mid, parts = Common.scallop_meeting stack ~participants:3 ~senders:2 () in
+  run_to stack 2.0;
+  An.assert_clean ~what:"steady state before drift" stack.controller;
+  (* reach behind the agent's back and rip a leg out of the data plane *)
+  let sender_pid = fst (List.hd parts) in
+  let receiver_pid = fst (List.nth parts 2) in
+  let info = Option.get (C.participant_sender_info stack.controller sender_pid) in
+  D.unregister_leg stack.dp
+    ~receiver:(C.agent_participant_id stack.controller receiver_pid)
+    ~video_ssrc:info.C.video_ssrc;
+  let report = An.reconcile stack.controller in
+  Alcotest.(check bool) "drift detected" true (An.errors report.An.rr_before <> []);
+  (match report.An.rr_repairs with
+  | [ (0, Some ops) ] -> Alcotest.(check bool) "repair issued RPCs" true (ops > 0)
+  | other ->
+      Alcotest.failf "expected one successful repair of sw0, got %d"
+        (List.length other));
+  Alcotest.(check int) "clean after repair" 0 (List.length (An.errors report.An.rr_after));
+  An.assert_clean ~what:"post reconcile" stack.controller
+
+(* --- QCheck: crash + resync-from-intent == never crashed ---------------- *)
+
+type op = Join of bool | Leave of int | Target of int * int * int
+
+let op_to_string = function
+  | Join s -> Printf.sprintf "Join(send=%b)" s
+  | Leave k -> Printf.sprintf "Leave(%d)" k
+  | Target (s, r, t) -> Printf.sprintf "Target(%d,%d,%d)" s r t
+
+type plan = { ops : op list; crash_ms : int; down_ms : int }
+
+let plan_to_string p =
+  Printf.sprintf "{ops=[%s]; crash=%dms; down=%dms}"
+    (String.concat "; " (List.map op_to_string p.ops))
+    p.crash_ms p.down_ms
+
+let plan_gen =
+  let open QCheck.Gen in
+  let op =
+    frequency
+      [
+        (2, map (fun b -> Join b) bool);
+        (1, map (fun k -> Leave k) (int_bound 10));
+        ( 3,
+          map3
+            (fun s r t -> Target (s, r, t))
+            (int_bound 10) (int_bound 10) (int_bound 2) );
+      ]
+  in
+  map3
+    (fun ops crash_ms down_ms -> { ops; crash_ms; down_ms })
+    (list_size (int_range 3 6) op)
+    (int_range 1000 2500) (int_range 800 2000)
+
+let plan_arb = QCheck.make ~print:plan_to_string plan_gen
+
+(* Replay [plan.ops] at fixed virtual times against a fresh 3-party
+   meeting; when [crash] is set the switch power-cycles mid-sequence.
+   Returns the canonical agent shadow after everything settles. *)
+let execute plan ~crash =
+  let stack = Common.make_scallop ~seed:11 () in
+  let mid, parts = Common.scallop_meeting stack ~participants:3 ~senders:2 () in
+  C.start_health stack.controller;
+  let live = ref (List.map fst parts) in
+  let senders = ref [ fst (List.hd parts); fst (List.nth parts 1) ] in
+  let next_index = ref 10 in
+  (* a blocking controller call pumps the engine through its retries, so a
+     later op's timer can fire while an earlier op is still mid-call;
+     serialize through a queue so ops always run whole and in order *)
+  let pending = Queue.create () in
+  let busy = ref false in
+  let enqueue f =
+    Queue.push f pending;
+    if not !busy then begin
+      busy := true;
+      Fun.protect
+        ~finally:(fun () -> busy := false)
+        (fun () ->
+          while not (Queue.is_empty pending) do
+            (Queue.pop pending) ()
+          done)
+    end
+  in
+  List.iteri
+    (fun i op ->
+      Engine.at stack.engine
+        ~time:(Engine.sec (0.8 +. (1.0 *. float_of_int i)))
+        (fun () ->
+          enqueue @@ fun () ->
+          match op with
+          | Join send ->
+              incr next_index;
+              let client =
+                Common.add_client stack.engine stack.network stack.rng
+                  ~index:!next_index ()
+              in
+              let pid = C.join stack.controller mid client ~send_media:send in
+              live := !live @ [ pid ];
+              if send then senders := !senders @ [ pid ]
+          | Leave k ->
+              if List.length !live > 1 then begin
+                let pid = List.nth !live (k mod List.length !live) in
+                C.leave stack.controller pid;
+                live := List.filter (fun p -> p <> pid) !live;
+                senders := List.filter (fun p -> p <> pid) !senders
+              end
+          | Target (s, r, t) -> (
+              match List.filter (fun p -> List.mem p !live) !senders with
+              | [] -> ()
+              | ss -> (
+                  let sender = List.nth ss (s mod List.length ss) in
+                  match List.filter (fun p -> p <> sender) !live with
+                  | [] -> ()
+                  | rs ->
+                      let receiver = List.nth rs (r mod List.length rs) in
+                      C.set_pair_target stack.controller ~sender ~receiver
+                        (Av1.Dd.target_of_index t)))))
+    plan.ops;
+  if crash then begin
+    Engine.at stack.engine
+      ~time:(Engine.ms plan.crash_ms)
+      (fun () -> A.crash stack.agent);
+    Engine.at stack.engine
+      ~time:(Engine.ms (plan.crash_ms + plan.down_ms))
+      (fun () -> A.restart stack.agent)
+  end;
+  run_to stack 10.0;
+  C.stop_health stack.controller;
+  An.assert_clean
+    ~what:(if crash then "crashed run" else "baseline run")
+    stack.controller;
+  canon_agent stack.agent
+
+let canon_to_string c =
+  String.concat "\n"
+    (List.map
+       (fun (members, senders, streams) ->
+         Printf.sprintf "members=%s senders=%s\n%s"
+           (String.concat ","
+              (List.map (fun (p, port) -> Printf.sprintf "%d@%d" p port) members))
+           (String.concat "," (List.map string_of_int senders))
+           (String.concat "\n"
+              (List.map
+                 (fun (up, s, v, a, rend, legs) ->
+                   Printf.sprintf "  stream up=%d sender=%d v=%d a=%d rend=%d legs=[%s]"
+                     up s v a (List.length rend)
+                     (String.concat "; "
+                        (List.map
+                           (fun (port, r, ad, tgt) ->
+                             Printf.sprintf "%d->%d ad=%b tgt=%s" port r ad
+                               (match tgt with
+                               | None -> "_"
+                               | Some t -> string_of_float (Av1.Dd.fps_of_target t)))
+                           legs)))
+                 streams)))
+       c)
+
+let resync_equiv_prop =
+  QCheck.Test.make ~count:4 ~name:"resync-from-intent == never-crashed" plan_arb
+    (fun plan ->
+      let crashed = execute plan ~crash:true in
+      let baseline = execute plan ~crash:false in
+      if crashed <> baseline then
+        Printf.printf "--- crashed run:\n%s\n--- baseline run:\n%s\n"
+          (canon_to_string crashed) (canon_to_string baseline);
+      crashed = baseline)
+
+let () =
+  Alcotest.run "failover"
+    [
+      ( "recovery",
+        [
+          Alcotest.test_case "crash/restart resyncs from intent" `Quick
+            crash_restart_resyncs;
+          Alcotest.test_case "partition: media flows, ops drain" `Quick
+            partition_keeps_media_flowing;
+          Alcotest.test_case "deferred overflow forces resync" `Quick
+            overflow_forces_resync;
+          Alcotest.test_case "reconcile repairs live drift" `Quick
+            reconcile_repairs_drift;
+        ] );
+      ( "equivalence",
+        [ QCheck_alcotest.to_alcotest ~verbose:false resync_equiv_prop ] );
+    ]

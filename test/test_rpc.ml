@@ -35,6 +35,8 @@ let all_requests =
     Rpc.Remove_participant { meeting = 1; participant = 2 };
     Rpc.Unregister_uplink { meeting = 1; port = 133 };
     Rpc.Set_pair_target { meeting = 0; sender = 1; receiver = 2; target = Av1.Dd.DT_7_5fps };
+    Rpc.Ping;
+    Rpc.Reset;
   ]
 
 let codec_roundtrip () =
@@ -49,7 +51,12 @@ let codec_roundtrip () =
     (fun reply ->
       let msg = Rpc.Reply { seq = 9; reply } in
       Alcotest.(check bool) "reply roundtrip" true (Rpc.decode (Rpc.encode msg) = msg))
-    [ Rpc.Meeting_created { meeting = 12 }; Rpc.Ack; Rpc.Error "no such meeting" ]
+    [
+      Rpc.Meeting_created { meeting = 12 };
+      Rpc.Ack;
+      Rpc.Error "no such meeting";
+      Rpc.Pong { epoch = 3 };
+    ]
 
 let codec_rejects_garbage () =
   List.iter
@@ -93,7 +100,7 @@ let retry_after_timeout () =
   T.Client.set_request_fault client
     (Some (fun ~seq:_ ~attempt _ -> if attempt < 2 then T.Drop else T.Pass));
   let reply = T.Client.call client (Rpc.New_meeting { two_party = false }) in
-  Alcotest.(check bool) "reply" true (reply = Rpc.Meeting_created { meeting = 1 });
+  Alcotest.(check bool) "reply" true (reply = Ok (Rpc.Meeting_created { meeting = 1 }));
   Alcotest.(check int) "executed once" 1 !executed;
   let cs = T.Client.stats client in
   Alcotest.(check int) "two retries" 2 cs.retries;
@@ -109,7 +116,7 @@ let duplicates_execute_once () =
     let reply =
       T.Client.call client (Rpc.Remove_participant { meeting = 0; participant = i })
     in
-    Alcotest.(check bool) "acked" true (reply = Rpc.Ack)
+    Alcotest.(check bool) "acked" true (reply = Ok Rpc.Ack)
   done;
   Alcotest.(check int) "each executed once" 5 !executed;
   (* the last duplicate reply is still in flight when its call settles *)
@@ -133,7 +140,7 @@ let delayed_reply_is_retried_then_reconciled () =
          end
          else T.Pass));
   let reply = T.Client.call client (Rpc.New_meeting { two_party = false }) in
-  Alcotest.(check bool) "reply" true (reply = Rpc.Meeting_created { meeting = 1 });
+  Alcotest.(check bool) "reply" true (reply = Ok (Rpc.Meeting_created { meeting = 1 }));
   Alcotest.(check int) "executed once" 1 !executed;
   Alcotest.(check int) "one retry" 1 (T.Client.stats client).retries;
   Alcotest.(check int) "replayed once" 1 (T.Server.stats server).replayed
@@ -142,13 +149,17 @@ let gives_up_after_max_retries () =
   let config = { lossy_config with T.max_retries = 3 } in
   let _, server, client, executed = harness ~config () in
   T.Client.set_request_fault client (Some (fun ~seq:_ ~attempt:_ _ -> T.Drop));
-  Alcotest.(check bool) "raises" true
+  (* the typed surface: [call] returns the error instead of raising *)
+  Alcotest.(check bool) "typed error" true
+    (T.Client.call client (Rpc.New_meeting { two_party = false }) = Error (`Gave_up 4));
+  (* the raising convenience wrapper preserves the old contract *)
+  Alcotest.(check bool) "call_exn raises" true
     (try
-       let _ = T.Client.call client (Rpc.New_meeting { two_party = false }) in
+       let _ = T.Client.call_exn client (Rpc.New_meeting { two_party = false }) in
        false
      with T.Timed_out { attempts; _ } -> attempts = 4);
   Alcotest.(check int) "never executed" 0 !executed;
-  Alcotest.(check int) "failure counted" 1 (T.Client.stats client).failures;
+  Alcotest.(check int) "failures counted" 2 (T.Client.stats client).failures;
   Alcotest.(check int) "nothing on the wire" 0 (T.Server.stats server).requests_received
 
 (* --- through the controller ------------------------------------------------ *)
