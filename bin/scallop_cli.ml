@@ -109,6 +109,19 @@ let simulate_cmd =
     Arg.(value & opt float 0.0
          & info [ "ctrl-loss" ] ~doc:"Control channel iid loss probability per direction.")
   in
+  let ctrl_batch =
+    Arg.(value & flag
+         & info [ "ctrl-batch" ]
+             ~doc:"Batch the controller's session mutations: wire ops are buffered \
+                   per switch and flushed as one $(b,Rpc.Batch) per touched switch at \
+                   each operation boundary (one round trip instead of one per op).")
+  in
+  let ctrl_window =
+    Arg.(value & opt int Scallop.Rpc_transport.default.Scallop.Rpc_transport.window
+         & info [ "ctrl-window" ] ~docv:"N"
+             ~doc:"In-flight pipelining window of the control-plane transport's \
+                   asynchronous submit lane (>= 1; heartbeat probes are exempt).")
+  in
   let check =
     Arg.(value & flag
          & info [ "check" ]
@@ -158,16 +171,21 @@ let simulate_cmd =
                    spans only), $(b,packet) (adds per-packet causal events), \
                    $(b,verbose) (adds suppressed replicas). Default: packet.")
   in
-  let run participants senders seconds downlink_mbps ctrl_rtt_ms ctrl_loss check paranoid
-      chaos chaos_seed trace_out trace_level =
+  let run participants senders seconds downlink_mbps ctrl_rtt_ms ctrl_loss ctrl_batch
+      ctrl_window check paranoid chaos chaos_seed trace_out trace_level =
    try
     let senders = Option.value senders ~default:participants in
     if trace_out <> None then Scallop_obs.Trace.set_level trace_level;
     let control =
-      Scallop.Rpc_transport.degraded ~loss:ctrl_loss
-        ~rtt_ns:(Netsim.Engine.ms ctrl_rtt_ms) ()
+      let base =
+        Scallop.Rpc_transport.degraded ~loss:ctrl_loss
+          ~rtt_ns:(Netsim.Engine.ms ctrl_rtt_ms) ()
+      in
+      { base with Scallop.Rpc_transport.window = ctrl_window }
     in
-    let stack = Experiments.Common.make_scallop ~seed:99 ~control () in
+    let stack =
+      Experiments.Common.make_scallop ~seed:99 ~control ~batch:ctrl_batch ()
+    in
     if paranoid then
       Scallop.Dataplane.set_mode stack.Experiments.Common.dp Scallop.Dataplane.Paranoid;
     let _mid, members =
@@ -326,8 +344,8 @@ let simulate_cmd =
     (Cmd.info "simulate" ~doc:"Run one meeting through Scallop and print a QoE report.")
     Term.(term_result
             (const run $ participants $ senders $ seconds $ downlink_mbps $ ctrl_rtt_ms
-             $ ctrl_loss $ check $ paranoid $ chaos $ chaos_seed $ trace_out
-             $ trace_level))
+             $ ctrl_loss $ ctrl_batch $ ctrl_window $ check $ paranoid $ chaos
+             $ chaos_seed $ trace_out $ trace_level))
 
 let check_cmd =
   let ctrl_rtt_ms =

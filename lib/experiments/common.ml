@@ -25,7 +25,7 @@ let client_link ?(rate_bps = 100e6) ?(propagation_ns = 5_000_000) () =
 let sfu_ip = Addr.ip_of_string "10.0.0.1"
 
 let make_scallop ?(seed = 1) ?(rewrite = Scallop.Seq_rewrite.S_LM) ?(switch_link = fast_link)
-    ?(control = Scallop.Rpc_transport.default) () =
+    ?(control = Scallop.Rpc_transport.default) ?(batch = false) () =
   let engine = Engine.create () in
   let rng = Rng.create seed in
   let network = Network.create engine (Rng.split rng) in
@@ -34,7 +34,7 @@ let make_scallop ?(seed = 1) ?(rewrite = Scallop.Seq_rewrite.S_LM) ?(switch_link
   let agent = Scallop.Switch_agent.create engine dp ~rewrite () in
   let controller =
     Scallop.Controller.create engine network (Rng.split rng) ~agents:[ (agent, dp) ] ~control
-      ()
+      ~batch ()
   in
   { engine; rng; network; dp; agent; controller }
 

@@ -17,11 +17,14 @@ val make_scallop :
   ?rewrite:Scallop.Seq_rewrite.variant ->
   ?switch_link:Netsim.Link.config ->
   ?control:Scallop.Rpc_transport.config ->
+  ?batch:bool ->
   unit ->
   scallop_stack
 (** [control] configures the controller↔agent RPC channel (latency,
     loss, retry policy); the default ideal channel leaves every other
-    experiment byte-identical to direct calls. *)
+    experiment byte-identical to direct calls. [batch] (default false)
+    turns on the controller's control-plane batching mode
+    ({!Scallop.Controller.create}). *)
 
 type software_stack = {
   s_engine : Netsim.Engine.t;

@@ -124,6 +124,13 @@ let all =
       run = (fun ?quick () -> Failover.run ?quick ());
     };
     {
+      id = "ctrl_churn";
+      title = "Control-plane churn: per-op vs batched RPC throughput";
+      paper_claim = "the controller acts only on session changes (5.1); batching its \
+                     wire ops keeps join latency flat as churn concentrates";
+      run = (fun ?quick () -> Ctrl_churn.run ?quick ());
+    };
+    {
       id = "ablations";
       title = "Design-choice ablations (feedback filter, sequence rewriting)";
       paper_claim = "naive feedback converges to the slowest receiver (5.3); raw gaps trigger endless retransmissions (6.2)";

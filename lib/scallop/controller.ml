@@ -106,6 +106,16 @@ type deferred_op = {
           still be provisional at queue time *)
 }
 
+(* One wire op waiting in a per-agent batch buffer (batched mode only).
+   Same shape as a deferred op — and for the same reason: the agent-side
+   meeting id is resolved at flush time, not at buffering time, so a
+   buffered op can be pushed onto the deferred queue unchanged when the
+   flush hits a dead channel. *)
+type buffered_op = {
+  b_mid : meeting_id;
+  b_build : agent_mid:int -> Rpc.request;
+}
+
 type agent_state = {
   mutable ah : agent_health;
   mutable ah_epoch : int;  (** last epoch seen in a Pong; -1 before the first *)
@@ -148,6 +158,9 @@ type t = {
   mutable sdp_messages : int;
   mutable health : health_state option;  (** None until {!start_health} *)
   mutable next_provisional : int;  (** provisional agent meeting ids, < -1 *)
+  batch : bool;  (** buffer session mutations and flush them as [Rpc.Batch]es *)
+  buffers : buffered_op Queue.t array;  (** per-agent batch buffer (FIFO) *)
+  flushing : bool array;  (** per-agent reentrancy guard around a flush *)
 }
 
 (* The controller's address on the management network — a label on
@@ -155,7 +168,8 @@ type t = {
 let controller_ip = Addr.ip_of_string "10.255.0.1"
 let control_port = 6633
 
-let create engine network rng ~agents ?(control = Rpc_transport.default) () =
+let create engine network rng ~agents ?(control = Rpc_transport.default)
+    ?(batch = false) () =
   if agents = [] then invalid_arg "Controller.create: need at least one switch agent";
   let agents = Array.of_list agents in
   let rpcs =
@@ -186,6 +200,9 @@ let create engine network rng ~agents ?(control = Rpc_transport.default) () =
     sdp_messages = 0;
     health = None;
     next_provisional = -2;
+    batch;
+    buffers = Array.map (fun _ -> Queue.create ()) agents;
+    flushing = Array.map (fun _ -> false) agents;
   }
 
 let fresh_sfu_port t =
@@ -285,18 +302,6 @@ let raise_timed_out req err =
   let attempts = match err with `Gave_up n -> n | `Timeout -> 0 in
   raise (Rpc_transport.Timed_out { op = Rpc.request_name req; seq = -1; attempts })
 
-(* One blocking call with failure-detector semantics: [None] means the
-   transport gave up and the agent is now Dead. *)
-let call_reply t idx req =
-  match Rpc_transport.Client.call t.rpcs.(idx) req with
-  | Ok reply -> Some reply
-  | Error err -> (
-      match t.health with
-      | Some h ->
-          mark_dead t h idx;
-          None
-      | None -> raise_timed_out req err)
-
 (* An [Error] reply from an agent that should know the state we installed
    means the agent answered from a fresh boot (a restart raced an in-flight
    call, so we saw the reply before any Pong carried the new epoch) or has
@@ -310,23 +315,122 @@ let desync t idx msg =
       None
   | None -> invalid_arg msg
 
-let rpc_new_meeting t idx ~two_party =
-  match call_reply t idx (Rpc.New_meeting { two_party }) with
-  | Some (Rpc.Meeting_created { meeting }) -> Some meeting
-  | Some (Rpc.Error msg) -> desync t idx msg
-  | Some (Rpc.Ack | Rpc.Pong _) ->
-      invalid_arg "Controller: missing meeting id in new-meeting reply"
-  | None -> None
-
 let provisional_mid t =
   let mid = t.next_provisional in
   t.next_provisional <- mid - 1;
   mid
 
+(* One blocking call with failure-detector semantics: [None] means the
+   transport gave up and the agent is now Dead. Flushes the agent's
+   batch buffer first, so a direct call can never overtake ops buffered
+   before it — per-agent order is preserved across both paths. *)
+let rec call_reply t idx req =
+  flush_agent t idx;
+  match Rpc_transport.Client.call t.rpcs.(idx) req with
+  | Ok reply -> Some reply
+  | Error err -> (
+      match t.health with
+      | Some h ->
+          mark_dead t h idx;
+          None
+      | None -> raise_timed_out req err)
+
+(* Ship everything buffered for switch [idx] as a single [Rpc.Batch]
+   call (batched mode; a no-op otherwise since the buffer stays empty).
+   The buffer drains FIFO into the batch's op list, so agent-side
+   execution order equals buffering order. Failure handling mirrors the
+   per-op path op-for-op: an [Error] slot in the reply marks the agent
+   Dead and defers that op for the post-heal drain/replay; a transport
+   failure defers the whole batch (or raises without a failure
+   detector). The [flushing] guard breaks reentrancy: the blocking batch
+   call pumps the engine, where a heartbeat-triggered resync can land on
+   this same agent and come back through [call_reply]. *)
+and flush_agent t idx =
+  if not (Queue.is_empty t.buffers.(idx)) && not t.flushing.(idx) then begin
+    t.flushing.(idx) <- true;
+    Fun.protect
+      ~finally:(fun () -> t.flushing.(idx) <- false)
+      (fun () ->
+        let buf = t.buffers.(idx) in
+        let ops = List.of_seq (Queue.to_seq buf) in
+        Queue.clear buf;
+        let defer_op op =
+          match t.health with
+          | Some h -> push_deferred h idx { d_mid = op.b_mid; d_build = op.b_build }
+          | None -> ()
+        in
+        if is_dead t idx then List.iter defer_op ops
+        else begin
+          (* resolve agent-side meeting ids now: a site created during a
+             Dead spell still carries a provisional id and must be
+             materialized (a synchronous New_meeting) before its ops can
+             be encoded *)
+          let rec resolve acc = function
+            | [] -> Some (List.rev acc)
+            | op :: rest -> (
+                let m = find_meeting t op.b_mid in
+                match materialize_site t m idx with
+                | Some site ->
+                    resolve ((op, op.b_build ~agent_mid:site.agent_mid) :: acc) rest
+                | None -> None)
+          in
+          match resolve [] ops with
+          | None ->
+              (* the switch died under us; keep every op, in order *)
+              List.iter defer_op ops
+          | Some resolved -> (
+              let reqs = List.map snd resolved in
+              match Rpc_transport.Client.call t.rpcs.(idx) (Rpc.Batch reqs) with
+              | Ok (Rpc.Batch_reply replies)
+                when List.length replies = List.length resolved ->
+                  List.iter2
+                    (fun (op, req) reply ->
+                      match reply with
+                      | Rpc.Ack -> ()
+                      | Rpc.Error msg -> (
+                          (* same desync logic as the per-op path; the op
+                             must survive for the drain-or-replay *)
+                          match t.health with
+                          | Some h ->
+                              mark_dead t h idx;
+                              push_deferred h idx
+                                { d_mid = op.b_mid; d_build = op.b_build }
+                          | None -> invalid_arg msg)
+                      | Rpc.Meeting_created _ | Rpc.Pong _ | Rpc.Batch_reply _ ->
+                          invalid_arg
+                            (Printf.sprintf
+                               "Controller: unexpected reply to %s in batch"
+                               (Rpc.request_name req)))
+                    resolved replies
+              | Ok (Rpc.Error msg) -> (
+                  match t.health with
+                  | Some h ->
+                      mark_dead t h idx;
+                      List.iter defer_op ops
+                  | None -> invalid_arg msg)
+              | Ok (Rpc.Ack | Rpc.Pong _ | Rpc.Meeting_created _ | Rpc.Batch_reply _) ->
+                  invalid_arg "Controller: unexpected reply to batch"
+              | Error err -> (
+                  match t.health with
+                  | Some h ->
+                      mark_dead t h idx;
+                      List.iter defer_op ops
+                  | None -> raise_timed_out (Rpc.Batch reqs) err))
+        end)
+  end
+
+and rpc_new_meeting t idx ~two_party =
+  match call_reply t idx (Rpc.New_meeting { two_party }) with
+  | Some (Rpc.Meeting_created { meeting }) -> Some meeting
+  | Some (Rpc.Error msg) -> desync t idx msg
+  | Some (Rpc.Ack | Rpc.Pong _ | Rpc.Batch_reply _) ->
+      invalid_arg "Controller: missing meeting id in new-meeting reply"
+  | None -> None
+
 (* Lazily bring a meeting up on a switch. While the switch is Dead the
    site carries a provisional (negative) agent meeting id, swapped for a
    real one when the deferred queue drains or a resync replays it. *)
-let site_of t m idx =
+and site_of t m idx =
   match Hashtbl.find_opt m.sites idx with
   | Some s -> s
   | None ->
@@ -342,6 +446,25 @@ let site_of t m idx =
       Hashtbl.replace m.sites idx s;
       s
 
+(* Turn a provisional site (created while its switch was Dead) into a real
+   agent-side meeting; [None] when the switch died again under us. *)
+and materialize_site t m idx =
+  let site = site_of t m idx in
+  if site.agent_mid >= 0 then Some site
+  else
+    match rpc_new_meeting t idx ~two_party:false with
+    | Some agent_mid ->
+        let s = { site with agent_mid } in
+        Hashtbl.replace m.sites idx s;
+        Some s
+    | None -> None
+
+(* Flush every per-agent batch buffer — the operation-boundary hook:
+   public session mutations buffer their wire ops and call this before
+   returning, so one [join]/[leave]/share change becomes one [Rpc.Batch]
+   per touched switch instead of a blocking round trip per op. *)
+let flush_buffers t = Array.iteri (fun idx _ -> flush_agent t idx) t.rpcs
+
 (* Issue one agent-state mutation on switch [idx] of meeting [m], or
    queue it while the switch is Dead. Intent (the caller's bookkeeping)
    is always updated by the caller regardless — the queue only carries
@@ -354,6 +477,13 @@ let agent_op t m idx (build : agent_mid:int -> Rpc.request) =
   in
   match t.health with
   | Some h when h.hs_agents.(idx).ah = Dead -> defer h
+  | _ when t.batch ->
+      (* batched mode: record the op (the site is created eagerly so its
+         New_meeting keeps its place in the op order) and return; the
+         flush at the operation boundary ships the whole buffer as one
+         [Rpc.Batch] *)
+      ignore (site_of t m idx);
+      Queue.push { b_mid = m.mid; b_build = build } t.buffers.(idx)
   | _ -> (
       let site = site_of t m idx in
       if is_dead t idx then
@@ -371,7 +501,7 @@ let agent_op t m idx (build : agent_mid:int -> Rpc.request) =
                 mark_dead t h idx;
                 defer h
             | None -> invalid_arg msg)
-        | Some (Rpc.Meeting_created _ | Rpc.Pong _) ->
+        | Some (Rpc.Meeting_created _ | Rpc.Pong _ | Rpc.Batch_reply _) ->
             invalid_arg
               (Printf.sprintf "Controller: unexpected reply to %s" (Rpc.request_name req))
         | None -> (
@@ -701,6 +831,7 @@ let join ?home ?(simulcast = false) t mid client ~send_media =
       if send_media then create_leg t m ~sender:p ~receiver:other)
     m.members;
   m.members <- m.members @ [ pid ];
+  flush_buffers t;
   pid
 
 (* --- screen sharing: the controller's third trigger ("a participant
@@ -748,7 +879,8 @@ let start_screen_share t pid =
       if other_pid <> pid then
         create_stream_leg t m ~kind:Screen ~sender:p
           ~receiver:(find_participant t other_pid))
-    m.members
+    m.members;
+  flush_buffers t
 
 let stop_screen_share t pid =
   let p = find_participant t pid in
@@ -778,7 +910,8 @@ let stop_screen_share t pid =
           other.screen_recv_conns <- rest;
           List.iter (fun (_, c) -> Client.close_connection other.client c) mine)
         m.members;
-      gc_relays t m
+      gc_relays t m;
+      flush_buffers t
 
 let screen_connection t pid ~from =
   let p = find_participant t pid in
@@ -813,7 +946,8 @@ let leave t pid =
           other.recv_conns <- rest;
           List.iter (fun (_, c) -> Client.close_connection other.client c) mine)
         m.members;
-      Hashtbl.remove t.participants pid
+      Hashtbl.remove t.participants pid;
+      flush_buffers t
 
 type sender_info = { egress_port : int; video_ssrc : int; audio_ssrc : int }
 
@@ -832,7 +966,8 @@ let set_pair_target t ~sender ~receiver target =
   m.pair_targets <-
     ((sender, receiver), target) :: List.remove_assoc (sender, receiver) m.pair_targets;
   agent_op t m r.home (fun ~agent_mid ->
-      Rpc.Set_pair_target { meeting = agent_mid; sender; receiver; target })
+      Rpc.Set_pair_target { meeting = agent_mid; sender; receiver; target });
+  flush_buffers t
 
 let recv_connection t pid ~from =
   let p = find_participant t pid in
@@ -913,7 +1048,7 @@ let resync t idx =
     match call_reply t idx req with
     | Some Rpc.Ack -> ()
     | Some (Rpc.Error msg) -> invalid_arg ("Controller.resync: " ^ msg)
-    | Some (Rpc.Meeting_created _ | Rpc.Pong _) ->
+    | Some (Rpc.Meeting_created _ | Rpc.Pong _ | Rpc.Batch_reply _) ->
         invalid_arg
           (Printf.sprintf "Controller.resync: unexpected reply to %s"
              (Rpc.request_name req))
@@ -928,7 +1063,7 @@ let resync t idx =
           match call_reply t idx (Rpc.New_meeting { two_party = false }) with
           | Some (Rpc.Meeting_created { meeting }) -> meeting
           | Some (Rpc.Error msg) -> invalid_arg ("Controller.resync: " ^ msg)
-          | Some (Rpc.Ack | Rpc.Pong _) ->
+          | Some (Rpc.Ack | Rpc.Pong _ | Rpc.Batch_reply _) ->
               invalid_arg "Controller.resync: missing meeting id in new-meeting reply"
           | None -> raise Resync_aborted
         in
@@ -1025,19 +1160,6 @@ let resync t idx =
     Some !ops
   with Resync_aborted -> None
 
-(* Turn a provisional site (created while its switch was Dead) into a real
-   agent-side meeting; [None] when the switch died again under us. *)
-let materialize_site t m idx =
-  let site = site_of t m idx in
-  if site.agent_mid >= 0 then Some site
-  else
-    match rpc_new_meeting t idx ~two_party:false with
-    | Some agent_mid ->
-        let s = { site with agent_mid } in
-        Hashtbl.replace m.sites idx s;
-        Some s
-    | None -> None
-
 (* Re-issue queued ops in order. Stops (keeping the rest queued) if the
    switch dies again. A queued op re-issued under a fresh sequence number
    can double-execute when the original's reply was lost in the partition;
@@ -1056,7 +1178,7 @@ let drain_deferred t h idx =
         incr ops;
         match call_reply t idx (op.d_build ~agent_mid:site.agent_mid) with
         | Some (Rpc.Ack | Rpc.Error _) -> ignore (Queue.pop a.ah_deferred)
-        | Some (Rpc.Meeting_created _ | Rpc.Pong _) ->
+        | Some (Rpc.Meeting_created _ | Rpc.Pong _ | Rpc.Batch_reply _) ->
             invalid_arg "Controller: unexpected reply to deferred op"
         | None -> alive := false)
   done;
@@ -1086,6 +1208,18 @@ let on_pong t h idx ~epoch =
       a.ah_epoch <- epoch;
       if prev <> Healthy then set_agent_health h idx Healthy
     end
+    else if Rpc_transport.Client.in_flight t.rpcs.(idx) > 0 then
+      (* A heal must not overlap a blocking mutation call on this
+         channel (this pong arrived inside that call's engine pump): a
+         resync would replay the op's intent, and then the in-flight
+         request's retransmit would land on the healed agent and
+         double-execute — the replay cache can't help, the straddling
+         request never executed before the reboot wiped the cache.
+         Leave the agent as-is; the stale submission settles within its
+         retry ladder (a blank agent answers [Error]) and a later
+         heartbeat heals the then-quiet channel. Probes are oob and
+         never hold the window, so they cannot postpone a heal. *)
+      ()
     else begin
       (* the switch is back — blank (new epoch) or intact (same epoch) *)
       if prev <> Dead then a.ah_detected_ns <- Engine.now t.engine;
@@ -1096,8 +1230,10 @@ let on_pong t h idx ~epoch =
           let need_resync = rebooted || first || a.ah_dropped > 0 in
           if need_resync then begin
             (* controller intent already reflects every queued op, so the
-               replay regenerates them; the queue itself is obsolete *)
+               replay regenerates them; the queue itself is obsolete —
+               and so is any batch buffer still waiting for this switch *)
             Queue.clear a.ah_deferred;
+            Queue.clear t.buffers.(idx);
             a.ah_dropped <- 0;
             refresh_deferred_gauge h;
             match resync t idx with
@@ -1142,7 +1278,8 @@ let heartbeat_tick t h =
           if h.hs_running then
             match result with
             | Ok (Rpc.Pong { epoch }) -> on_pong t h idx ~epoch
-            | Ok (Rpc.Ack | Rpc.Error _ | Rpc.Meeting_created _) -> on_miss t h idx
+            | Ok (Rpc.Ack | Rpc.Error _ | Rpc.Meeting_created _ | Rpc.Batch_reply _) ->
+                on_miss t h idx
             | Error (`Timeout | `Gave_up _) -> on_miss t h idx))
     h.hs_agents
 

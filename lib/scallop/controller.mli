@@ -25,11 +25,23 @@ val create :
   Scallop_util.Rng.t ->
   agents:(Switch_agent.t * Dataplane.t) list ->
   ?control:Rpc_transport.config ->
+  ?batch:bool ->
   unit ->
   t
 (** Meetings are placed round-robin across the given switches; each
     meeting lives wholly on one switch (splitting a meeting across
-    switches — true cascading — is future work in the paper as well). *)
+    switches — true cascading — is future work in the paper as well).
+
+    [batch] (default [false]) turns on control-plane batching: session
+    mutations append their wire ops to a per-switch buffer instead of
+    issuing one blocking RPC each, and the buffer is flushed as a single
+    [Rpc.Batch] at the end of each public operation ([join], [leave],
+    screen-share changes, [set_pair_target]) — one round trip per
+    touched switch per operation. Per-switch op order, at-most-once
+    replay (the whole batch reply is cached under its sequence number)
+    and the failure-detector semantics are unchanged: an op that hits a
+    Dead or dying switch is queued for the post-heal drain or replay
+    exactly as in per-op mode. *)
 
 type meeting_id = int
 type participant_id = int

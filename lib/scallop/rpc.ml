@@ -37,12 +37,14 @@ type request =
     }
   | Ping
   | Reset
+  | Batch of request list
 
 type reply =
   | Meeting_created of { meeting : int }
   | Ack
   | Pong of { epoch : int }
   | Error of string
+  | Batch_reply of reply list
 
 type message =
   | Request of { seq : int; request : request }
@@ -60,6 +62,7 @@ let request_name = function
   | Set_pair_target _ -> "set-pair-target"
   | Ping -> "ping"
   | Reset -> "reset"
+  | Batch _ -> "batch"
 
 (* --- wire codec --------------------------------------------------------------
 
@@ -70,7 +73,15 @@ let request_name = function
 
 let bool_field b = if b then "1" else "0"
 
-let encode_request r =
+(* Frame one sub-message inside a batch: retokenize its encoding (an
+   [Error] reply may itself contain spaces) and prefix the token count,
+   so the flat outer field list parses unambiguously. Splitting the
+   joined fields is an isomorphism, so round-trips are exact. *)
+let framed fields =
+  let tokens = String.split_on_char ' ' (String.concat " " fields) in
+  string_of_int (List.length tokens) :: tokens
+
+let rec encode_request r =
   match r with
   | New_meeting { two_party } -> [ "new-meeting"; bool_field two_party ]
   | Register_participant { meeting; participant; egress_port; sends } ->
@@ -122,12 +133,20 @@ let encode_request r =
       ]
   | Ping -> [ "ping" ]
   | Reset -> [ "reset" ]
+  | Batch ops ->
+      "batch"
+      :: string_of_int (List.length ops)
+      :: List.concat_map (fun op -> framed (encode_request op)) ops
 
-let encode_reply = function
+let rec encode_reply = function
   | Meeting_created { meeting } -> [ "meeting-created"; string_of_int meeting ]
   | Ack -> [ "ack" ]
   | Pong { epoch } -> [ "pong"; string_of_int epoch ]
   | Error msg -> [ "error"; msg ]
+  | Batch_reply replies ->
+      "batch-reply"
+      :: string_of_int (List.length replies)
+      :: List.concat_map (fun r -> framed (encode_reply r)) replies
 
 let encode msg =
   let fields =
@@ -149,7 +168,31 @@ let bool_of_field name = function
   | "1" -> true
   | s -> fail "bad %s field %S" name s
 
-let decode_request = function
+(* Parse [count] token-count-prefixed groups, consuming the whole list
+   (a batch is always the last element of its message). *)
+let framed_groups name count tokens =
+  let rec take k acc rest =
+    if k = 0 then (List.rev acc, rest)
+    else
+      match rest with
+      | tok :: tl -> take (k - 1) (tok :: acc) tl
+      | [] -> fail "truncated %s frame" name
+  in
+  let rec go n tokens acc =
+    if n = 0 then
+      if tokens = [] then List.rev acc else fail "%s: trailing tokens" name
+    else
+      match tokens with
+      | len :: rest ->
+          let len = int_field (name ^ " frame length") len in
+          if len < 0 then fail "%s: negative frame length" name;
+          let group, rest = take len [] rest in
+          go (n - 1) rest (group :: acc)
+      | [] -> fail "truncated %s" name
+  in
+  go count tokens []
+
+let rec decode_request = function
   | [ "new-meeting"; tp ] -> New_meeting { two_party = bool_of_field "two_party" tp }
   | [ "register-participant"; m; p; e; s ] ->
       Register_participant
@@ -206,13 +249,18 @@ let decode_request = function
         }
   | [ "ping" ] -> Ping
   | [ "reset" ] -> Reset
+  | "batch" :: n :: rest ->
+      Batch (List.map decode_request (framed_groups "batch" (int_field "batch size" n) rest))
   | op :: _ -> fail "unknown or malformed request %S" op
   | [] -> fail "empty request"
 
-let decode_reply = function
+let rec decode_reply = function
   | [ "meeting-created"; m ] -> Meeting_created { meeting = int_field "meeting" m }
   | [ "ack" ] -> Ack
   | [ "pong"; e ] -> Pong { epoch = int_field "epoch" e }
+  | "batch-reply" :: n :: rest ->
+      Batch_reply
+        (List.map decode_reply (framed_groups "batch-reply" (int_field "batch size" n) rest))
   | "error" :: rest -> Error (String.concat " " rest)
   | op :: _ -> fail "unknown or malformed reply %S" op
   | [] -> fail "empty reply"

@@ -50,6 +50,15 @@ type request =
       (** wipe every meeting, stream and leg on the agent and its data
           plane — the first step of a full resync, making intent replay
           convergent from any drifted state *)
+  | Batch of request list
+      (** an ordered list of operations shipped under a single sequence
+          number and executed in list order; answered by {!Batch_reply}
+          with one reply per op in the same order. Because the whole
+          batch shares one seq, the agent's reply cache makes batch
+          replay idempotent exactly like a single op: a retransmitted
+          batch replays the cached reply list without re-executing any
+          member. Nesting is permitted by the codec but the controller
+          never sends it. *)
 
 type reply =
   | Meeting_created of { meeting : int }  (** answers [New_meeting] *)
@@ -58,6 +67,10 @@ type reply =
   | Error of string
       (** the agent rejected the request (e.g. unknown meeting); carried
           back as data, not an exception, so it survives the wire *)
+  | Batch_reply of reply list
+      (** answers [Batch]: the i-th element answers the i-th op; a
+          failed op contributes its [Error] in place while later ops
+          still execute (partial failure is per-op, never all-or-nothing) *)
 
 type message =
   | Request of { seq : int; request : request }
@@ -72,7 +85,10 @@ exception Decode_error of string
 val request_name : request -> string
 
 val encode : message -> bytes
-(** Space-separated textual wire format (inspectable, honestly sized). *)
+(** Space-separated textual wire format (inspectable, honestly sized).
+    Batch members are framed recursively with token-count prefixes, so
+    sub-messages whose fields contain spaces (an [Error] text) still
+    round-trip exactly. *)
 
 val decode : bytes -> message
 (** @raise Decode_error on malformed input. *)

@@ -13,6 +13,7 @@ type config = {
   max_retries : int;
   backoff : float;
   max_backoff_ns : int;
+  window : int;
 }
 
 (* An ideal management network: the seam is real (every call is encoded,
@@ -33,6 +34,7 @@ let default =
     max_retries = 6;
     backoff = 2.0;
     max_backoff_ns = Engine.ms 2_000;
+    window = 8;
   }
 
 let degraded ?(loss = 0.0) ~rtt_ns () =
@@ -195,14 +197,24 @@ module Client = struct
     replies_received : int;
     stale_replies : int;
     failures : int;
+    batches : int;
+    batched_ops : int;
   }
 
-  type outcome = Waiting | Got of Rpc.reply | Gave_up
-
-  (* A pending seq is either a blocking [call] pumping the engine on an
-     outcome cell, or a fire-and-forget [probe] whose continuation runs
-     straight from the reply (or timeout) event. *)
-  type waiter = Sync of outcome ref | Async of ((Rpc.reply, error) result -> unit)
+  (* One submission, from [submit] to settlement. Every entry point —
+     blocking [call], pipelined async [submit], single-shot [probe] — is
+     this same record with different retry/window parameters. *)
+  type pend = {
+    p_seq : int;
+    p_request : Rpc.request;
+    p_max_retries : int;
+    p_timeout_ns : int;  (** first attempt's timeout *)
+    p_oob : bool;  (** out-of-band: bypasses the pipeline window *)
+    p_start_ns : int;
+    mutable p_attempts : int;
+    mutable p_state : [ `Queued | `In_flight | `Settled ];
+    p_on_result : (Rpc.reply, error) result -> unit;
+  }
 
   type t = {
     engine : Engine.t;
@@ -211,7 +223,9 @@ module Client = struct
     remote : Addr.t;
     label : string;
     channel : Control_channel.t;
-    pending : (int, waiter) Hashtbl.t;
+    pending : (int, pend) Hashtbl.t;
+    backlog : pend Queue.t;  (** submissions waiting for a window slot *)
+    mutable in_flight : int;  (** window-occupying submissions on the wire *)
     mutable request_fault : (seq:int -> attempt:int -> Rpc.request -> fault) option;
     mutable next_seq : int;
     (* registry-backed (label [client="..."]); the stats record is the view *)
@@ -221,64 +235,14 @@ module Client = struct
     replies_received : Metrics.counter;
     stale_replies : Metrics.counter;
     failures : Metrics.counter;
+    batch_flushes : Metrics.counter;
+    batched_ops_c : Metrics.counter;
+    batch_size : Scallop_util.Stats.Histogram.t;
+    pipeline_depth : Metrics.gauge;
   }
 
-  let on_reply t (dgram : Dgram.t) =
-    match Rpc.decode dgram.payload with
-    | exception Rpc.Decode_error _ -> Metrics.incr t.stale_replies
-    | Rpc.Request _ -> Metrics.incr t.stale_replies
-    | Rpc.Reply { seq; reply } -> (
-        match Hashtbl.find_opt t.pending seq with
-        | Some (Sync ({ contents = Waiting } as cell)) ->
-            Metrics.incr t.replies_received;
-            cell := Got reply
-        | Some (Async k) ->
-            Metrics.incr t.replies_received;
-            Hashtbl.remove t.pending seq;
-            k (Ok reply)
-        | Some (Sync _) | None ->
-            (* duplicate or post-timeout reply; the call already settled *)
-            Metrics.incr t.stale_replies)
-
-  let connect engine rng ?(config = default) ?(label = "ctl") ~local ~remote server =
-    let channel =
-      Control_channel.create engine rng ~fwd:config.link ~rev:config.link ()
-    in
-    let labels = [ ("client", label) ] in
-    let counter help name = Metrics.counter ~labels ~help name in
-    let t =
-      {
-        engine;
-        cfg = config;
-        local;
-        remote;
-        label;
-        channel;
-        pending = Hashtbl.create 8;
-        request_fault = None;
-        next_seq = 0;
-        calls = counter "RPC calls issued" "scallop_rpc_calls";
-        wire_requests =
-          counter "request datagrams put on the wire (retries/dups included)"
-            "scallop_rpc_wire_requests";
-        retries = counter "retransmissions after a timeout" "scallop_rpc_retries";
-        replies_received = counter "replies that settled a call" "scallop_rpc_replies";
-        stale_replies =
-          counter "late/duplicate replies for settled calls" "scallop_rpc_stale_replies";
-        failures = counter "calls that exhausted every retry" "scallop_rpc_failures";
-      }
-    in
-    Control_channel.set_fwd_sink channel (fun dgram ->
-        Server.deliver server ~reply_via:(Control_channel.send_rev channel) dgram);
-    Control_channel.set_rev_sink channel (fun dgram -> on_reply t dgram);
-    t
-
-  let set_request_fault t f = t.request_fault <- f
-
-  let backoff_ns t attempt =
-    let scaled =
-      float_of_int t.cfg.timeout_ns *. (t.cfg.backoff ** float_of_int attempt)
-    in
+  let backoff_ns t ~base attempt =
+    let scaled = float_of_int base *. (t.cfg.backoff ** float_of_int attempt) in
     min t.cfg.max_backoff_ns (int_of_float scaled)
 
   let transmit t ~seq ~attempt request dgram =
@@ -301,26 +265,180 @@ module Client = struct
         Metrics.incr t.wire_requests;
         Control_channel.send_fwd t.channel dgram
 
+  (* one complete span per submission, stamped whether it settled or
+     timed out — retries stay inside the span rather than becoming
+     events *)
+  let span t p ~ok =
+    if Trace.enabled Trace.Rpc then
+      Trace.complete ~ts:p.p_start_ns
+        ~dur:(Engine.now t.engine - p.p_start_ns)
+        ~cat:"rpc"
+        (Rpc.request_name p.p_request)
+        ~args:
+          [
+            ("client", Trace.S t.label);
+            ("seq", Trace.I p.p_seq);
+            ("attempts", Trace.I p.p_attempts);
+            ("ok", Trace.S (if ok then "true" else "false"));
+          ]
+
+  (* Settle a submission (at most once), free its window slot, and start
+     as many backlogged submissions as now fit. *)
+  let rec settle t p result =
+    if p.p_state <> `Settled then begin
+      let held_slot = p.p_state = `In_flight && not p.p_oob in
+      p.p_state <- `Settled;
+      Hashtbl.remove t.pending p.p_seq;
+      if held_slot then begin
+        t.in_flight <- t.in_flight - 1;
+        Metrics.set t.pipeline_depth (float_of_int t.in_flight)
+      end;
+      span t p ~ok:(Result.is_ok result);
+      p.p_on_result result;
+      if held_slot then pump_backlog t
+    end
+
+  and pump_backlog t =
+    while t.in_flight < t.cfg.window && not (Queue.is_empty t.backlog) do
+      let p = Queue.pop t.backlog in
+      if p.p_state = `Queued then start_pend t p
+    done
+
+  and start_pend t p =
+    p.p_state <- `In_flight;
+    if not p.p_oob then begin
+      t.in_flight <- t.in_flight + 1;
+      Metrics.set t.pipeline_depth (float_of_int t.in_flight)
+    end;
+    send_attempt t p ~attempt:0
+
   (* One attempt: (maybe) put the request on the wire, and arm the retry
      timer. Retries reuse the seq — the agent's replay cache depends on
-     it — with exponentially backed-off timeouts. [attempts] records how
-     many attempts the call made, for its trace span. *)
-  let rec attempt_call t cell ~attempts ~seq ~attempt request =
-    let payload = Rpc.encode (Rpc.Request { seq; request }) in
-    transmit t ~seq ~attempt request (Dgram.v ~src:t.local ~dst:t.remote payload);
-    Engine.schedule t.engine ~after:(backoff_ns t attempt) (fun () ->
-        match !cell with
-        | Waiting ->
-            if attempt >= t.cfg.max_retries then begin
-              Metrics.incr t.failures;
-              cell := Gave_up
-            end
+     it — with exponentially backed-off timeouts. *)
+  and send_attempt t p ~attempt =
+    let payload = Rpc.encode (Rpc.Request { seq = p.p_seq; request = p.p_request }) in
+    transmit t ~seq:p.p_seq ~attempt p.p_request
+      (Dgram.v ~src:t.local ~dst:t.remote payload);
+    Engine.schedule t.engine
+      ~after:(backoff_ns t ~base:p.p_timeout_ns attempt)
+      (fun () ->
+        if p.p_state = `In_flight then
+          if attempt >= p.p_max_retries then
+            if p.p_max_retries = 0 then
+              (* single shot (the probe lane): a missed reply is a data
+                 point, not a failure worth the retry ladder *)
+              settle t p (Error `Timeout)
             else begin
-              Metrics.incr t.retries;
-              incr attempts;
-              attempt_call t cell ~attempts ~seq ~attempt:(attempt + 1) request
+              Metrics.incr t.failures;
+              settle t p (Error (`Gave_up p.p_attempts))
             end
-        | Got _ | Gave_up -> ())
+          else begin
+            Metrics.incr t.retries;
+            p.p_attempts <- p.p_attempts + 1;
+            send_attempt t p ~attempt:(attempt + 1)
+          end)
+
+  let on_reply t (dgram : Dgram.t) =
+    match Rpc.decode dgram.payload with
+    | exception Rpc.Decode_error _ -> Metrics.incr t.stale_replies
+    | Rpc.Request _ -> Metrics.incr t.stale_replies
+    | Rpc.Reply { seq; reply } -> (
+        match Hashtbl.find_opt t.pending seq with
+        | Some p when p.p_state = `In_flight ->
+            Metrics.incr t.replies_received;
+            settle t p (Ok reply)
+        | Some _ | None ->
+            (* duplicate or post-timeout reply; the call already settled *)
+            Metrics.incr t.stale_replies)
+
+  let connect engine rng ?(config = default) ?(label = "ctl") ~local ~remote server =
+    if config.window < 1 then invalid_arg "Rpc_transport.Client.connect: window < 1";
+    let channel =
+      Control_channel.create engine rng ~fwd:config.link ~rev:config.link ()
+    in
+    let labels = [ ("client", label) ] in
+    let counter help name = Metrics.counter ~labels ~help name in
+    let t =
+      {
+        engine;
+        cfg = config;
+        local;
+        remote;
+        label;
+        channel;
+        pending = Hashtbl.create 8;
+        backlog = Queue.create ();
+        in_flight = 0;
+        request_fault = None;
+        next_seq = 0;
+        calls = counter "RPC calls issued" "scallop_rpc_calls";
+        wire_requests =
+          counter "request datagrams put on the wire (retries/dups included)"
+            "scallop_rpc_wire_requests";
+        retries = counter "retransmissions after a timeout" "scallop_rpc_retries";
+        replies_received = counter "replies that settled a call" "scallop_rpc_replies";
+        stale_replies =
+          counter "late/duplicate replies for settled calls" "scallop_rpc_stale_replies";
+        failures = counter "calls that exhausted every retry" "scallop_rpc_failures";
+        batch_flushes =
+          counter "Batch requests submitted (one per controller buffer flush)"
+            "scallop_rpc_batch_flushes";
+        batched_ops_c =
+          counter "ops carried inside Batch requests" "scallop_rpc_batched_ops";
+        batch_size =
+          Metrics.histogram ~labels ~help:"ops per Batch request"
+            ~bounds:(Scallop_util.Stats.Histogram.log_bounds ~lo:1.0 ~hi:1000.0 ~per_decade:5)
+            "scallop_rpc_batch_size";
+        pipeline_depth =
+          Metrics.gauge ~labels ~help:"window-occupying requests currently in flight"
+            "scallop_rpc_batch_pipeline_depth";
+      }
+    in
+    Control_channel.set_fwd_sink channel (fun dgram ->
+        Server.deliver server ~reply_via:(Control_channel.send_rev channel) dgram);
+    Control_channel.set_rev_sink channel (fun dgram -> on_reply t dgram);
+    t
+
+  let set_request_fault t f = t.request_fault <- f
+
+  (* The unified asynchronous entry point. A submission takes a window
+     slot and goes on the wire immediately when fewer than [window]
+     (non-OOB) submissions are in flight; otherwise it waits its turn in
+     the backlog — in-flight pipelining up to the window. [oob] bypasses
+     the window entirely (the heartbeat lane: a probe must not starve
+     behind a stuck pipeline). Note that under loss the server can
+     execute pipelined requests out of submission order (an earlier
+     request's retransmit can land after a later request); callers that
+     need ordering either keep one submission in flight or put the
+     ordered ops inside a single [Rpc.Batch]. *)
+  let submit t ?(oob = false) ?max_retries ?timeout_ns request ~on_result =
+    Metrics.incr t.calls;
+    (match request with
+    | Rpc.Batch ops ->
+        Metrics.incr t.batch_flushes;
+        let n = List.length ops in
+        Metrics.add t.batched_ops_c n;
+        Scallop_util.Stats.Histogram.observe t.batch_size (float_of_int n)
+    | _ -> ());
+    let seq = t.next_seq in
+    t.next_seq <- seq + 1;
+    let p =
+      {
+        p_seq = seq;
+        p_request = request;
+        p_max_retries = Option.value max_retries ~default:t.cfg.max_retries;
+        p_timeout_ns = Option.value timeout_ns ~default:t.cfg.timeout_ns;
+        p_oob = oob;
+        p_start_ns = Engine.now t.engine;
+        p_attempts = 1;
+        p_state = `Queued;
+        p_on_result = on_result;
+      }
+    in
+    Hashtbl.replace t.pending seq p;
+    if oob || t.in_flight < t.cfg.window then start_pend t p
+    else Queue.push p t.backlog;
+    seq
 
   (* Block (in simulation terms) until the reply lands: pump the engine
      one event at a time, which lets the rest of the simulated world —
@@ -328,53 +446,27 @@ module Client = struct
      flight. With the ideal default link the reply arrives at the same
      instant and no virtual time passes. *)
   let call_seq t request =
-    Metrics.incr t.calls;
-    let seq = t.next_seq in
-    t.next_seq <- seq + 1;
-    let cell = ref Waiting in
-    let attempts = ref 1 in
-    let start_ns = Engine.now t.engine in
-    (* one complete span per call, stamped whether it settled or timed
-       out — retries stay inside the span rather than becoming events *)
-    let span ~ok =
-      if Trace.enabled Trace.Rpc then
-        Trace.complete ~ts:start_ns
-          ~dur:(Engine.now t.engine - start_ns)
-          ~cat:"rpc"
-          (Rpc.request_name request)
-          ~args:
-            [
-              ("client", Trace.S t.label);
-              ("seq", Trace.I seq);
-              ("attempts", Trace.I !attempts);
-              ("ok", Trace.S (if ok then "true" else "false"));
-            ]
-    in
-    Hashtbl.replace t.pending seq (Sync cell);
-    attempt_call t cell ~attempts ~seq ~attempt:0 request;
-    let give_up err =
-      Hashtbl.remove t.pending seq;
-      span ~ok:false;
-      (Error err, seq)
-    in
+    let cell = ref None in
+    let seq = submit t request ~on_result:(fun r -> cell := Some r) in
     let rec pump () =
       match !cell with
-      | Got reply ->
-          Hashtbl.remove t.pending seq;
-          span ~ok:true;
-          (Ok reply, seq)
-      | Gave_up -> give_up (`Gave_up !attempts)
-      | Waiting ->
+      | Some r -> (r, seq)
+      | None ->
           if Engine.step t.engine then pump ()
-          else
+          else begin
             (* the world ran dry while the reply (or its retry timer) was
                still outstanding — nothing can settle this call anymore *)
-            give_up `Timeout
+            (match Hashtbl.find_opt t.pending seq with
+            | Some p -> settle t p (Error `Timeout)
+            | None -> ());
+            match !cell with Some r -> (r, seq) | None -> (Error `Timeout, seq)
+          end
     in
     pump ()
 
   let call t request = fst (call_seq t request)
 
+  (* the exception face of [call]: a thin wrapper over the typed result *)
   let call_exn t request =
     match call_seq t request with
     | Ok reply, _ -> reply
@@ -384,44 +476,14 @@ module Client = struct
         in
         raise (Timed_out { op = Rpc.request_name request; seq; attempts })
 
-  (* One shot, no retries, never blocks: the heartbeat primitive. A
-     probe that gets no reply within [timeout_ns] is a data point (a
-     missed beat), not a failure worth the full retry ladder. *)
+  (* One shot, no retries, never blocks: the heartbeat primitive as a
+     special case of [submit] — out of band (window-exempt) with an
+     empty retry ladder. *)
   let probe t ?timeout_ns request ~on_result =
-    Metrics.incr t.calls;
-    let seq = t.next_seq in
-    t.next_seq <- seq + 1;
-    let timeout =
-      match timeout_ns with Some ns -> ns | None -> t.cfg.timeout_ns
-    in
-    let start_ns = Engine.now t.engine in
-    let span ~ok =
-      if Trace.enabled Trace.Rpc then
-        Trace.complete ~ts:start_ns
-          ~dur:(Engine.now t.engine - start_ns)
-          ~cat:"rpc"
-          (Rpc.request_name request)
-          ~args:
-            [
-              ("client", Trace.S t.label);
-              ("seq", Trace.I seq);
-              ("attempts", Trace.I 1);
-              ("ok", Trace.S (if ok then "true" else "false"));
-            ]
-    in
-    Hashtbl.replace t.pending seq
-      (Async
-         (fun result ->
-           span ~ok:(Result.is_ok result);
-           on_result result));
-    let payload = Rpc.encode (Rpc.Request { seq; request }) in
-    transmit t ~seq ~attempt:0 request (Dgram.v ~src:t.local ~dst:t.remote payload);
-    Engine.schedule t.engine ~after:timeout (fun () ->
-        match Hashtbl.find_opt t.pending seq with
-        | Some (Async k) ->
-            Hashtbl.remove t.pending seq;
-            k (Error `Timeout)
-        | Some (Sync _) | None -> ())
+    ignore (submit t ~oob:true ~max_retries:0 ?timeout_ns request ~on_result)
+
+  let in_flight t = t.in_flight
+  let backlog_depth t = Queue.length t.backlog
 
   let channel t = t.channel
   let request_link t = Control_channel.fwd_link t.channel
@@ -435,5 +497,7 @@ module Client = struct
       replies_received = Metrics.value t.replies_received;
       stale_replies = Metrics.value t.stale_replies;
       failures = Metrics.value t.failures;
+      batches = Metrics.value t.batch_flushes;
+      batched_ops = Metrics.value t.batched_ops_c;
     }
 end

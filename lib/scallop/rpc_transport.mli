@@ -25,11 +25,15 @@ type config = {
   max_retries : int;  (** retransmissions after the first attempt *)
   backoff : float;  (** timeout multiplier per retry *)
   max_backoff_ns : int;  (** backoff ceiling *)
+  window : int;
+      (** in-flight pipelining limit for {!Client.submit}: submissions
+          beyond this many outstanding requests wait in a backlog queue
+          until a slot frees (≥ 1; probes are exempt) *)
 }
 
 val default : config
 (** Ideal link (zero latency/loss, infinite rate), 250 ms initial
-    timeout, 6 retries, 2x backoff capped at 2 s. *)
+    timeout, 6 retries, 2x backoff capped at 2 s, window 8. *)
 
 val degraded : ?loss:float -> rtt_ns:int -> unit -> config
 (** [default] with the given round-trip propagation and iid loss on
@@ -113,27 +117,61 @@ module Client : sig
       the metrics registry (label [client="..."] on the
       [scallop_rpc_*] series) and in its trace spans. *)
 
+  val submit :
+    t ->
+    ?oob:bool ->
+    ?max_retries:int ->
+    ?timeout_ns:int ->
+    Rpc.request ->
+    on_result:((Rpc.reply, error) result -> unit) ->
+    int
+  (** The unified asynchronous entry point every other call shape is
+      built on; returns the submission's sequence number. The request
+      goes on the wire immediately while fewer than [window]
+      submissions are outstanding, and waits in a FIFO backlog
+      otherwise — in-flight pipelining up to the window. [on_result]
+      fires exactly once, from the reply event or after the retry
+      ladder ([max_retries], default from config) expires — with
+      [Error (`Gave_up n)], or [Error `Timeout] when [max_retries] is
+      [0] (the single-shot probe semantics). [oob] (default false)
+      bypasses the window — the heartbeat lane, so a probe is never
+      starved behind a stuck pipeline.
+
+      Ordering caveat: under loss, pipelined submissions can execute on
+      the server out of submission order (an early request's retransmit
+      may land after a later request). Callers needing server-side
+      order keep one submission in flight (as the blocking {!call}
+      does) or ship the ordered ops inside one [Rpc.Batch]. *)
+
   val call : t -> Rpc.request -> (Rpc.reply, error) result
-  (** Send, retry on timeout, return the (possibly replayed) reply, or
+  (** Blocking face of {!submit}: pumps the engine until its own
+      submission settles. Returns the (possibly replayed) reply, or
       [Error (`Gave_up n)] once [max_retries] retransmissions all
       expire — never raises, so the controller can treat an
       unreachable agent as a state transition rather than an
-      exception. When tracing is at level [Rpc] or above, each call
-      emits one complete span (category ["rpc"], named after the
-      request) whose duration covers every retry, with
+      exception. When tracing is at level [Rpc] or above, each
+      submission emits one complete span (category ["rpc"], named
+      after the request) whose duration covers every retry, with
       [seq]/[attempts]/[ok] args. *)
 
   val call_exn : t -> Rpc.request -> Rpc.reply
-  (** [call] for callers without a failure detector.
+  (** Thin wrapper over the typed-result {!call} for callers without a
+      failure detector (CLI, tests).
       @raise Timed_out on any [Error]. *)
 
   val probe : t -> ?timeout_ns:int -> Rpc.request -> on_result:((Rpc.reply, error) result -> unit) -> unit
-  (** Single attempt, no retries, no blocking: puts the request on the
-      wire and returns; [on_result] fires from the reply event, or
-      with [Error `Timeout] after [timeout_ns] (default: the config's
+  (** [submit ~oob:true ~max_retries:0]: single attempt, window-exempt,
+      never blocks; [on_result] fires from the reply event, or with
+      [Error `Timeout] after [timeout_ns] (default: the config's
       first-attempt timeout). The heartbeat primitive — a missed probe
       is a data point for the failure detector, not a call worth the
       retry ladder. *)
+
+  val in_flight : t -> int
+  (** Window-occupying submissions currently on the wire. *)
+
+  val backlog_depth : t -> int
+  (** Submissions waiting for a window slot. *)
 
   val set_request_fault :
     t -> (seq:int -> attempt:int -> Rpc.request -> fault) option -> unit
@@ -153,6 +191,8 @@ module Client : sig
     replies_received : int;
     stale_replies : int;  (** late/duplicate replies for settled calls *)
     failures : int;  (** calls that exhausted every retry *)
+    batches : int;  (** [Rpc.Batch] requests submitted *)
+    batched_ops : int;  (** ops carried inside those batches *)
   }
 
   val stats : t -> stats

@@ -465,8 +465,19 @@ let wipe t =
   Hashtbl.reset t.leg_index;
   Dataplane.reset t.dp
 
-let dispatch t (req : Rpc.request) : Rpc.reply =
+let rec dispatch t (req : Rpc.request) : Rpc.reply =
   match req with
+  | Rpc.Batch ops ->
+      (* ops run in list order; a member's failure becomes its [Error]
+         slot in the reply list and the rest still execute, so partial
+         failure is visible per-op instead of poisoning the batch *)
+      Rpc.Batch_reply
+        (List.map
+           (fun op ->
+             match dispatch t op with
+             | reply -> reply
+             | exception Invalid_argument msg -> Rpc.Error msg)
+           ops)
   | Rpc.New_meeting { two_party } ->
       Rpc.Meeting_created { meeting = new_meeting t ~two_party }
   | Rpc.Register_participant { meeting; participant; egress_port; sends } ->

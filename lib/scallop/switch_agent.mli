@@ -106,7 +106,10 @@ val set_pair_target :
 val dispatch : t -> Rpc.request -> Rpc.reply
 (** Execute one control-plane request against agent state. Normally
     invoked by {!rpc_server} for each message off the wire; exposed for
-    tests that drive the agent without a transport. *)
+    tests that drive the agent without a transport. An [Rpc.Batch] runs
+    its ops in list order and answers with an [Rpc.Batch_reply] holding
+    one reply per op; a member that fails contributes an [Rpc.Error]
+    slot while the remaining ops still execute. *)
 
 val rpc_server : t -> Rpc_transport.Server.t
 (** The agent's control-plane endpoint, created with the agent. The

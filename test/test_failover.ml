@@ -256,10 +256,11 @@ let plan_gen =
 let plan_arb = QCheck.make ~print:plan_to_string plan_gen
 
 (* Replay [plan.ops] at fixed virtual times against a fresh 3-party
-   meeting; when [crash] is set the switch power-cycles mid-sequence.
-   Returns the canonical agent shadow after everything settles. *)
-let execute plan ~crash =
-  let stack = Common.make_scallop ~seed:11 () in
+   meeting; when [crash] is set the switch power-cycles mid-sequence,
+   and [batch] selects the controller's batched wire mode. Returns the
+   canonical agent shadow after everything settles. *)
+let execute ?(batch = false) plan ~crash =
+  let stack = Common.make_scallop ~seed:11 ~batch () in
   let mid, parts = Common.scallop_meeting stack ~participants:3 ~senders:2 () in
   C.start_health stack.controller;
   let live = ref (List.map fst parts) in
@@ -366,6 +367,40 @@ let resync_equiv_prop =
           (canon_to_string crashed) (canon_to_string baseline);
       crashed = baseline)
 
+(* The strongest form of the batching-equivalence claim: a batched run
+   whose switch crashes mid-sequence (possibly mid-batch — buffered ops
+   requeue through the deferred path and resync replays from intent)
+   must land on the same canonical agent state as a per-op run that
+   never crashed at all. *)
+(* Regression (found by the property above): a batched join whose flush
+   straddles the switch's power-cycle. The heartbeat's first pong after
+   the restart used to trigger the resync while the join's batch was
+   still retrying; the replay recreated the meeting from intent and the
+   batch's retransmit then landed on the healed agent and re-executed —
+   duplicating the member and its legs. The heal now waits for a quiet
+   channel. *)
+let straddling_flush_does_not_double_execute () =
+  let plan =
+    { ops = [ Target (2, 5, 0); Target (9, 3, 2); Join false ];
+      crash_ms = 2325; down_ms = 1064 }
+  in
+  let batched_crashed = execute plan ~crash:true ~batch:true in
+  let baseline = execute plan ~crash:false in
+  if batched_crashed <> baseline then
+    Alcotest.failf "batched crashed run diverged:\n%s\n--- baseline:\n%s"
+      (canon_to_string batched_crashed) (canon_to_string baseline)
+
+let batched_equiv_prop =
+  QCheck.Test.make ~count:3 ~name:"batched + crash mid-batch == per-op baseline"
+    plan_arb
+    (fun plan ->
+      let batched_crashed = execute plan ~crash:true ~batch:true in
+      let baseline = execute plan ~crash:false in
+      if batched_crashed <> baseline then
+        Printf.printf "--- batched crashed run:\n%s\n--- per-op baseline:\n%s\n"
+          (canon_to_string batched_crashed) (canon_to_string baseline);
+      batched_crashed = baseline)
+
 let () =
   Alcotest.run "failover"
     [
@@ -379,7 +414,12 @@ let () =
             overflow_forces_resync;
           Alcotest.test_case "reconcile repairs live drift" `Quick
             reconcile_repairs_drift;
+          Alcotest.test_case "straddling flush never double-executes" `Quick
+            straddling_flush_does_not_double_execute;
         ] );
       ( "equivalence",
-        [ QCheck_alcotest.to_alcotest ~verbose:false resync_equiv_prop ] );
+        [
+          QCheck_alcotest.to_alcotest ~verbose:false resync_equiv_prop;
+          QCheck_alcotest.to_alcotest ~verbose:false batched_equiv_prop;
+        ] );
     ]

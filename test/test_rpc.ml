@@ -166,7 +166,7 @@ let gives_up_after_max_retries () =
 
 let fast = { Link.default with rate_bps = infinity; propagation_ns = 100_000 }
 
-let make_stack ?control ~seed () =
+let make_stack ?control ?batch ~seed () =
   let engine = Engine.create () in
   let rng = Rng.create seed in
   let network = Network.create engine (Rng.split rng) in
@@ -175,7 +175,7 @@ let make_stack ?control ~seed () =
   let dp = Scallop.Dataplane.create engine network ~ip () in
   let agent = Scallop.Switch_agent.create engine dp () in
   let controller =
-    C.create engine network (Rng.split rng) ~agents:[ (agent, dp) ] ?control ()
+    C.create engine network (Rng.split rng) ~agents:[ (agent, dp) ] ?control ?batch ()
   in
   (engine, network, rng, agent, controller)
 
@@ -245,6 +245,196 @@ let dead_channel_surfaces_as_controller_error () =
        false
      with T.Timed_out _ -> true)
 
+(* --- QCheck: the whole vocabulary round-trips, batches included ------------ *)
+
+let gen_target =
+  QCheck.Gen.oneofl [ Av1.Dd.DT_7_5fps; Av1.Dd.DT_15fps; Av1.Dd.DT_30fps ]
+
+let gen_base_request =
+  let open QCheck.Gen in
+  let i = int_bound 100_000 in
+  oneof
+    [
+      map (fun two_party -> Rpc.New_meeting { two_party }) bool;
+      map
+        (fun ((meeting, participant), (egress_port, sends)) ->
+          Rpc.Register_participant { meeting; participant; egress_port; sends })
+        (pair (pair i i) (pair i bool));
+      map
+        (fun ((meeting, sender, port), (video_ssrc, audio_ssrc, full_bitrate), rend) ->
+          Rpc.Register_uplink
+            {
+              meeting; sender; port; video_ssrc; audio_ssrc; full_bitrate;
+              renditions = Array.of_list rend;
+            })
+        (triple (triple i i i) (triple i i i) (list_size (int_bound 3) (pair i i)));
+      map
+        (fun ((meeting, sender, up), (receiver, leg_port), ((ip, port), adaptive)) ->
+          Rpc.Register_leg
+            {
+              meeting; sender;
+              uplink_port = (if up = 0 then None else Some up);
+              receiver; leg_port;
+              dst = Addr.v ip port;
+              adaptive;
+            })
+        (triple (triple i i (int_bound 5)) (pair i i)
+           (pair (pair i (int_bound 65535)) bool));
+      map
+        (fun (meeting, participant) -> Rpc.Remove_participant { meeting; participant })
+        (pair i i);
+      map (fun (meeting, port) -> Rpc.Unregister_uplink { meeting; port }) (pair i i);
+      map
+        (fun ((meeting, sender, receiver), target) ->
+          Rpc.Set_pair_target { meeting; sender; receiver; target })
+        (pair (triple i i i) gen_target);
+      return Rpc.Ping;
+      return Rpc.Reset;
+    ]
+
+(* one level of nesting is enough to exercise the recursive frame codec;
+   empty batches are generated on purpose *)
+let gen_request =
+  let open QCheck.Gen in
+  let batch g = map (fun ops -> Rpc.Batch ops) (list_size (int_bound 4) g) in
+  oneof
+    [
+      gen_base_request;
+      batch gen_base_request;
+      batch (oneof [ gen_base_request; batch gen_base_request ]);
+    ]
+
+(* error text is free-form: spaces, empty strings, even leading/trailing
+   runs of spaces must survive the space-separated wire format *)
+let gen_error_msg =
+  QCheck.Gen.(
+    string_size ~gen:(oneofl [ 'a'; 'e'; 'r'; ' '; ' '; '0'; '-'; ':' ])
+      (int_bound 16))
+
+let gen_base_reply =
+  let open QCheck.Gen in
+  oneof
+    [
+      map (fun meeting -> Rpc.Meeting_created { meeting }) (int_bound 100_000);
+      return Rpc.Ack;
+      map (fun epoch -> Rpc.Pong { epoch }) (int_bound 1000);
+      map (fun msg -> Rpc.Error msg) gen_error_msg;
+    ]
+
+let gen_reply =
+  let open QCheck.Gen in
+  let batch g = map (fun rs -> Rpc.Batch_reply rs) (list_size (int_bound 4) g) in
+  oneof
+    [
+      gen_base_reply;
+      batch gen_base_reply;
+      batch (oneof [ gen_base_reply; batch gen_base_reply ]);
+    ]
+
+let request_roundtrip_prop =
+  QCheck.Test.make ~count:500 ~name:"request roundtrip (incl. nested batches)"
+    (QCheck.make
+       ~print:(fun request ->
+         Bytes.to_string (Rpc.encode (Rpc.Request { seq = 1; request })))
+       gen_request)
+    (fun request ->
+      let msg = Rpc.Request { seq = 1; request } in
+      Rpc.decode (Rpc.encode msg) = msg)
+
+let reply_roundtrip_prop =
+  QCheck.Test.make ~count:500
+    ~name:"reply roundtrip (incl. batch replies and spaced errors)"
+    (QCheck.make
+       ~print:(fun reply -> Bytes.to_string (Rpc.encode (Rpc.Reply { seq = 2; reply })))
+       gen_reply)
+    (fun reply ->
+      let msg = Rpc.Reply { seq = 2; reply } in
+      Rpc.decode (Rpc.encode msg) = msg)
+
+(* --- batch dispatch on the agent ------------------------------------------- *)
+
+let batch_executes_in_order_with_error_isolation () =
+  let _, _, _, agent, _ = make_stack ~seed:21 () in
+  let reg participant meeting =
+    Rpc.Register_participant { meeting; participant; egress_port = 140 + participant; sends = false }
+  in
+  (* op 3 targets a meeting that does not exist: its slot must carry the
+     error while ops 1-2 and 4 still execute, in list order *)
+  match
+    Scallop.Switch_agent.dispatch agent
+      (Rpc.Batch [ Rpc.New_meeting { two_party = false }; reg 1 0; reg 2 777; reg 3 0 ])
+  with
+  | Rpc.Batch_reply
+      [ Rpc.Meeting_created { meeting }; Rpc.Ack; Rpc.Error _; Rpc.Ack ] ->
+      Alcotest.(check (list int))
+        "ops around the failed slot landed" [ 1; 3 ]
+        (List.sort compare (Scallop.Switch_agent.meeting_members agent meeting))
+  | _ -> Alcotest.fail "expected [Meeting_created; Ack; Error; Ack]"
+
+(* --- pipelining: submit fills the window, FIFO backlog drains -------------- *)
+
+let pipelining_respects_window () =
+  let engine, _, client, executed =
+    harness ~config:{ T.default with T.window = 3 } ()
+  in
+  let results = ref [] in
+  let seqs =
+    List.init 8 (fun i ->
+        T.Client.submit client
+          (Rpc.Remove_participant { meeting = 0; participant = i })
+          ~on_result:(fun r -> results := (i, r) :: !results))
+  in
+  Alcotest.(check int) "distinct seqs" 8 (List.length (List.sort_uniq compare seqs));
+  Alcotest.(check int) "window full" 3 (T.Client.in_flight client);
+  Alcotest.(check int) "rest backlogged" 5 (T.Client.backlog_depth client);
+  while Engine.step engine do () done;
+  Alcotest.(check int) "all executed" 8 !executed;
+  Alcotest.(check int) "in-flight drained" 0 (T.Client.in_flight client);
+  Alcotest.(check int) "backlog drained" 0 (T.Client.backlog_depth client);
+  let settled = List.rev !results in
+  Alcotest.(check (list int))
+    "settled in submission order" [ 0; 1; 2; 3; 4; 5; 6; 7 ]
+    (List.map fst settled);
+  List.iter
+    (fun (_, r) -> Alcotest.(check bool) "acked" true (r = Ok Rpc.Ack))
+    settled
+
+(* --- QCheck-adjacent equivalence: batched controller == per-op ------------- *)
+
+let churn stack =
+  let _, _, _, _, controller = stack in
+  let mid, pids = join_n stack 4 in
+  C.start_screen_share controller (List.hd pids);
+  C.set_pair_target controller ~sender:(List.hd pids) ~receiver:(List.nth pids 2)
+    Av1.Dd.DT_15fps;
+  C.stop_screen_share controller (List.hd pids);
+  C.leave controller (List.nth pids 3);
+  mid
+
+let batched_churn_matches_per_op () =
+  let ((_, _, _, agent_a, ctrl_a) as per_op) = make_stack ~seed:15 ~control:lossy_control () in
+  let mid_a = churn per_op in
+  let ((_, _, _, agent_b, ctrl_b) as batched) =
+    make_stack ~seed:15 ~control:lossy_control ~batch:true ()
+  in
+  let mid_b = churn batched in
+  let bs = T.Client.stats (C.control_channel ctrl_b 0) in
+  Alcotest.(check bool) "batches flowed" true (bs.batches > 0);
+  Alcotest.(check bool) "each batch carried >1 op on average" true
+    (bs.batched_ops > bs.batches);
+  Alcotest.(check bool) "batching cut wire requests" true
+    ((C.stats ctrl_b).control_requests < (C.stats ctrl_a).control_requests);
+  Alcotest.(check int) "no failures either way" 0
+    ((C.stats ctrl_a).control_failures + (C.stats ctrl_b).control_failures);
+  let amid_a = C.agent_meeting_id ctrl_a mid_a in
+  let amid_b = C.agent_meeting_id ctrl_b mid_b in
+  Alcotest.(check (list int)) "same members"
+    (Scallop.Switch_agent.meeting_members agent_a amid_a)
+    (Scallop.Switch_agent.meeting_members agent_b amid_b);
+  Alcotest.(check bool) "same design" true
+    (Scallop.Switch_agent.meeting_design agent_a amid_a
+    = Scallop.Switch_agent.meeting_design agent_b amid_b)
+
 let () =
   Alcotest.run "rpc"
     [
@@ -252,6 +442,8 @@ let () =
         [
           Alcotest.test_case "roundtrip" `Quick codec_roundtrip;
           Alcotest.test_case "garbage" `Quick codec_rejects_garbage;
+          QCheck_alcotest.to_alcotest ~verbose:false request_roundtrip_prop;
+          QCheck_alcotest.to_alcotest ~verbose:false reply_roundtrip_prop;
         ] );
       ( "transport",
         [
@@ -259,6 +451,14 @@ let () =
           Alcotest.test_case "duplicates execute once" `Quick duplicates_execute_once;
           Alcotest.test_case "delayed reply" `Quick delayed_reply_is_retried_then_reconciled;
           Alcotest.test_case "give up" `Quick gives_up_after_max_retries;
+          Alcotest.test_case "pipelining window" `Quick pipelining_respects_window;
+        ] );
+      ( "batch",
+        [
+          Alcotest.test_case "in-order with error isolation" `Quick
+            batch_executes_in_order_with_error_isolation;
+          Alcotest.test_case "batched churn == per-op churn" `Quick
+            batched_churn_matches_per_op;
         ] );
       ( "controller",
         [
