@@ -171,11 +171,31 @@ let simulate_cmd =
                    spans only), $(b,packet) (adds per-packet causal events), \
                    $(b,verbose) (adds suppressed replicas). Default: packet.")
   in
+  let mc =
+    Arg.(value & flag
+         & info [ "mc" ]
+             ~doc:"Attach the temporal protocol checker to the run: every \
+                   control-plane trace event is evaluated online against the \
+                   $(b,Scallop_mc) rule catalogue (exactly-once, epoch \
+                   monotonicity, batch order, quiet-heal, ...) and any \
+                   violation fails the command.")
+  in
   let run participants senders seconds downlink_mbps ctrl_rtt_ms ctrl_loss ctrl_batch
-      ctrl_window check paranoid chaos chaos_seed trace_out trace_level =
+      ctrl_window check paranoid chaos chaos_seed trace_out trace_level mc =
    try
     let senders = Option.value senders ~default:participants in
     if trace_out <> None then Scallop_obs.Trace.set_level trace_level;
+    let checker =
+      if mc then begin
+        if not (Scallop_obs.Trace.enabled Scallop_obs.Trace.Rpc) then
+          Scallop_obs.Trace.set_level Scallop_obs.Trace.Rpc;
+        Scallop_obs.Trace.reset ();
+        let c = Scallop_mc.Temporal.create (Scallop_mc.Rules.all ()) in
+        Scallop_mc.Temporal.attach c;
+        Some c
+      end
+      else None
+    in
     let control =
       let base =
         Scallop.Rpc_transport.degraded ~loss:ctrl_loss
@@ -312,27 +332,52 @@ let simulate_cmd =
           path
           (Scallop_obs.Trace.dropped ()))
       trace_out;
-    if check then begin
-      let findings = Scallop_analysis.verify stack.Experiments.Common.controller in
-      let errors = Scallop_analysis.errors findings in
-      if findings = [] then begin
-        Printf.printf "state check: clean\n";
-        Ok ()
-      end
-      else begin
-        print_endline (Scallop_analysis.report findings);
-        if errors = [] then begin
-          Printf.printf "state check: %d warning(s), no errors\n" (List.length findings);
+    let mc_result =
+      match checker with
+      | None -> Ok ()
+      | Some c ->
+          Scallop_mc.Temporal.detach ();
+          let now = Netsim.Engine.now stack.Experiments.Common.engine in
+          let violations = Scallop_mc.Temporal.finish ~now c in
+          if violations = [] then begin
+            Printf.printf "mc: %d trace event(s) checked, no protocol violations\n"
+              (Scallop_mc.Temporal.events_seen c);
+            Ok ()
+          end
+          else begin
+            List.iter
+              (fun v -> Format.printf "mc: %a@." Scallop_mc.Temporal.pp_violation v)
+              violations;
+            Error
+              (`Msg
+                (Printf.sprintf "mc: %d protocol violation(s)"
+                   (List.length violations)))
+          end
+    in
+    let check_result =
+      if check then begin
+        let findings = Scallop_analysis.verify stack.Experiments.Common.controller in
+        let errors = Scallop_analysis.errors findings in
+        if findings = [] then begin
+          Printf.printf "state check: clean\n";
           Ok ()
         end
-        else
-          Error
-            (`Msg
-              (Printf.sprintf "state check: %d invariant violation(s)"
-                 (List.length errors)))
+        else begin
+          print_endline (Scallop_analysis.report findings);
+          if errors = [] then begin
+            Printf.printf "state check: %d warning(s), no errors\n" (List.length findings);
+            Ok ()
+          end
+          else
+            Error
+              (`Msg
+                (Printf.sprintf "state check: %d invariant violation(s)"
+                   (List.length errors)))
+        end
       end
-    end
-    else Ok ()
+      else Ok ()
+    in
+    (match mc_result with Error _ as e -> e | Ok () -> check_result)
    with Scallop.Rpc_transport.Timed_out { op; attempts; _ } ->
     Error
       (`Msg
@@ -345,7 +390,7 @@ let simulate_cmd =
     Term.(term_result
             (const run $ participants $ senders $ seconds $ downlink_mbps $ ctrl_rtt_ms
              $ ctrl_loss $ ctrl_batch $ ctrl_window $ check $ paranoid $ chaos
-             $ chaos_seed $ trace_out $ trace_level))
+             $ chaos_seed $ trace_out $ trace_level $ mc))
 
 let check_cmd =
   let ctrl_rtt_ms =
@@ -357,7 +402,14 @@ let check_cmd =
          & info [ "ctrl-loss" ] ~doc:"Control channel iid loss probability per direction.")
   in
   let seed = Arg.(value & opt int 42 & info [ "seed" ] ~doc:"Scenario seed.") in
-  let run ctrl_rtt_ms ctrl_loss seed =
+  let json =
+    Arg.(value & flag
+         & info [ "json" ]
+             ~doc:"Emit one machine-readable JSON document (per-point findings, \
+                   error count, clean flag) instead of the human report. The \
+                   finding encoding is shared with $(b,explore).")
+  in
+  let run ctrl_rtt_ms ctrl_loss seed json =
     try
       let module Addr = Scallop_util.Addr in
       let module Rng = Scallop_util.Rng in
@@ -390,12 +442,16 @@ let check_cmd =
           (Webrtc.Client.default_config ~ip)
       in
       let total_errors = ref 0 in
+      let points = ref [] in
       let verify_point label =
         let findings = Scallop_analysis.verify controller in
         let errors = Scallop_analysis.errors findings in
-        Printf.printf "%-34s %d finding(s), %d error(s)\n" label (List.length findings)
-          (List.length errors);
-        if findings <> [] then print_endline (Scallop_analysis.report findings);
+        if json then points := (label, findings) :: !points
+        else begin
+          Printf.printf "%-34s %d finding(s), %d error(s)\n" label
+            (List.length findings) (List.length errors);
+          if findings <> [] then print_endline (Scallop_analysis.report findings)
+        end;
         total_errors := !total_errors + List.length errors
       in
       let run_for seconds =
@@ -429,12 +485,32 @@ let check_cmd =
       Scallop.Controller.leave controller p0;
       run_for 1.0;
       verify_point "after churn";
-      (* the registry-backed view of both switches (fast path, PRE cache,
-         agent and controller RPC counters), one sorted dump instead of a
-         bespoke printf per series *)
-      print_string (Scallop_obs.Metrics.dump ());
+      if json then begin
+        let module J = Scallop_mc.Mc_json in
+        print_endline
+          (J.obj
+             [
+               ( "points",
+                 J.arr
+                   (List.rev_map
+                      (fun (label, findings) ->
+                        J.obj
+                          [
+                            ("label", J.str label);
+                            ("findings", J.arr (List.map J.finding findings));
+                          ])
+                      !points) );
+               ("errors", J.int !total_errors);
+               ("clean", J.bool (!total_errors = 0));
+             ])
+      end
+      else
+        (* the registry-backed view of both switches (fast path, PRE cache,
+           agent and controller RPC counters), one sorted dump instead of a
+           bespoke printf per series *)
+        print_string (Scallop_obs.Metrics.dump ());
       if !total_errors = 0 then begin
-        Printf.printf "all state checks clean\n";
+        if not json then Printf.printf "all state checks clean\n";
         Ok ()
       end
       else
@@ -452,7 +528,7 @@ let check_cmd =
        ~doc:
          "Drive a cascaded meeting through churn and statically verify the \
           controller/agent/data-plane state invariants at every quiescent point.")
-    Term.(term_result (const run $ ctrl_rtt_ms $ ctrl_loss $ seed))
+    Term.(term_result (const run $ ctrl_rtt_ms $ ctrl_loss $ seed $ json))
 
 let metrics_cmd =
   let json =
@@ -559,10 +635,200 @@ let trace_cmd =
     (Cmd.info "trace" ~doc:"Synthesize the campus workload and dump its distributions.")
     Term.(const run $ meetings $ days $ seed $ csv)
 
+let explore_cmd =
+  let module Mc = Scallop_mc in
+  let mutations_conv =
+    Arg.enum
+      (List.map (fun m -> (Scallop.Mutation.name m, m)) Scallop.Mutation.all)
+  in
+  let mutate =
+    Arg.(value & opt_all mutations_conv []
+         & info [ "mutate" ] ~docv:"DEFECT"
+             ~doc:
+               (Printf.sprintf
+                  "Enable a seeded protocol defect for every explored schedule \
+                   (repeatable). One of: %s. The search is expected to find a \
+                   violating schedule — the mutation CI gate asserts it does."
+                  (String.concat ", "
+                     (List.map
+                        (fun m -> Printf.sprintf "$(b,%s)" (Scallop.Mutation.name m))
+                        Scallop.Mutation.all))))
+  in
+  let runs =
+    Arg.(value & opt int Mc.Explore.default_budget.Mc.Explore.b_max_runs
+         & info [ "runs" ] ~docv:"N" ~doc:"Schedule budget: simulations allowed.")
+  in
+  let depth =
+    Arg.(value & opt int Mc.Explore.default_budget.Mc.Explore.b_max_depth
+         & info [ "depth" ] ~docv:"N"
+             ~doc:"Deepest choice position the DFS may branch on.")
+  in
+  let replay =
+    Arg.(value & opt (some string) None
+         & info [ "replay" ] ~docv:"CHOICES"
+             ~doc:"Skip the search: run the single schedule pinned by this \
+                   comma-separated choice sequence (as printed for a \
+                   counterexample) and report its violations.")
+  in
+  let ties =
+    Arg.(value & flag
+         & info [ "ties" ]
+             ~doc:"Also branch on same-timestamp event permutations (the \
+                   engine's tie-break chooser) inside the choice window.")
+  in
+  let no_channel =
+    Arg.(value & flag
+         & info [ "no-channel" ]
+             ~doc:"Disable delivery-fate (deliver/delay/drop) choice points on \
+                   the control channel.")
+  in
+  let no_faults =
+    Arg.(value & flag
+         & info [ "no-faults" ]
+             ~doc:"Disable the crash/restart decision grid.")
+  in
+  let seed = Arg.(value & opt int 11 & info [ "seed" ] ~doc:"Simulation seed.") in
+  let json =
+    Arg.(value & flag
+         & info [ "json" ]
+             ~doc:"Emit the search result as one JSON document (finding \
+                   encoding shared with $(b,check --json)).")
+  in
+  let seq_out =
+    Arg.(value & opt (some string) None
+         & info [ "seq-out" ] ~docv:"FILE"
+             ~doc:"Write the counterexample's (or replayed schedule's) choice \
+                   sequence to $(docv) — the CI artifact that pins a failing \
+                   interleaving.")
+  in
+  let dump =
+    Arg.(value & flag
+         & info [ "dump" ]
+             ~doc:"With $(b,--replay): print every trace event as it happens \
+                   (timestamp, name, args) — the schedule's full timeline, for \
+                   debugging a counterexample.")
+  in
+  let run mutate runs depth replay ties no_channel no_faults seed json seq_out
+      dump =
+    let config =
+      {
+        Mc.Scenario.default with
+        Mc.Scenario.sc_seed = seed;
+        sc_mutations = mutate;
+        sc_ties = ties;
+        sc_channel = not no_channel;
+        sc_faults = not no_faults;
+      }
+    in
+    let budget =
+      {
+        Mc.Explore.default_budget with
+        Mc.Explore.b_max_runs = runs;
+        b_max_depth = depth;
+      }
+    in
+    let write_seq chosen =
+      Option.iter
+        (fun path ->
+          let oc = open_out path in
+          output_string oc (Mc.Choice.to_string chosen);
+          output_char oc '\n';
+          close_out oc)
+        seq_out
+    in
+    let report_outcome (o : Mc.Scenario.outcome) =
+      List.iter
+        (fun v -> Format.printf "violation: %a@." Mc.Temporal.pp_violation v)
+        o.Mc.Scenario.o_violations;
+      List.iter
+        (fun (f : Scallop_analysis.finding) ->
+          Format.printf "end-state: %a@." Scallop_analysis.pp_finding f)
+        o.Mc.Scenario.o_findings;
+      Printf.printf "choices: %s\n" (Mc.Choice.to_string o.Mc.Scenario.o_chosen)
+    in
+    match replay with
+    | Some seq ->
+        let forced =
+          try Mc.Choice.of_string seq
+          with Invalid_argument m -> failwith m
+        in
+        let on_event =
+          if dump then
+            Some
+              (fun (ev : Scallop_obs.Trace.event) ->
+                Printf.printf "%10dns %-14s %s\n" ev.Scallop_obs.Trace.ts
+                  ev.Scallop_obs.Trace.name
+                  (String.concat " "
+                     (List.map
+                        (fun (k, v) ->
+                          Printf.sprintf "%s=%s" k
+                            (match v with
+                            | Scallop_obs.Trace.S s -> s
+                            | Scallop_obs.Trace.I n -> string_of_int n))
+                        ev.Scallop_obs.Trace.args)))
+          else None
+        in
+        let o = Mc.Scenario.run ~config ?on_event ~forced () in
+        write_seq o.Mc.Scenario.o_chosen;
+        if json then print_endline (Mc.Mc_json.outcome o)
+        else begin
+          Printf.printf
+            "replayed %d choice point(s), %d trace event(s), end at %.3fs\n"
+            (List.length o.Mc.Scenario.o_log)
+            o.Mc.Scenario.o_events
+            (float_of_int o.Mc.Scenario.o_now /. 1e9);
+          report_outcome o
+        end;
+        if Mc.Scenario.failed o then
+          Error
+            (`Msg
+              (Printf.sprintf "replay: %d violation(s)"
+                 (List.length o.Mc.Scenario.o_violations)))
+        else Ok ()
+    | None -> (
+        let result = Mc.Explore.search_scenario ~budget ~config () in
+        let s = result.Mc.Explore.r_stats in
+        if json then print_endline (Mc.Mc_json.explore_report result)
+        else
+          Printf.printf
+            "explored %d schedule(s) (%d memo hit(s), %d pruned, %d distinct \
+             end state(s), deepest branch at choice %d)\n"
+            s.Mc.Explore.s_runs s.Mc.Explore.s_memo_hits s.Mc.Explore.s_pruned
+            s.Mc.Explore.s_states s.Mc.Explore.s_deepest;
+        match result.Mc.Explore.r_counterexample with
+        | None -> Ok ()
+        | Some o ->
+            write_seq o.Mc.Scenario.o_chosen;
+            if not json then begin
+              Printf.printf "counterexample found:\n";
+              report_outcome o
+            end;
+            Error
+              (`Msg
+                (Printf.sprintf
+                   "exploration found a violating schedule (%d violation(s)); \
+                    replay with --replay '%s'"
+                   (List.length o.Mc.Scenario.o_violations)
+                   (Mc.Choice.to_string o.Mc.Scenario.o_chosen))))
+  in
+  Cmd.v
+    (Cmd.info "explore"
+       ~doc:
+         "Systematically explore control-plane schedules (crash/restart timing, \
+          control-channel delivery fates, same-timestamp permutations) under a \
+          bounded budget, checking every run against the temporal protocol \
+          rules. Prints a replayable choice sequence for any violation found.")
+    Term.(term_result
+            (const run $ mutate $ runs $ depth $ replay $ ties $ no_channel
+             $ no_faults $ seed $ json $ seq_out $ dump))
+
 let () =
   let doc = "Scallop (SIGCOMM'25) reproduction: SDN-based selective forwarding unit" in
   let info = Cmd.info "scallop" ~version:"1.0.0" ~doc in
   exit
     (Cmd.eval
        (Cmd.group info
-          [ list_cmd; run_cmd; capacity_cmd; simulate_cmd; check_cmd; metrics_cmd; trace_cmd ]))
+          [
+            list_cmd; run_cmd; capacity_cmd; simulate_cmd; check_cmd; explore_cmd;
+            metrics_cmd; trace_cmd;
+          ]))

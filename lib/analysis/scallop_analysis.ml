@@ -961,6 +961,28 @@ let check ?(totals = R.tofino2) snap =
 
 let verify ?totals ctrl = check ?totals (snapshot ctrl)
 
+(* Structural hash of the pure-data projection of the snapshot triple —
+   live [Trees.t]/[Pre.t] handles and the resource program are excluded
+   (they are derived or carry closures). Two schedules converging to the
+   same controller intent + agent shadow + data-plane tables hash equal,
+   which is what the explorer's state-dedup pruning keys on. *)
+let state_hash snap =
+  let pure_switch sw =
+    ( sw.sw_index,
+      sw.sw_agent_meetings,
+      sw.sw_uplinks,
+      sw.sw_legs,
+      sw.sw_feedback,
+      sw.sw_stream_free,
+      sw.sw_stream_next,
+      sw.sw_l2_refs,
+      sw.sw_pre_state.ps_nodes,
+      sw.sw_pre_state.ps_trees,
+      sw.sw_pre_state.ps_l2_xids )
+  in
+  Hashtbl.hash_param 256 1024
+    (snap.snap_intent, List.map pure_switch snap.snap_switches)
+
 let assert_clean ?(what = "state verification") ctrl =
   match errors (verify ctrl) with
   | [] -> ()

@@ -145,6 +145,12 @@ val snapshot_switch :
 
 (** {1 Checking} *)
 
+val state_hash : t -> int
+(** Structural hash of the snapshot's pure-data projection (controller
+    intent, agent shadows, data-plane tables and PRE state; live handles
+    excluded). Schedules that converge to identical three-layer state
+    hash equal — the key for {!Scallop_mc}'s state-dedup pruning. *)
+
 val check : ?totals:Tofino.Resources.totals -> t -> finding list
 (** Run every invariant over the snapshot. [totals] overrides the chip
     budget for the resource re-audit (default {!Tofino.Resources.tofino2});

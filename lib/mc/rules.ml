@@ -1,0 +1,459 @@
+(* The control-plane protocol contract as data. Each rule is built fresh
+   per run (closures carry mutable state). Event vocabulary: see the
+   instrumentation in Rpc_transport.Server.deliver ("rpc_exec"),
+   Switch_agent ("member_add/del", "batch_*", "agent_crash/restart") and
+   Controller ("op_defer/op_drained/defer_drop/defer_discard",
+   "heal_begin/heal_done", "hb_*", "agent_dead").
+
+   Two namespaces identify agents: server-side events carry the
+   data-plane label ("sw0"), controller-side events carry the switch
+   index (0). No rule ever needs to join the two. *)
+
+open Temporal
+
+let req what = function
+  | Some v -> v
+  | None -> invalid_arg (Printf.sprintf "Rules: event missing %s arg" what)
+
+let agent_s ev = req "agent" (arg_s ev "agent")
+let agent_i ev = req "agent" (arg_i ev "agent")
+
+(* R1 — wire-level exactly-once: no (agent, client, seq) executes twice
+   with [replayed=false] within one agent epoch. Replays served from the
+   seq cache are fine; a cross-reboot re-execution is the agent-restart
+   model (the wipe discards the cache together with the state the op
+   acted on) and is judged by the effect rule instead. *)
+let exactly_once_wire () =
+  let restarts : (string, int) Hashtbl.t = Hashtbl.create 4 in
+  let seen : (string * string * int, int * int) Hashtbl.t = Hashtbl.create 64 in
+  make ~name:"exactly-once-wire"
+    ~doc:
+      "a (client, seq) request must not execute twice on the same agent \
+       epoch; retransmits are answered from the replay cache"
+    ~step:(fun ~idx ev ->
+      if is ev "agent_restart" then begin
+        let a = agent_s ev in
+        Hashtbl.replace restarts a
+          (1 + Option.value ~default:0 (Hashtbl.find_opt restarts a));
+        []
+      end
+      else if is ev "rpc_exec" && arg_s ev "replayed" = Some "false" then begin
+        let a = agent_s ev in
+        let key = (a, req "src" (arg_s ev "src"), req "seq" (arg_i ev "seq")) in
+        let era = Option.value ~default:0 (Hashtbl.find_opt restarts a) in
+        match Hashtbl.find_opt seen key with
+        | Some (era', first) when era' = era ->
+            let _, src, seq = key in
+            [
+              {
+                v_rule = "exactly-once-wire";
+                v_detail =
+                  Printf.sprintf
+                    "agent %s re-executed %s seq=%d from %s (first execution \
+                     at event %d, same epoch)"
+                    a
+                    (Option.value ~default:"?" (arg_s ev "name"))
+                    seq src first;
+                v_ts = ev.ts;
+                v_events = [ first; idx ];
+              };
+            ]
+        | _ ->
+            Hashtbl.replace seen key (era, idx);
+            []
+      end
+      else [])
+    ~final:(fun ~now:_ -> [])
+
+(* R2 — effect-level exactly-once: registering a participant must never
+   leave it in the member list twice. Scoped to agents that have
+   restarted: that is the heal-race signature (a resync replays intent,
+   then a straddling retransmit re-executes on the healed agent). A
+   duplicate on a never-restarted agent is the documented drain hazard —
+   a deferred op re-issued after its original's reply was lost — which
+   the anti-entropy reconcile pass repairs. *)
+let exactly_once_effect () =
+  let restarted : (string, unit) Hashtbl.t = Hashtbl.create 4 in
+  make ~name:"exactly-once-effect"
+    ~doc:
+      "on a healed (restarted) agent a participant must never be appended \
+       to a meeting's member list twice"
+    ~step:(fun ~idx ev ->
+      if is ev "agent_restart" then begin
+        Hashtbl.replace restarted (agent_s ev) ();
+        []
+      end
+      else if is ev "member_add" then begin
+        let a = agent_s ev in
+        let count = req "count" (arg_i ev "count") in
+        if count > 1 && Hashtbl.mem restarted a then
+          [
+            {
+              v_rule = "exactly-once-effect";
+              v_detail =
+                Printf.sprintf
+                  "agent %s: participant %d added to meeting %d with \
+                   multiplicity %d after a restart — a resync replay and a \
+                   straddling retransmit both executed the join"
+                  a
+                  (req "participant" (arg_i ev "participant"))
+                  (req "meeting" (arg_i ev "meeting"))
+                  count;
+              v_ts = ev.ts;
+              v_events = [ idx ];
+            };
+          ]
+        else []
+      end
+      else [])
+    ~final:(fun ~now:_ -> [])
+
+(* R3 — epoch monotonicity: pong-observed epochs never regress per
+   switch index; agent restarts strictly increase the epoch per label. *)
+let epoch_monotone () =
+  let pong : (int, int * int) Hashtbl.t = Hashtbl.create 4 in
+  let boot : (string, int * int) Hashtbl.t = Hashtbl.create 4 in
+  make ~name:"epoch-monotone"
+    ~doc:
+      "agent epochs are monotonic: heartbeat pongs never report a lower \
+       epoch, restarts strictly increase it"
+    ~step:(fun ~idx ev ->
+      if is ev "hb_pong" then begin
+        let a = agent_i ev and e = req "epoch" (arg_i ev "epoch") in
+        match Hashtbl.find_opt pong a with
+        | Some (e', at) when e < e' ->
+            [
+              {
+                v_rule = "epoch-monotone";
+                v_detail =
+                  Printf.sprintf
+                    "switch %d pong reported epoch %d after epoch %d" a e e';
+                v_ts = ev.ts;
+                v_events = [ at; idx ];
+              };
+            ]
+        | _ ->
+            Hashtbl.replace pong a (e, idx);
+            []
+      end
+      else if is ev "agent_restart" then begin
+        let a = agent_s ev and e = req "epoch" (arg_i ev "epoch") in
+        match Hashtbl.find_opt boot a with
+        | Some (e', at) when e <= e' ->
+            [
+              {
+                v_rule = "epoch-monotone";
+                v_detail =
+                  Printf.sprintf
+                    "agent %s restarted into epoch %d, not above epoch %d" a e
+                    e';
+                v_ts = ev.ts;
+                v_events = [ at; idx ];
+              };
+            ]
+        | _ ->
+            Hashtbl.replace boot a (e, idx);
+            []
+      end
+      else [])
+    ~final:(fun ~now:_ -> [])
+
+(* R4 — no execution on a crashed agent: between agent_crash and the
+   next agent_restart the server must not execute (or even answer)
+   anything. *)
+let no_exec_while_crashed () =
+  let down : (string, int) Hashtbl.t = Hashtbl.create 4 in
+  make ~name:"no-exec-while-crashed"
+    ~doc:"a crashed agent must not execute or answer RPCs until it restarts"
+    ~step:(fun ~idx ev ->
+      if is ev "agent_crash" then begin
+        Hashtbl.replace down (agent_s ev) idx;
+        []
+      end
+      else if is ev "agent_restart" then begin
+        Hashtbl.remove down (agent_s ev);
+        []
+      end
+      else if is ev "rpc_exec" then begin
+        let a = agent_s ev in
+        match Hashtbl.find_opt down a with
+        | Some crash_at ->
+            [
+              {
+                v_rule = "no-exec-while-crashed";
+                v_detail =
+                  Printf.sprintf
+                    "agent %s executed %s seq=%d while crashed (down since \
+                     event %d)"
+                    a
+                    (Option.value ~default:"?" (arg_s ev "name"))
+                    (req "seq" (arg_i ev "seq"))
+                    crash_at;
+                v_ts = ev.ts;
+                v_events = [ crash_at; idx ];
+              };
+            ]
+        | None -> []
+      end
+      else [])
+    ~final:(fun ~now:_ -> [])
+
+(* R5 — batch discipline: ops execute in submission order (idx 0,1,...),
+   every op runs exactly once (per-op errors are isolated, they must not
+   abort the rest), and batches do not nest. *)
+let batch_order () =
+  let open_b : (string, int * int * int) Hashtbl.t = Hashtbl.create 4 in
+  (* label -> (n, next expected idx, begin event) *)
+  make ~name:"batch-order"
+    ~doc:
+      "batched ops execute in submission order and every op executes \
+       exactly once, errors isolated per op"
+    ~step:(fun ~idx ev ->
+      let viol detail at =
+        [
+          {
+            v_rule = "batch-order";
+            v_detail = detail;
+            v_ts = ev.ts;
+            v_events = (if at = idx then [ idx ] else [ at; idx ]);
+          };
+        ]
+      in
+      if is ev "batch_begin" then begin
+        let a = agent_s ev and n = req "n" (arg_i ev "n") in
+        let out =
+          match Hashtbl.find_opt open_b a with
+          | Some (_, _, at) ->
+              viol (Printf.sprintf "agent %s: batch_begin inside a batch" a) at
+          | None -> []
+        in
+        Hashtbl.replace open_b a (n, 0, idx);
+        out
+      end
+      else if is ev "batch_op" then begin
+        let a = agent_s ev and i = req "idx" (arg_i ev "idx") in
+        match Hashtbl.find_opt open_b a with
+        | None ->
+            viol (Printf.sprintf "agent %s: batch_op outside a batch" a) idx
+        | Some (n, expect, at) ->
+            Hashtbl.replace open_b a (n, expect + 1, at);
+            if i <> expect then
+              viol
+                (Printf.sprintf
+                   "agent %s: batch op %d executed out of submission order \
+                    (expected op %d)"
+                   a i expect)
+                at
+            else []
+      end
+      else if is ev "batch_end" then begin
+        let a = agent_s ev in
+        match Hashtbl.find_opt open_b a with
+        | None ->
+            viol (Printf.sprintf "agent %s: batch_end outside a batch" a) idx
+        | Some (n, got, at) ->
+            Hashtbl.remove open_b a;
+            if got <> n then
+              viol
+                (Printf.sprintf
+                   "agent %s: batch executed %d of %d ops — per-op error \
+                    isolation broken"
+                   a got n)
+                at
+            else []
+      end
+      else [])
+    ~final:(fun ~now:_ -> [])
+
+(* R6 — deferred ops eventually drain: at end of run the deferred queue
+   must be empty unless the switch is still marked dead (the run ended
+   mid-outage). A liveness rule: ops may sit queued transiently — even
+   across a heal_done, when they were deferred during the heal itself —
+   but a healthy end state with a non-empty queue means they were
+   forgotten. Uses the depth/n args as the authoritative counter. *)
+let deferred_drain () =
+  let depth : (int, int * int) Hashtbl.t = Hashtbl.create 4 in
+  (* idx -> (outstanding, last defer event) *)
+  let dead : (int, unit) Hashtbl.t = Hashtbl.create 4 in
+  make ~name:"deferred-drain"
+    ~doc:
+      "ops deferred for a dead switch eventually drain (or are discarded \
+       by a full resync): a healthy switch must not end the run with ops \
+       still queued"
+    ~step:(fun ~idx ev ->
+      if is ev "op_defer" then begin
+        Hashtbl.replace depth (agent_i ev) (req "depth" (arg_i ev "depth"), idx);
+        []
+      end
+      else if is ev "op_drained" then begin
+        let a = agent_i ev in
+        let _, at =
+          Option.value ~default:(0, idx) (Hashtbl.find_opt depth a)
+        in
+        Hashtbl.replace depth a (req "depth" (arg_i ev "depth"), at);
+        []
+      end
+      else if is ev "defer_discard" then begin
+        Hashtbl.remove depth (agent_i ev);
+        []
+      end
+      else if is ev "agent_dead" then begin
+        Hashtbl.replace dead (agent_i ev) ();
+        []
+      end
+      else if is ev "heal_done" then begin
+        (* ops deferred during the heal itself may still be queued here;
+           they must drain before the run ends (checked in [final]) *)
+        Hashtbl.remove dead (agent_i ev);
+        []
+      end
+      else [])
+    ~final:(fun ~now ->
+      Hashtbl.fold
+        (fun a (d, at) acc ->
+          if d > 0 && not (Hashtbl.mem dead a) then
+            {
+              v_rule = "deferred-drain";
+              v_detail =
+                Printf.sprintf
+                  "switch %d ended the run healthy with %d deferred op(s) \
+                   never drained"
+                  a d;
+              v_ts = now;
+              v_events = [ at ];
+            }
+            :: acc
+          else acc)
+        depth []
+      |> List.sort (fun a b -> compare a.v_events b.v_events))
+
+(* R7 — heartbeat liveness: while health monitoring runs, ticks arrive
+   at least every 2x the configured interval. *)
+let hb_liveness () =
+  let running = ref false in
+  let interval = ref 0 in
+  let last = ref (-1, -1) in
+  (* (ts, event idx) of last tick *)
+  make ~name:"hb-liveness"
+    ~doc:"heartbeat ticks keep firing (gap <= 2x interval) while health \
+          monitoring is running"
+    ~step:(fun ~idx ev ->
+      if is ev "hb_start" then begin
+        running := true;
+        interval := req "interval" (arg_i ev "interval");
+        last := (ev.ts, idx);
+        []
+      end
+      else if is ev "hb_stop" then begin
+        running := false;
+        []
+      end
+      else if is ev "hb_tick" then begin
+        let prev_ts, prev_idx = !last in
+        last := (ev.ts, idx);
+        if !running && prev_ts >= 0 && ev.ts - prev_ts > 2 * !interval then
+          [
+            {
+              v_rule = "hb-liveness";
+              v_detail =
+                Printf.sprintf
+                  "heartbeat gap of %dns exceeds 2x interval (%dns)"
+                  (ev.ts - prev_ts) !interval;
+              v_ts = ev.ts;
+              v_events = [ prev_idx; idx ];
+            };
+          ]
+        else []
+      end
+      else [])
+    ~final:(fun ~now ->
+      let prev_ts, prev_idx = !last in
+      if !running && prev_ts >= 0 && now - prev_ts > 2 * !interval then
+        [
+          {
+            v_rule = "hb-liveness";
+            v_detail =
+              Printf.sprintf
+                "heartbeats stopped firing: %dns since last tick at end of \
+                 run (interval %dns)"
+                (now - prev_ts) !interval;
+            v_ts = now;
+            v_events = [ prev_idx ];
+          };
+        ]
+      else [])
+
+(* R8 — replay fidelity: a cache-served reply is byte-identical to the
+   original execution's reply (compared via the payload digest). *)
+let replay_identical () =
+  let orig : (string * string * int, int * int) Hashtbl.t =
+    Hashtbl.create 64
+  in
+  make ~name:"replay-identical"
+    ~doc:
+      "a replayed (cache-served) reply must be byte-identical to the \
+       reply produced by the original execution"
+    ~step:(fun ~idx ev ->
+      if is ev "rpc_exec" then begin
+        let key =
+          ( agent_s ev,
+            req "src" (arg_s ev "src"),
+            req "seq" (arg_i ev "seq") )
+        in
+        let digest = req "digest" (arg_i ev "digest") in
+        if arg_s ev "replayed" = Some "false" then begin
+          Hashtbl.replace orig key (digest, idx);
+          []
+        end
+        else
+          match Hashtbl.find_opt orig key with
+          | Some (d, at) when d <> digest ->
+              let _, src, seq = key in
+              [
+                {
+                  v_rule = "replay-identical";
+                  v_detail =
+                    Printf.sprintf
+                      "agent %s: replay of seq=%d from %s differs from the \
+                       original reply"
+                      (agent_s ev) seq src;
+                  v_ts = ev.ts;
+                  v_events = [ at; idx ];
+                };
+              ]
+          | _ -> []
+      end
+      else [])
+    ~final:(fun ~now:_ -> [])
+
+(* R9 — quiet channel before heal: a heal must never begin while a
+   blocking call is in flight on that switch's channel (the guard whose
+   absence causes the straddling-retransmit double-execution). *)
+let quiet_heal () =
+  always ~name:"quiet-heal"
+    ~doc:
+      "a heal never begins while a mutation call is in flight on the \
+       channel (the quiet-channel rule)"
+    (fun ~idx:_ ev ->
+      if is ev "heal_begin" then
+        match arg_i ev "in_flight" with
+        | Some n when n > 0 ->
+            Some
+              (Printf.sprintf
+                 "switch %d began healing with %d request(s) in flight"
+                 (agent_i ev) n)
+        | _ -> None
+      else None)
+
+let all () =
+  [
+    exactly_once_wire ();
+    exactly_once_effect ();
+    epoch_monotone ();
+    no_exec_while_crashed ();
+    batch_order ();
+    deferred_drain ();
+    hb_liveness ();
+    replay_identical ();
+    quiet_heal ();
+  ]

@@ -11,6 +11,13 @@
 
 type t
 
+type direction = Fwd | Rev
+
+type verdict =
+  | Deliver  (** hand the datagram to the sink now *)
+  | Delay of int  (** re-deliver after [n] ns (clamped to >= 0) *)
+  | Drop  (** discard; counted in {!interposed_drops} *)
+
 val create :
   Engine.t ->
   Scallop_util.Rng.t ->
@@ -25,6 +32,16 @@ val set_fwd_sink : t -> (Dgram.t -> unit) -> unit
 (** Receive datagrams sent with {!send_fwd} (the "forward" endpoint). *)
 
 val set_rev_sink : t -> (Dgram.t -> unit) -> unit
+
+val set_interposer : t -> (dir:direction -> Dgram.t -> verdict) option -> unit
+(** Install (or clear) a delivery interposer, consulted once per datagram
+    {e after} the link has decided to deliver it (so link loss/jitter still
+    apply first). Used by {!Scallop_mc} to turn control-plane delivery into
+    bounded delay/reorder/drop choice points. Default: none — deliveries
+    go straight to the sink. *)
+
+val interposed_drops : t -> int
+(** Datagrams discarded by the interposer ([Drop] verdicts). *)
 
 val send_fwd : t -> Dgram.t -> unit
 (** Enqueue on the forward-direction link at the current engine time. *)

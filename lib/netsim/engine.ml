@@ -1,7 +1,12 @@
-type t = { q : (unit -> unit) Eventq.t; mutable clock : int }
+type t = {
+  q : (unit -> unit) Eventq.t;
+  mutable clock : int;
+  mutable chooser : (ready:int -> int) option;
+}
 
-let create () = { q = Eventq.create (); clock = 0 }
+let create () = { q = Eventq.create (); clock = 0; chooser = None }
 let now t = t.clock
+let set_chooser t c = t.chooser <- c
 
 let at t ~time f =
   if time < t.clock then invalid_arg "Engine.at: time in the past";
@@ -17,6 +22,22 @@ let every t ?start ~interval f =
   let rec tick () = if f () then schedule t ~after:interval tick in
   at t ~time:first tick
 
+(* Pop the next event, consulting the chooser when several events are tied
+   at the minimum timestamp. With no chooser installed (the default) this
+   is exactly [Eventq.pop]: insertion order, byte-identical to the engine's
+   historical behavior. *)
+let take t =
+  match t.chooser with
+  | None -> Eventq.pop t.q
+  | Some choose -> (
+      match Eventq.ready_count t.q with
+      | 0 -> None
+      | 1 -> Eventq.pop t.q
+      | n ->
+          let k = choose ~ready:n in
+          let k = if k < 0 || k >= n then 0 else k in
+          Eventq.pop_nth t.q k)
+
 let run ?until ?max_events t =
   let budget = ref (Option.value max_events ~default:max_int) in
   let fits time = match until with None -> true | Some u -> time <= u in
@@ -24,7 +45,7 @@ let run ?until ?max_events t =
     if !budget > 0 then
       match Eventq.peek_time t.q with
       | Some time when fits time ->
-          let _, f = Option.get (Eventq.pop t.q) in
+          let _, f = Option.get (take t) in
           t.clock <- max t.clock time;
           decr budget;
           f ();
@@ -37,13 +58,14 @@ let run ?until ?max_events t =
 let step ?until t =
   match Eventq.peek_time t.q with
   | Some time when (match until with None -> true | Some u -> time <= u) ->
-      let _, f = Option.get (Eventq.pop t.q) in
+      let _, f = Option.get (take t) in
       t.clock <- max t.clock time;
       f ();
       true
   | Some _ | None -> false
 
 let pending t = Eventq.length t.q
+let ready t = Eventq.ready_count t.q
 let ns x = x
 let us x = x * 1_000
 let ms x = x * 1_000_000

@@ -35,6 +35,19 @@ val step : ?until:int -> t -> bool
 
 val pending : t -> int
 
+val ready : t -> int
+(** Number of events tied at the earliest timestamp (see
+    {!Eventq.ready_count}). *)
+
+val set_chooser : t -> (ready:int -> int) option -> unit
+(** Install (or clear) a same-timestamp scheduling chooser. When several
+    events are tied at the minimum timestamp, [choose ~ready:n] picks which
+    of the [n] tied events (0-based, insertion order) fires next; out-of-
+    range answers fall back to [0]. With no chooser — the default — ties
+    fire in insertion order, which is the engine's documented deterministic
+    behavior. Used by {!Scallop_mc} to turn the scheduler into an explicit
+    choice point. *)
+
 (* Time unit helpers — readable literals for callers. *)
 val ns : int -> int
 val us : int -> int

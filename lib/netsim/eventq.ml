@@ -62,3 +62,44 @@ let pop t =
   end
 
 let peek_time t = if t.size = 0 then None else Some t.heap.(0).time
+
+let ready_count t =
+  if t.size = 0 then 0
+  else begin
+    let tmin = t.heap.(0).time in
+    let n = ref 0 in
+    for i = 0 to t.size - 1 do
+      if t.heap.(i).time = tmin then incr n
+    done;
+    !n
+  end
+
+(* Remove the entry at heap index [i], restoring the heap property. The
+   entry moved into the hole may need to travel either direction. *)
+let remove_at t i =
+  let e = t.heap.(i) in
+  t.size <- t.size - 1;
+  if i < t.size then begin
+    t.heap.(i) <- t.heap.(t.size);
+    sift_down t i;
+    sift_up t i
+  end;
+  e
+
+let pop_nth t k =
+  if t.size = 0 || k < 0 then None
+  else begin
+    let tmin = t.heap.(0).time in
+    let tied = ref [] in
+    for i = t.size - 1 downto 0 do
+      if t.heap.(i).time = tmin then tied := i :: !tied
+    done;
+    let tied =
+      List.sort (fun a b -> compare t.heap.(a).seq t.heap.(b).seq) !tied
+    in
+    match List.nth_opt tied k with
+    | None -> None
+    | Some i ->
+        let e = remove_at t i in
+        Some (e.time, e.value)
+  end

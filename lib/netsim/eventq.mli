@@ -1,7 +1,13 @@
 (** Binary-heap event queue for the discrete-event engine.
 
-    Events with equal timestamps fire in insertion order (a stable tie-break
-    keeps runs deterministic). *)
+    {2 Tie-breaking contract (stable public API)}
+
+    Events with equal timestamps fire in {b insertion order}: every [push]
+    stamps the entry with a monotonically increasing sequence number, and
+    ordering is lexicographic on [(time, seq)]. This is a documented,
+    tested contract — deterministic replay, the trace-determinism CI gate,
+    and the {!Scallop_mc} explorer's permutation choice points all depend
+    on it. [pop t] is always equivalent to [pop_nth t 0]. *)
 
 type 'a t
 
@@ -13,6 +19,17 @@ val push : 'a t -> time:int -> 'a -> unit
 (** [time] is an absolute timestamp in nanoseconds. *)
 
 val pop : 'a t -> (int * 'a) option
-(** Removes and returns the earliest event. *)
+(** Removes and returns the earliest event; ties broken by insertion
+    order (see the tie-breaking contract above). *)
 
 val peek_time : 'a t -> int option
+
+val ready_count : 'a t -> int
+(** Number of events tied at the minimum timestamp — the size of the
+    "ready set" an explorer may permute. [0] iff the queue is empty. *)
+
+val pop_nth : 'a t -> int -> (int * 'a) option
+(** [pop_nth t k] removes and returns the [k]-th event (0-based, in
+    insertion order) among those tied at the minimum timestamp. [None] if
+    the queue is empty or [k >= ready_count t]. [pop_nth t 0] behaves
+    exactly like [pop]. *)

@@ -61,10 +61,17 @@ let reset () =
   packet_counter := 0;
   next_trace_id := 0
 
+(* Online listener: an optional tap on the single write point, so a
+   checker can evaluate temporal rules as events stream in instead of
+   post-processing the (lossy, ring-bounded) buffer. *)
+let listener : (event -> unit) option ref = ref None
+let set_listener f = listener := f
+
 let emit ev =
   ring.buf.(ring.next) <- Some ev;
   ring.next <- (ring.next + 1) mod Array.length ring.buf;
-  ring.written <- ring.written + 1
+  ring.written <- ring.written + 1;
+  match !listener with None -> () | Some f -> f ev
 
 let instant ~ts ?(trace = -1) ?(args = []) ~cat name =
   emit { ts; dur = -1; cat; name; trace; args }

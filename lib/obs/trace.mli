@@ -84,6 +84,12 @@ val to_chrome_json : unit -> string
 val write_chrome_json : string -> unit
 (** [to_chrome_json] into a file. *)
 
+val set_listener : (event -> unit) option -> unit
+(** Install (or clear) an online event tap, called synchronously for every
+    event as it is written — the hook {!Scallop_mc}'s temporal checker
+    evaluates rules through, immune to ring-buffer wraparound. The
+    listener must not emit events itself. Default: none. *)
+
 val reset : unit -> unit
 (** Clear the buffer, counters and the trace-id allocator. Keeps the
-    level and capacity. *)
+    level and capacity (and any installed listener). *)

@@ -122,6 +122,10 @@ type agent_state = {
   mutable ah_missed : int;  (** consecutive missed probes *)
   mutable ah_detected_ns : int;
   mutable ah_healing : bool;  (** a resync/drain is in flight; ignore probe results *)
+  mutable ah_observed : int;
+      (** latest epoch any pong carried, tracked even while a heal is in
+          flight — a change mid-resync means the agent rebooted under the
+          replay and the resync must abort *)
   ah_deferred : deferred_op Queue.t;
   mutable ah_dropped : int;  (** ops lost to the cap since the last replay *)
   ah_gauge : Metrics.gauge;
@@ -266,6 +270,19 @@ let health_name = function Healthy -> "healthy" | Suspect -> "suspect" | Dead ->
 let is_dead t idx =
   match t.health with Some h -> h.hs_agents.(idx).ah = Dead | None -> false
 
+(* A switch mid-heal must not take new direct ops either: the resync or
+   drain in flight is replaying controller intent, and a straddling
+   direct op races that replay — double-executing its effect (the member
+   shows up from both the direct call and the intent replay) or
+   colliding with half-replayed agent bookkeeping. Ops arriving while a
+   heal is in flight are deferred like ops for a dead switch; a
+   successful resync then discards them as covered by the replayed
+   intent, and a drain re-issues them in order. *)
+let is_healing t idx =
+  match t.health with Some h -> h.hs_agents.(idx).ah_healing | None -> false
+
+let unavailable t idx = is_dead t idx || is_healing t idx
+
 let set_agent_health h idx st =
   let a = h.hs_agents.(idx) in
   a.ah <- st;
@@ -287,14 +304,23 @@ let mark_dead t h idx =
         ~args:[ ("agent", Trace.I idx) ]
   end
 
-let push_deferred h idx op =
+let push_deferred t h idx op =
   let a = h.hs_agents.(idx) in
   Queue.push op a.ah_deferred;
-  if Queue.length a.ah_deferred > h.hc.deferred_cap then begin
+  let overflowed = Queue.length a.ah_deferred > h.hc.deferred_cap in
+  if overflowed then begin
     (* oldest-first drop: the queue keeps the most recent intent; the
        hole it leaves forces a full resync instead of a drain on heal *)
     ignore (Queue.pop a.ah_deferred);
     a.ah_dropped <- a.ah_dropped + 1
+  end;
+  if Trace.enabled Trace.Rpc then begin
+    Trace.instant ~ts:(Engine.now t.engine) ~cat:"ctrl" "op_defer"
+      ~args:
+        [ ("agent", Trace.I idx); ("depth", Trace.I (Queue.length a.ah_deferred)) ];
+    if overflowed then
+      Trace.instant ~ts:(Engine.now t.engine) ~cat:"ctrl" "defer_drop"
+        ~args:[ ("agent", Trace.I idx) ]
   end;
   refresh_deferred_gauge h
 
@@ -356,10 +382,10 @@ and flush_agent t idx =
         Queue.clear buf;
         let defer_op op =
           match t.health with
-          | Some h -> push_deferred h idx { d_mid = op.b_mid; d_build = op.b_build }
+          | Some h -> push_deferred t h idx { d_mid = op.b_mid; d_build = op.b_build }
           | None -> ()
         in
-        if is_dead t idx then List.iter defer_op ops
+        if unavailable t idx then List.iter defer_op ops
         else begin
           (* resolve agent-side meeting ids now: a site created during a
              Dead spell still carries a provisional id and must be
@@ -393,7 +419,7 @@ and flush_agent t idx =
                           match t.health with
                           | Some h ->
                               mark_dead t h idx;
-                              push_deferred h idx
+                              push_deferred t h idx
                                 { d_mid = op.b_mid; d_build = op.b_build }
                           | None -> invalid_arg msg)
                       | Rpc.Meeting_created _ | Rpc.Pong _ | Rpc.Batch_reply _ ->
@@ -436,7 +462,7 @@ and site_of t m idx =
   | None ->
       let _, dp = t.agents.(idx) in
       let agent_mid =
-        if is_dead t idx then provisional_mid t
+        if unavailable t idx then provisional_mid t
         else
           match rpc_new_meeting t idx ~two_party:false with
           | Some mid -> mid
@@ -473,7 +499,7 @@ let flush_buffers t = Array.iteri (fun idx _ -> flush_agent t idx) t.rpcs
 let agent_op t m idx (build : agent_mid:int -> Rpc.request) =
   let defer h =
     ignore (site_of t m idx);
-    push_deferred h idx { d_mid = m.mid; d_build = build }
+    push_deferred t h idx { d_mid = m.mid; d_build = build }
   in
   match t.health with
   | Some h when h.hs_agents.(idx).ah = Dead -> defer h
@@ -486,8 +512,9 @@ let agent_op t m idx (build : agent_mid:int -> Rpc.request) =
       Queue.push { b_mid = m.mid; b_build = build } t.buffers.(idx)
   | _ -> (
       let site = site_of t m idx in
-      if is_dead t idx then
-        (* the New_meeting inside site_of just hit a dead channel *)
+      if unavailable t idx then
+        (* the New_meeting inside site_of just hit a dead channel (or
+           the switch is mid-heal and must not take direct ops) *)
         match t.health with Some h -> defer h | None -> ()
       else
         let req = build ~agent_mid:site.agent_mid in
@@ -1043,11 +1070,40 @@ exception Resync_aborted
 let resync t idx =
   let t0 = Engine.now t.engine in
   let ops = ref 0 in
+  (* An [Error] reply mid-resync means the agent crashed and restarted
+     again while one of our ops was in flight: the retransmit landed on
+     a blank next-epoch agent that legitimately rejects ops against the
+     wiped state. Abort — the switch is marked Dead and the next pong
+     carries the bumped epoch, triggering a fresh replay from intent.
+     (Schedule that hits this: drop an op's first transmission, crash
+     the agent before the retransmit, restart it before the retry
+     ladder gives up.) Without a failure detector there is no retry
+     path, so [desync] raises as before. *)
+  let error_reply msg =
+    ignore (desync t idx ("Controller.resync: " ^ msg));
+    raise Resync_aborted
+  in
+  (* A replay is only meaningful against the epoch it started healing.
+     Each blocking op pumps the engine, where heartbeat pongs keep
+     landing; if one carries a newer epoch the agent rebooted under the
+     replay — everything installed so far is gone, and blindly
+     continuing would race any straddling retransmits against the
+     half-replayed blank state. Abort; the next pong restarts a full
+     heal, and the quiet-channel rule holds it back until the stragglers
+     settle. *)
+  let observed () =
+    match t.health with Some h -> h.hs_agents.(idx).ah_observed | None -> -1
+  in
+  let epoch0 = observed () in
+  let check_epoch () =
+    if observed () <> epoch0 then
+      error_reply "agent rebooted mid-replay (newer epoch observed)"
+  in
   let send req =
     incr ops;
     match call_reply t idx req with
-    | Some Rpc.Ack -> ()
-    | Some (Rpc.Error msg) -> invalid_arg ("Controller.resync: " ^ msg)
+    | Some Rpc.Ack -> check_epoch ()
+    | Some (Rpc.Error msg) -> error_reply msg
     | Some (Rpc.Meeting_created _ | Rpc.Pong _ | Rpc.Batch_reply _) ->
         invalid_arg
           (Printf.sprintf "Controller.resync: unexpected reply to %s"
@@ -1061,8 +1117,10 @@ let resync t idx =
         let agent_mid =
           incr ops;
           match call_reply t idx (Rpc.New_meeting { two_party = false }) with
-          | Some (Rpc.Meeting_created { meeting }) -> meeting
-          | Some (Rpc.Error msg) -> invalid_arg ("Controller.resync: " ^ msg)
+          | Some (Rpc.Meeting_created { meeting }) ->
+              check_epoch ();
+              meeting
+          | Some (Rpc.Error msg) -> error_reply msg
           | Some (Rpc.Ack | Rpc.Pong _ | Rpc.Batch_reply _) ->
               invalid_arg "Controller.resync: missing meeting id in new-meeting reply"
           | None -> raise Resync_aborted
@@ -1177,7 +1235,15 @@ let drain_deferred t h idx =
     | Some site -> (
         incr ops;
         match call_reply t idx (op.d_build ~agent_mid:site.agent_mid) with
-        | Some (Rpc.Ack | Rpc.Error _) -> ignore (Queue.pop a.ah_deferred)
+        | Some (Rpc.Ack | Rpc.Error _) ->
+            ignore (Queue.pop a.ah_deferred);
+            if Trace.enabled Trace.Rpc then
+              Trace.instant ~ts:(Engine.now t.engine) ~cat:"ctrl" "op_drained"
+                ~args:
+                  [
+                    ("agent", Trace.I idx);
+                    ("depth", Trace.I (Queue.length a.ah_deferred));
+                  ]
         | Some (Rpc.Meeting_created _ | Rpc.Pong _ | Rpc.Batch_reply _) ->
             invalid_arg "Controller: unexpected reply to deferred op"
         | None -> alive := false)
@@ -1194,10 +1260,21 @@ let record_recovery t h idx ~kind ~ops =
       re_recovered_ns = Engine.now t.engine;
       re_ops = ops;
     }
-    :: h.hs_recovery
+    :: h.hs_recovery;
+  if Trace.enabled Trace.Rpc then
+    Trace.instant ~ts:(Engine.now t.engine) ~cat:"ctrl" "heal_done"
+      ~args:
+        [
+          ("agent", Trace.I idx);
+          ("kind", Trace.S (match kind with `Resync -> "resync" | `Drain -> "drain"));
+          ("ops", Trace.I ops);
+        ]
 
 let on_pong t h idx ~epoch =
   let a = h.hs_agents.(idx) in
+  (* maintained even while a heal suppresses the rest of pong handling:
+     an in-flight resync polls this to detect a reboot under its feet *)
+  a.ah_observed <- epoch;
   if not a.ah_healing then begin
     a.ah_missed <- 0;
     let prev = a.ah in
@@ -1206,9 +1283,30 @@ let on_pong t h idx ~epoch =
     if (not rebooted) && prev <> Dead then begin
       (* steady state (or Suspect clearing up); just track the epoch *)
       a.ah_epoch <- epoch;
-      if prev <> Healthy then set_agent_health h idx Healthy
+      if prev <> Healthy then set_agent_health h idx Healthy;
+      (* ops can land in the deferred queue while a heal is in progress
+         (the switch stays marked Dead until the replay finishes); they
+         arrive after the heal cleared the queue and no later heal would
+         ever pick them up. Drain them on the next quiet-channel pong —
+         same quiet rule as a heal, and [ah_healing] keeps the drain's
+         own pongs from re-entering. *)
+      if
+        (not (Queue.is_empty a.ah_deferred))
+        && Rpc_transport.Client.in_flight t.rpcs.(idx) = 0
+      then begin
+        a.ah_healing <- true;
+        Fun.protect
+          ~finally:(fun () -> a.ah_healing <- false)
+          (fun () ->
+            let ops = drain_deferred t h idx in
+            refresh_deferred_gauge h;
+            if ops > 0 then Metrics.add h.hs_repair_ops ops)
+      end
     end
-    else if Rpc_transport.Client.in_flight t.rpcs.(idx) > 0 then
+    else if
+      Rpc_transport.Client.in_flight t.rpcs.(idx) > 0
+      && not (Mutation.on Mutation.Heal_without_quiesce)
+    then
       (* A heal must not overlap a blocking mutation call on this
          channel (this pong arrived inside that call's engine pump): a
          resync would replay the op's intent, and then the in-flight
@@ -1224,6 +1322,15 @@ let on_pong t h idx ~epoch =
       (* the switch is back — blank (new epoch) or intact (same epoch) *)
       if prev <> Dead then a.ah_detected_ns <- Engine.now t.engine;
       a.ah_healing <- true;
+      if Trace.enabled Trace.Rpc then
+        Trace.instant ~ts:(Engine.now t.engine) ~cat:"ctrl" "heal_begin"
+          ~args:
+            [
+              ("agent", Trace.I idx);
+              ("rebooted", Trace.S (if rebooted then "true" else "false"));
+              (* the quiet-channel rule: this must always be 0 *)
+              ("in_flight", Trace.I (Rpc_transport.Client.in_flight t.rpcs.(idx)));
+            ];
       Fun.protect
         ~finally:(fun () -> a.ah_healing <- false)
         (fun () ->
@@ -1232,12 +1339,29 @@ let on_pong t h idx ~epoch =
             (* controller intent already reflects every queued op, so the
                replay regenerates them; the queue itself is obsolete —
                and so is any batch buffer still waiting for this switch *)
+            let discarded = Queue.length a.ah_deferred in
             Queue.clear a.ah_deferred;
             Queue.clear t.buffers.(idx);
             a.ah_dropped <- 0;
+            if Trace.enabled Trace.Rpc && discarded > 0 then
+              Trace.instant ~ts:(Engine.now t.engine) ~cat:"ctrl" "defer_discard"
+                ~args:[ ("agent", Trace.I idx); ("n", Trace.I discarded) ];
             refresh_deferred_gauge h;
             match resync t idx with
             | Some ops ->
+                (* ops deferred while the replay itself was in flight are
+                   already reflected in the intent it read (any gap is
+                   the anti-entropy pass's to repair); re-issuing them
+                   against the freshly replayed state would double-execute *)
+                let late = Queue.length a.ah_deferred in
+                if late > 0 then begin
+                  Queue.clear a.ah_deferred;
+                  if Trace.enabled Trace.Rpc then
+                    Trace.instant ~ts:(Engine.now t.engine) ~cat:"ctrl"
+                      "defer_discard"
+                      ~args:[ ("agent", Trace.I idx); ("n", Trace.I late) ];
+                  refresh_deferred_gauge h
+                end;
                 a.ah_epoch <- epoch;
                 Metrics.incr h.hs_resync_full;
                 Metrics.add h.hs_repair_ops ops;
@@ -1270,6 +1394,9 @@ let on_miss t h idx =
   end
 
 let heartbeat_tick t h =
+  if Trace.enabled Trace.Rpc then
+    Trace.instant ~ts:(Engine.now t.engine) ~cat:"ctrl" "hb_tick"
+      ~args:[ ("interval", Trace.I h.hc.heartbeat_every_ns) ];
   Array.iteri
     (fun idx _ ->
       Metrics.incr h.hb_sent;
@@ -1277,13 +1404,20 @@ let heartbeat_tick t h =
         ~on_result:(fun result ->
           if h.hs_running then
             match result with
-            | Ok (Rpc.Pong { epoch }) -> on_pong t h idx ~epoch
+            | Ok (Rpc.Pong { epoch }) ->
+                if Trace.enabled Trace.Rpc then
+                  Trace.instant ~ts:(Engine.now t.engine) ~cat:"ctrl" "hb_pong"
+                    ~args:[ ("agent", Trace.I idx); ("epoch", Trace.I epoch) ];
+                on_pong t h idx ~epoch
             | Ok (Rpc.Ack | Rpc.Error _ | Rpc.Meeting_created _ | Rpc.Batch_reply _) ->
                 on_miss t h idx
             | Error (`Timeout | `Gave_up _) -> on_miss t h idx))
     h.hs_agents
 
 let arm_heartbeats t h =
+  if Trace.enabled Trace.Rpc then
+    Trace.instant ~ts:(Engine.now t.engine) ~cat:"ctrl" "hb_start"
+      ~args:[ ("interval", Trace.I h.hc.heartbeat_every_ns) ];
   Engine.every t.engine ~interval:h.hc.heartbeat_every_ns (fun () ->
       if h.hs_running then heartbeat_tick t h;
       h.hs_running)
@@ -1300,6 +1434,7 @@ let start_health ?(config = default_health_config) t =
               ah_missed = 0;
               ah_detected_ns = 0;
               ah_healing = false;
+              ah_observed = -1;
               ah_deferred = Queue.create ();
               ah_dropped = 0;
               ah_gauge =
@@ -1334,7 +1469,13 @@ let start_health ?(config = default_health_config) t =
       t.health <- Some h;
       arm_heartbeats t h
 
-let stop_health t = match t.health with Some h -> h.hs_running <- false | None -> ()
+let stop_health t =
+  match t.health with
+  | Some h ->
+      if h.hs_running && Trace.enabled Trace.Rpc then
+        Trace.instant ~ts:(Engine.now t.engine) ~cat:"ctrl" "hb_stop" ~args:[];
+      h.hs_running <- false
+  | None -> ()
 let health_running t = match t.health with Some h -> h.hs_running | None -> false
 
 let agent_health t idx =

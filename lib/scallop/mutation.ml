@@ -1,0 +1,33 @@
+type t =
+  | Heal_without_quiesce
+  | Corrupt_replay
+  | Reverse_batch
+  | Exec_while_offline
+
+let all = [ Heal_without_quiesce; Corrupt_replay; Reverse_batch; Exec_while_offline ]
+
+let name = function
+  | Heal_without_quiesce -> "heal-without-quiesce"
+  | Corrupt_replay -> "corrupt-replay"
+  | Reverse_batch -> "reverse-batch"
+  | Exec_while_offline -> "exec-while-offline"
+
+let of_name s = List.find_opt (fun m -> name m = s) all
+
+let describe = function
+  | Heal_without_quiesce ->
+      "revert the heal-race fix: heal on pong even while a blocking call \
+       is in flight on the channel"
+  | Corrupt_replay ->
+      "answer replayed requests with a fresh Error instead of the cached \
+       reply (breaks replay-cache byte-identity)"
+  | Reverse_batch -> "execute Batch ops in reverse submission order"
+  | Exec_while_offline ->
+      "keep executing requests while the agent process is crashed"
+
+let enabled : (t, unit) Hashtbl.t = Hashtbl.create 4
+
+let enable m = Hashtbl.replace enabled m ()
+let disable m = Hashtbl.remove enabled m
+let disable_all () = Hashtbl.reset enabled
+let on m = Hashtbl.mem enabled m

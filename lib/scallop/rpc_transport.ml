@@ -74,6 +74,7 @@ module Server = struct
     engine : Engine.t;
     handler : Rpc.request -> Rpc.reply;
     on_receive : unit -> unit;
+    label : string;  (** agent identity stamped on [rpc_exec] trace events *)
     seen : (int, Rpc.reply) Hashtbl.t;  (** reply cache by request seq *)
     seen_order : int Queue.t;
     mutable reply_fault : (seq:int -> Rpc.reply -> fault) option;
@@ -88,11 +89,12 @@ module Server = struct
 
   let cache_capacity = 1024
 
-  let create engine ?(on_receive = fun () -> ()) ~handler () =
+  let create engine ?(on_receive = fun () -> ()) ?(label = "agent") ~handler () =
     {
       engine;
       handler;
       on_receive;
+      label;
       seen = Hashtbl.create 64;
       seen_order = Queue.create ();
       reply_fault = None;
@@ -140,7 +142,8 @@ module Server = struct
      cache, so duplicate deliveries (retries, network duplication) never
      mutate agent state twice. *)
   let deliver t ~reply_via (dgram : Dgram.t) =
-    if not t.online then t.dropped_offline <- t.dropped_offline + 1
+    if (not t.online) && not (Mutation.on Mutation.Exec_while_offline) then
+      t.dropped_offline <- t.dropped_offline + 1
     else
     match Rpc.decode dgram.payload with
     | exception Rpc.Decode_error _ -> t.decode_errors <- t.decode_errors + 1
@@ -153,7 +156,8 @@ module Server = struct
           match Hashtbl.find_opt t.seen seq with
           | Some cached ->
               t.replayed <- t.replayed + 1;
-              cached
+              if Mutation.on Mutation.Corrupt_replay then Rpc.Error "replay-corrupt"
+              else cached
           | None ->
               let reply =
                 match t.handler request with
@@ -164,6 +168,8 @@ module Server = struct
               remember t seq reply;
               reply
         in
+        t.replies_sent <- t.replies_sent + 1;
+        let payload = Rpc.encode (Rpc.Reply { seq; reply }) in
         if Trace.enabled Trace.Rpc then
           Trace.instant ~ts:(Engine.now t.engine) ~cat:"rpc" "rpc_exec"
             ~args:
@@ -171,9 +177,12 @@ module Server = struct
                 ("name", Trace.S (Rpc.request_name request));
                 ("seq", Trace.I seq);
                 ("replayed", Trace.S (if replayed then "true" else "false"));
+                ("src", Trace.S (Addr.to_string dgram.src));
+                ("agent", Trace.S t.label);
+                (* digest of the encoded reply: the replay-identity rule
+                   compares a replay's digest against the original's *)
+                ("digest", Trace.I (Hashtbl.hash payload));
               ];
-        t.replies_sent <- t.replies_sent + 1;
-        let payload = Rpc.encode (Rpc.Reply { seq; reply }) in
         transmit t ~reply_via ~seq ~reply (Dgram.v ~src:dgram.dst ~dst:dgram.src payload)
 
   let stats t =

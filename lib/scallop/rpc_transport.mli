@@ -60,6 +60,7 @@ module Server : sig
   val create :
     Netsim.Engine.t ->
     ?on_receive:(unit -> unit) ->
+    ?label:string ->
     handler:(Rpc.request -> Rpc.reply) ->
     unit ->
     t
@@ -67,7 +68,9 @@ module Server : sig
       [Invalid_argument] it raises is shipped back as [Rpc.Error].
       [on_receive] fires once per request datagram delivered on the
       wire (duplicates included) — how the agent counts real control
-      messages. *)
+      messages. [label] (default ["agent"]) identifies this server on
+      its [rpc_exec] trace events, correlating them with controller-side
+      health events about the same switch. *)
 
   val deliver : t -> reply_via:(Netsim.Dgram.t -> unit) -> Netsim.Dgram.t -> unit
   (** Wire-side entry point (the control channel's sink). *)

@@ -3,6 +3,7 @@ module Ewma = Scallop_util.Ewma
 module Engine = Netsim.Engine
 module Dgram = Netsim.Dgram
 module Dd = Av1.Dd
+module Trace = Scallop_obs.Trace
 
 type select_decode_target =
   current:Dd.decode_target ->
@@ -168,6 +169,21 @@ let register_participant t ~meeting:mid ~participant ~egress_port ~sends =
   let m = meeting t mid in
   m.members <- m.members @ [ (participant, egress_port) ];
   if sends then m.sender_members <- m.sender_members @ [ participant ];
+  if Trace.enabled Trace.Rpc then
+    (* [count] is this participant's multiplicity after the add; the
+       exactly-once-effect rule requires it to always be 1 (a duplicate
+       registration is the observable damage of a double-executed op) *)
+    Trace.instant ~ts:(Engine.now t.engine) ~cat:"agent" "member_add"
+      ~args:
+        [
+          ("agent", Trace.S (Dataplane.obs_label t.dp));
+          ("meeting", Trace.I mid);
+          ("participant", Trace.I participant);
+          ( "count",
+            Trace.I
+              (List.length (List.filter (fun (p, _) -> p = participant) m.members))
+          );
+        ];
   let want = if t.migration_enabled then desired_design t m else m.design in
   if want <> m.design then rebuild t m want
   else Trees.add_participant (Dataplane.trees t.dp) m.handle (participant, egress_port) ~sends
@@ -175,6 +191,14 @@ let register_participant t ~meeting:mid ~participant ~egress_port ~sends =
 let remove_participant t ~meeting:mid ~participant =
   let m = meeting t mid in
   m.members <- List.filter (fun (p, _) -> p <> participant) m.members;
+  if Trace.enabled Trace.Rpc then
+    Trace.instant ~ts:(Engine.now t.engine) ~cat:"agent" "member_del"
+      ~args:
+        [
+          ("agent", Trace.S (Dataplane.obs_label t.dp));
+          ("meeting", Trace.I mid);
+          ("participant", Trace.I participant);
+        ];
   m.sender_members <- List.filter (fun p -> p <> participant) m.sender_members;
   (* retire this participant's sender stream and legs *)
   let gone, kept = List.partition (fun s -> s.sender = participant) m.streams in
@@ -471,13 +495,44 @@ let rec dispatch t (req : Rpc.request) : Rpc.reply =
       (* ops run in list order; a member's failure becomes its [Error]
          slot in the reply list and the rest still execute, so partial
          failure is visible per-op instead of poisoning the batch *)
+      let n = List.length ops in
+      let traced = Trace.enabled Trace.Rpc in
+      let label = if traced then Dataplane.obs_label t.dp else "" in
+      if traced then
+        Trace.instant ~ts:(Engine.now t.engine) ~cat:"agent" "batch_begin"
+          ~args:[ ("agent", Trace.S label); ("n", Trace.I n) ];
+      let indexed = List.mapi (fun i op -> (i, op)) ops in
+      let order =
+        if Mutation.on Mutation.Reverse_batch then List.rev indexed else indexed
+      in
+      let results =
+        List.map
+          (fun (i, op) ->
+            let reply =
+              match dispatch t op with
+              | reply -> reply
+              | exception Invalid_argument msg -> Rpc.Error msg
+            in
+            if traced then
+              Trace.instant ~ts:(Engine.now t.engine) ~cat:"agent" "batch_op"
+                ~args:
+                  [
+                    ("agent", Trace.S label);
+                    ("idx", Trace.I i);
+                    ( "ok",
+                      Trace.S
+                        (match reply with Rpc.Error _ -> "false" | _ -> "true") );
+                  ];
+            (i, reply))
+          order
+      in
+      if traced then
+        Trace.instant ~ts:(Engine.now t.engine) ~cat:"agent" "batch_end"
+          ~args:[ ("agent", Trace.S label) ];
+      (* replies always in submission order, so the controller's reply
+         matching is oblivious to the (test-only) execution-order mutation *)
       Rpc.Batch_reply
-        (List.map
-           (fun op ->
-             match dispatch t op with
-             | reply -> reply
-             | exception Invalid_argument msg -> Rpc.Error msg)
-           ops)
+        (List.map snd (List.sort (fun (a, _) (b, _) -> compare a b) results))
   | Rpc.New_meeting { two_party } ->
       Rpc.Meeting_created { meeting = new_meeting t ~two_party }
   | Rpc.Register_participant { meeting; participant; egress_port; sends } ->
@@ -544,6 +599,7 @@ let create engine dp ?(rewrite = Seq_rewrite.S_LM) ?(select = default_select)
     Some
       (Rpc_transport.Server.create engine
          ~on_receive:(fun () -> Scallop_obs.Metrics.incr t.rpc_calls)
+         ~label:(Dataplane.obs_label dp)
          ~handler:(fun req -> dispatch t req)
          ());
   t
@@ -565,7 +621,10 @@ let crash t =
   if t.alive then begin
     t.alive <- false;
     Rpc_transport.Server.set_online (rpc_server t) false;
-    wipe t
+    wipe t;
+    if Trace.enabled Trace.Rpc then
+      Trace.instant ~ts:(Engine.now t.engine) ~cat:"agent" "agent_crash"
+        ~args:[ ("agent", Trace.S (Dataplane.obs_label t.dp)) ]
   end
 
 let restart t =
@@ -575,7 +634,14 @@ let restart t =
   t.alive <- true;
   let server = rpc_server t in
   Rpc_transport.Server.flush_cache server;
-  Rpc_transport.Server.set_online server true
+  Rpc_transport.Server.set_online server true;
+  if Trace.enabled Trace.Rpc then
+    Trace.instant ~ts:(Engine.now t.engine) ~cat:"agent" "agent_restart"
+      ~args:
+        [
+          ("agent", Trace.S (Dataplane.obs_label t.dp));
+          ("epoch", Trace.I t.epoch);
+        ]
 
 type stats = {
   rpc_calls : int;

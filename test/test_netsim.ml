@@ -28,6 +28,90 @@ let eventq_stable_ties () =
   Alcotest.(check string) "fifo within same time" "first" (snd (Option.get (Eventq.pop q)));
   Alcotest.(check string) "fifo 2" "second" (snd (Option.get (Eventq.pop q)))
 
+(* The tie-breaking contract (Eventq mli): ties fire in insertion order,
+   [ready_count] sizes the tied set, and [pop_nth k] picks the k-th tied
+   event — with [pop_nth 0] behaving exactly like [pop]. The explorer's
+   permutation choice points are built on this. *)
+let eventq_ready_count () =
+  let q = Eventq.create () in
+  Alcotest.(check int) "empty" 0 (Eventq.ready_count q);
+  Eventq.push q ~time:10 "a";
+  Eventq.push q ~time:10 "b";
+  Eventq.push q ~time:20 "c";
+  Alcotest.(check int) "two tied at min" 2 (Eventq.ready_count q);
+  ignore (Eventq.pop q);
+  Alcotest.(check int) "one left at min" 1 (Eventq.ready_count q);
+  ignore (Eventq.pop q);
+  Alcotest.(check int) "next stratum" 1 (Eventq.ready_count q)
+
+let eventq_pop_nth () =
+  let q = Eventq.create () in
+  List.iter (fun v -> Eventq.push q ~time:5 v) [ "a"; "b"; "c" ];
+  Eventq.push q ~time:9 "late";
+  Alcotest.(check (option string))
+    "out of range" None
+    (Option.map snd (Eventq.pop_nth q 3));
+  Alcotest.(check (option string))
+    "nth picks by insertion order" (Some "b")
+    (Option.map snd (Eventq.pop_nth q 1));
+  Alcotest.(check (option string))
+    "remaining shift down" (Some "c")
+    (Option.map snd (Eventq.pop_nth q 1));
+  Alcotest.(check (option string))
+    "pop_nth 0 = pop" (Some "a")
+    (Option.map snd (Eventq.pop_nth q 0));
+  Alcotest.(check (option string))
+    "later stratum untouched" (Some "late")
+    (Option.map snd (Eventq.pop q))
+
+let prop_eventq_pop_nth0_is_pop =
+  QCheck.Test.make ~count:200 ~name:"pop_nth 0 behaves exactly like pop"
+    QCheck.(list_of_size Gen.(1 -- 60) (int_bound 20))
+    (fun times ->
+      let a = Eventq.create () and b = Eventq.create () in
+      List.iteri
+        (fun i t ->
+          Eventq.push a ~time:t i;
+          Eventq.push b ~time:t i)
+        times;
+      let rec drain () =
+        match (Eventq.pop a, Eventq.pop_nth b 0) with
+        | None, None -> true
+        | Some x, Some y -> x = y && drain ()
+        | _ -> false
+      in
+      drain ())
+
+let engine_chooser_permutes () =
+  let engine = Engine.create () in
+  let log = ref [] in
+  let note v () = log := v :: !log in
+  Engine.at engine ~time:10 (note "a");
+  Engine.at engine ~time:10 (note "b");
+  Engine.at engine ~time:10 (note "c");
+  (* always pick the last tied event: c, b, a *)
+  Engine.set_chooser engine (Some (fun ~ready -> ready - 1));
+  Engine.run engine;
+  Engine.set_chooser engine None;
+  Alcotest.(check (list string)) "reverse order" [ "c"; "b"; "a" ] (List.rev !log)
+
+let engine_chooser_default_and_fallback () =
+  let run chooser =
+    let engine = Engine.create () in
+    let log = ref [] in
+    let note v () = log := v :: !log in
+    Engine.at engine ~time:10 (note "a");
+    Engine.at engine ~time:10 (note "b");
+    Engine.set_chooser engine chooser;
+    Engine.run engine;
+    List.rev !log
+  in
+  Alcotest.(check (list string))
+    "no chooser: insertion order" [ "a"; "b" ] (run None);
+  Alcotest.(check (list string))
+    "out-of-range answer falls back to 0" [ "a"; "b" ]
+    (run (Some (fun ~ready:_ -> 99)))
+
 let prop_eventq_sorted =
   QCheck.Test.make ~count:200 ~name:"pops are time-sorted"
     QCheck.(list_of_size Gen.(1 -- 200) (int_bound 10_000))
@@ -337,7 +421,9 @@ let cpu_wakeup_latency () =
   Engine.run engine;
   Alcotest.(check int) "service + wakeup" 6000 !finish
 
-let qsuite = List.map QCheck_alcotest.to_alcotest [ prop_eventq_sorted ]
+let qsuite =
+  List.map QCheck_alcotest.to_alcotest
+    [ prop_eventq_sorted; prop_eventq_pop_nth0_is_pop ]
 
 let () =
   Alcotest.run "netsim"
@@ -346,6 +432,8 @@ let () =
         [
           Alcotest.test_case "ordering" `Quick eventq_ordering;
           Alcotest.test_case "stable ties" `Quick eventq_stable_ties;
+          Alcotest.test_case "ready count" `Quick eventq_ready_count;
+          Alcotest.test_case "pop nth" `Quick eventq_pop_nth;
         ] );
       ( "engine",
         [
@@ -354,6 +442,9 @@ let () =
           Alcotest.test_case "every stops" `Quick engine_every_stops;
           Alcotest.test_case "nested scheduling" `Quick engine_nested_scheduling;
           Alcotest.test_case "rejects past" `Quick engine_rejects_past;
+          Alcotest.test_case "chooser permutes ties" `Quick engine_chooser_permutes;
+          Alcotest.test_case "chooser default and fallback" `Quick
+            engine_chooser_default_and_fallback;
         ] );
       ( "link",
         [
