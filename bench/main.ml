@@ -5,8 +5,10 @@
    (results land in BENCH_3.json).
 
    Usage: main.exe [--quick] [--no-micro] [--no-experiments] [--ctrl-churn]
-   [experiment ids...]. --ctrl-churn runs only the control-plane batching
-   gate (BENCH_ctrl_churn.json, batched >= 5x per-op ops/sec). *)
+   [--gc-stats] [experiment ids...]. --ctrl-churn runs only the
+   control-plane batching gate (BENCH_ctrl_churn.json, batched >= 5x
+   per-op ops/sec). --gc-stats (or FANOUT_GC=1) additionally writes
+   BENCH_gc.json with the fan-out loop's GC pressure breakdown. *)
 
 let microbench () =
   print_endline "== Microbenchmarks: data-plane hot paths (model code) ==";
@@ -119,6 +121,14 @@ let fanout_world ~mode ~receivers =
     (List.tl participants);
   (engine, network, dp)
 
+(* Steady-state GC pressure of one run's hot loop, from [Gc.quick_stat]
+   deltas around the timed loop (warm-up excluded). *)
+type gc_sample = {
+  gs_alloc_bytes_per_pkt : float;  (** total allocation / packets *)
+  gs_minor_gcs : int;  (** minor collections during the loop *)
+  gs_promoted_words : float;
+}
+
 let fanout_run ~mode ~receivers ~packets =
   let engine, network, dp = fanout_world ~mode ~receivers in
   let module Addr = Scallop_util.Addr in
@@ -143,23 +153,49 @@ let fanout_run ~mode ~receivers ~packets =
   in
   (* pre-serialize the ingress stream so packet construction is not timed *)
   let stream = Array.init packets (fun i -> raw i (i / 2)) in
+  let one buf =
+    Netsim.Network.send network (Netsim.Dgram.v ~src ~dst:sfu buf);
+    Netsim.Engine.run engine
+  in
+  (* Warm-up before measuring: fills the PRE fan-out cache, the replica
+     buffer pool and the egress batch free list, so the GC numbers below
+     are the steady state the alloc budget pins, not first-touch growth. *)
+  let warmup = min 200 packets in
+  let warm = Array.init warmup (fun i -> raw (60_000 + i) (30_000 + i / 2)) in
+  Array.iter one warm;
   (* per-packet wall latency (ingress to full fan-out drained) lands in a
      log-bucketed histogram; chaining one clock read per packet keeps the
      instrumentation cost far below the ~10 µs a packet takes *)
   let hist = Scallop_util.Stats.Histogram.create () in
+  let gc0 = Gc.quick_stat () in
   let t0 = Unix.gettimeofday () in
   let t_prev = ref t0 in
   Array.iter
     (fun buf ->
-      Netsim.Network.send network (Netsim.Dgram.v ~src ~dst:sfu buf);
-      Netsim.Engine.run engine;
+      one buf;
       let t = Unix.gettimeofday () in
       Scallop_util.Stats.Histogram.observe hist ((t -. !t_prev) *. 1e9);
       t_prev := t)
     stream;
+  let gc1 = Gc.quick_stat () in
   let elapsed = !t_prev -. t0 in
   let pps = float_of_int packets /. elapsed in
-  (pps, hist, Scallop.Dataplane.fastpath_stats dp)
+  (* total words allocated = minor + major - promoted (promoted words are
+     counted in both the minor and major tallies) *)
+  let words =
+    gc1.Gc.minor_words -. gc0.Gc.minor_words
+    +. (gc1.Gc.major_words -. gc0.Gc.major_words)
+    -. (gc1.Gc.promoted_words -. gc0.Gc.promoted_words)
+  in
+  let gc =
+    {
+      gs_alloc_bytes_per_pkt =
+        words *. float_of_int (Sys.word_size / 8) /. float_of_int packets;
+      gs_minor_gcs = gc1.Gc.minor_collections - gc0.Gc.minor_collections;
+      gs_promoted_words = gc1.Gc.promoted_words -. gc0.Gc.promoted_words;
+    }
+  in
+  (pps, hist, Scallop.Dataplane.fastpath_stats dp, gc)
 
 let json_escape s =
   let b = Buffer.create (String.length s) in
@@ -172,7 +208,7 @@ let json_escape s =
     s;
   Buffer.contents b
 
-let fanout_bench ~quick ~micro =
+let fanout_bench ~quick ~micro ~gc_stats =
   print_endline "\n== Fan-out throughput: zero-copy fast path vs record slow path ==";
   let receivers = 30 in
   let packets = if quick then 2_000 else 20_000 in
@@ -181,50 +217,98 @@ let fanout_bench ~quick ~micro =
   let best mode =
     let runs = List.init 3 (fun _ -> fanout_run ~mode ~receivers ~packets) in
     List.fold_left
-      (fun ((best_pps, _, _) as acc) ((pps, _, _) as r) ->
+      (fun ((best_pps, _, _, _) as acc) ((pps, _, _, _) as r) ->
         if pps > best_pps then r else acc)
       (List.hd runs) (List.tl runs)
   in
   let p50 h = Scallop_util.Stats.Histogram.percentile h 50.0 in
   let p99 h = Scallop_util.Stats.Histogram.percentile h 99.0 in
-  let slow_pps, slow_hist, _ = best Scallop.Dataplane.Slow in
-  let fast_pps, fast_hist, fast_stats = best Scallop.Dataplane.Fast in
+  let slow_pps, slow_hist, _, slow_gc = best Scallop.Dataplane.Slow in
+  let fast_pps, fast_hist, fast_stats, fast_gc = best Scallop.Dataplane.Fast in
   let paranoid_ok =
     (* differential gate: both paths over the same stream, byte-compared *)
     match fanout_run ~mode:Scallop.Dataplane.Paranoid ~receivers ~packets:(min packets 2_000) with
-    | _, _, s -> s.Scallop.Dataplane.fp_paranoid_mismatches = 0
+    | _, _, s, _ -> s.Scallop.Dataplane.fp_paranoid_mismatches = 0
     | exception Scallop.Dataplane.Differential_mismatch msg ->
         Printf.printf "DIFFERENTIAL MISMATCH: %s\n" msg;
         false
   in
   let speedup = fast_pps /. slow_pps in
+  let alloc_budget = Scallop.Dataplane.alloc_budget_bytes_per_packet in
+  (* GC-pressure gate: the fast path's steady-state allocation per packet
+     must stay within the pinned budget, and pooling must not have cost
+     the tail — fast p99 strictly under slow p99. *)
+  let gate_alloc_ok = fast_gc.gs_alloc_bytes_per_pkt <= float_of_int alloc_budget in
+  let gate_p99_ok = p99 fast_hist < p99 slow_hist in
+  let gate_speedup_ok = speedup >= 4.5 in
   Printf.printf "receivers: %d  packets: %d\n" receivers packets;
-  Printf.printf "slow path: %10.0f pps   (per-packet p50 %.0f ns, p99 %.0f ns)\n"
-    slow_pps (p50 slow_hist) (p99 slow_hist);
   Printf.printf
-    "fast path: %10.0f pps   (per-packet p50 %.0f ns, p99 %.0f ns; cache hits %d / misses %d)\n"
-    fast_pps (p50 fast_hist) (p99 fast_hist)
+    "slow path: %10.0f pps   (per-packet p50 %.0f ns, p99 %.0f ns; %.0f B alloc/pkt, %d minor GCs)\n"
+    slow_pps (p50 slow_hist) (p99 slow_hist) slow_gc.gs_alloc_bytes_per_pkt
+    slow_gc.gs_minor_gcs;
+  Printf.printf
+    "fast path: %10.0f pps   (per-packet p50 %.0f ns, p99 %.0f ns; %.0f B alloc/pkt, %d minor GCs; cache hits %d / misses %d)\n"
+    fast_pps (p50 fast_hist) (p99 fast_hist) fast_gc.gs_alloc_bytes_per_pkt
+    fast_gc.gs_minor_gcs
     fast_stats.Scallop.Dataplane.fp_cache_hits fast_stats.Scallop.Dataplane.fp_cache_misses;
   Printf.printf "speedup:   %10.2fx\n" speedup;
+  Printf.printf "pool:      %d recycled / %d fresh checkouts, high water %d live\n"
+    fast_stats.Scallop.Dataplane.fp_pool_recycled
+    fast_stats.Scallop.Dataplane.fp_pool_fresh
+    fast_stats.Scallop.Dataplane.fp_pool_high_water;
   Printf.printf "paranoid differential check: %s\n" (if paranoid_ok then "ok" else "FAILED");
+  Printf.printf "alloc budget gate (<= %d B/pkt): %s\n" alloc_budget
+    (if gate_alloc_ok then "ok" else "FAILED");
+  Printf.printf "p99 ordering gate (fast < slow): %s\n"
+    (if gate_p99_ok then "ok" else "FAILED");
+  Printf.printf "speedup gate (>= 4.5x): %s\n" (if gate_speedup_ok then "ok" else "FAILED");
   let oc = open_out "BENCH_3.json" in
   Printf.fprintf oc
     "{\n  \"benchmark\": \"fanout_pps\",\n  \"receivers\": %d,\n  \"packets\": %d,\n  \
      \"slow_pps\": %.1f,\n  \"fast_pps\": %.1f,\n  \"speedup\": %.3f,\n  \
      \"slow_p50_ns\": %.1f,\n  \"slow_p99_ns\": %.1f,\n  \
      \"fast_p50_ns\": %.1f,\n  \"fast_p99_ns\": %.1f,\n  \
-     \"paranoid_ok\": %b,\n  \"cache_hits\": %d,\n  \"cache_misses\": %d,\n  \
+     \"slow_alloc_bytes_per_pkt\": %.1f,\n  \"fast_alloc_bytes_per_pkt\": %.1f,\n  \
+     \"slow_minor_gcs\": %d,\n  \"fast_minor_gcs\": %d,\n  \
+     \"alloc_budget_bytes_per_pkt\": %d,\n  \
+     \"pool_recycled\": %d,\n  \"pool_fresh\": %d,\n  \"pool_high_water\": %d,\n  \
+     \"paranoid_ok\": %b,\n  \"gate_alloc_ok\": %b,\n  \"gate_p99_ok\": %b,\n  \
+     \"gate_speedup_ok\": %b,\n  \
+     \"cache_hits\": %d,\n  \"cache_misses\": %d,\n  \
      \"microbench_ns_per_op\": {%s}\n}\n"
     receivers packets slow_pps fast_pps speedup
     (p50 slow_hist) (p99 slow_hist) (p50 fast_hist) (p99 fast_hist)
-    paranoid_ok
+    slow_gc.gs_alloc_bytes_per_pkt fast_gc.gs_alloc_bytes_per_pkt
+    slow_gc.gs_minor_gcs fast_gc.gs_minor_gcs alloc_budget
+    fast_stats.Scallop.Dataplane.fp_pool_recycled
+    fast_stats.Scallop.Dataplane.fp_pool_fresh
+    fast_stats.Scallop.Dataplane.fp_pool_high_water
+    paranoid_ok gate_alloc_ok gate_p99_ok gate_speedup_ok
     fast_stats.Scallop.Dataplane.fp_cache_hits
     fast_stats.Scallop.Dataplane.fp_cache_misses
     (String.concat ", "
        (List.map (fun (n, ns) -> Printf.sprintf "\"%s\": %.1f" (json_escape n) ns) micro));
   close_out oc;
   print_endline "wrote BENCH_3.json";
-  if not paranoid_ok then exit 1
+  if gc_stats then begin
+    (* full process-level GC picture, for the CI artifact *)
+    let s = Gc.stat () in
+    let oc = open_out "BENCH_gc.json" in
+    Printf.fprintf oc
+      "{\n  \"benchmark\": \"fanout_gc\",\n  \
+       \"slow\": { \"alloc_bytes_per_pkt\": %.1f, \"minor_gcs\": %d, \"promoted_words\": %.0f },\n  \
+       \"fast\": { \"alloc_bytes_per_pkt\": %.1f, \"minor_gcs\": %d, \"promoted_words\": %.0f },\n  \
+       \"alloc_budget_bytes_per_pkt\": %d,\n  \
+       \"process\": { \"minor_collections\": %d, \"major_collections\": %d, \
+       \"compactions\": %d, \"heap_words\": %d, \"top_heap_words\": %d }\n}\n"
+      slow_gc.gs_alloc_bytes_per_pkt slow_gc.gs_minor_gcs slow_gc.gs_promoted_words
+      fast_gc.gs_alloc_bytes_per_pkt fast_gc.gs_minor_gcs fast_gc.gs_promoted_words
+      alloc_budget s.Gc.minor_collections s.Gc.major_collections s.Gc.compactions
+      s.Gc.heap_words s.Gc.top_heap_words;
+    close_out oc;
+    print_endline "wrote BENCH_gc.json"
+  end;
+  if not (paranoid_ok && gate_alloc_ok && gate_p99_ok && gate_speedup_ok) then exit 1
 
 (* --- control-plane churn: the batching gate ---------------------------------- *)
 
@@ -284,6 +368,9 @@ let () =
   let no_micro = List.mem "--no-micro" args in
   let no_experiments = List.mem "--no-experiments" args in
   let ctrl_churn_only = List.mem "--ctrl-churn" args in
+  let gc_stats =
+    List.mem "--gc-stats" args || Sys.getenv_opt "FANOUT_GC" = Some "1"
+  in
   Option.iter install_csv_sink (find_csv_dir args);
   if ctrl_churn_only then begin
     (* the batching gate alone (used by CI): no figures, no microbench *)
@@ -312,4 +399,4 @@ let () =
              | None -> Printf.printf "unknown experiment id %S\n" id)
            ids);
   let micro = if no_micro then [] else microbench () in
-  fanout_bench ~quick ~micro
+  fanout_bench ~quick ~micro ~gc_stats

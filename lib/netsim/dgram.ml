@@ -3,9 +3,15 @@ type t = {
   dst : Scallop_util.Addr.t;
   payload : bytes;
   trace : int;
+  pool : Scallop_util.Bufpool.t option;
 }
 
-let v ?(trace = -1) ~src ~dst payload = { src; dst; payload; trace }
+let v ?(trace = -1) ?pool ~src ~dst payload = { src; dst; payload; trace; pool }
+
+let release t =
+  match t.pool with
+  | Some pool -> Scallop_util.Bufpool.release pool t.payload
+  | None -> ()
 
 (* 14 B Ethernet + 20 B IPv4 + 8 B UDP *)
 let header_overhead = 42

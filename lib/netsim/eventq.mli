@@ -1,13 +1,19 @@
-(** Binary-heap event queue for the discrete-event engine.
+(** Calendar-queue event queue for the discrete-event engine: a bucketed
+    timing wheel over preallocated arena storage, spilling far-future
+    events to a binary heap. Steady-state [push]/[pop] allocates nothing —
+    entries live in parallel arrays threaded through an intrusive free
+    list, and the arena only grows when more events are simultaneously
+    pending than ever before (see DESIGN.md §13 for the layout).
 
     {2 Tie-breaking contract (stable public API)}
 
     Events with equal timestamps fire in {b insertion order}: every [push]
     stamps the entry with a monotonically increasing sequence number, and
-    ordering is lexicographic on [(time, seq)]. This is a documented,
-    tested contract — deterministic replay, the trace-determinism CI gate,
-    and the {!Scallop_mc} explorer's permutation choice points all depend
-    on it. [pop t] is always equivalent to [pop_nth t 0]. *)
+    ordering is lexicographic on [(time, seq)] — including across the
+    wheel/heap spill boundary. This is a documented, tested contract —
+    deterministic replay, the trace-determinism CI gate, and the
+    {!Scallop_mc} explorer's permutation choice points all depend on it.
+    [pop t] is always equivalent to [pop_nth t 0]. *)
 
 type 'a t
 
@@ -26,10 +32,12 @@ val peek_time : 'a t -> int option
 
 val ready_count : 'a t -> int
 (** Number of events tied at the minimum timestamp — the size of the
-    "ready set" an explorer may permute. [0] iff the queue is empty. *)
+    "ready set" an explorer may permute. [0] iff the queue is empty.
+    O(ready): equal-time events share one sorted wheel bucket, so the
+    tied run is counted without scanning the rest of the queue. *)
 
 val pop_nth : 'a t -> int -> (int * 'a) option
 (** [pop_nth t k] removes and returns the [k]-th event (0-based, in
     insertion order) among those tied at the minimum timestamp. [None] if
     the queue is empty or [k >= ready_count t]. [pop_nth t 0] behaves
-    exactly like [pop]. *)
+    exactly like [pop]. O(ready). *)

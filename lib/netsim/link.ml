@@ -97,14 +97,17 @@ let send t dgram =
     t.dropped <- t.dropped + 1;
     if traced then
       Trace.instant ~ts:(Engine.now t.engine) ~trace:dgram.Dgram.trace ~cat:"link"
-        "link_drop" ~args:[ ("reason", Trace.S "loss") ]
+        "link_drop" ~args:[ ("reason", Trace.S "loss") ];
+    (* the datagram dies here: recycle a pooled payload *)
+    Dgram.release dgram
   end
   else if t.queued_bytes + size > cfg.queue_bytes then begin
     t.dropped <- t.dropped + 1;
     if traced then
       Trace.instant ~ts:(Engine.now t.engine) ~trace:dgram.Dgram.trace ~cat:"link"
         "link_drop"
-        ~args:[ ("reason", Trace.S "queue"); ("queued_bytes", Trace.I t.queued_bytes) ]
+        ~args:[ ("reason", Trace.S "queue"); ("queued_bytes", Trace.I t.queued_bytes) ];
+    Dgram.release dgram
   end
   else begin
     let now = Engine.now t.engine in

@@ -22,20 +22,27 @@ let create engine rng =
     undeliverable = 0;
   }
 
+(* The delivery point is where a datagram's life ends: once the bound
+   handler returns (receivers parse the payload into their own records),
+   a pooled replica buffer is recycled. A handler that must retain the
+   raw payload past its return — none does today — would have to copy. *)
 let deliver t dgram =
-  match Hashtbl.find_opt t.handlers dgram.Dgram.dst with
+  (match Hashtbl.find_opt t.handlers dgram.Dgram.dst with
   | Some handler -> handler dgram
   | None -> (
       match Hashtbl.find_opt t.host_handlers dgram.Dgram.dst.ip with
       | Some handler -> handler dgram
-      | None -> t.undeliverable <- t.undeliverable + 1)
+      | None -> t.undeliverable <- t.undeliverable + 1));
+  Dgram.release dgram
 
 (* Uplink hands off to the destination host's downlink; the core itself is
    assumed over-provisioned (zero extra delay beyond the two links). *)
 let route t dgram =
   match Hashtbl.find_opt t.hosts dgram.Dgram.dst.ip with
   | Some host -> Link.send host.downlink dgram
-  | None -> t.undeliverable <- t.undeliverable + 1
+  | None ->
+      t.undeliverable <- t.undeliverable + 1;
+      Dgram.release dgram
 
 let add_host t ~ip ?(uplink = Link.default) ?(downlink = Link.default) () =
   let up = Link.create t.engine (Rng.split t.rng) uplink ~sink:(fun d -> route t d) in
@@ -54,8 +61,13 @@ let send t dgram =
          up front instead of simulating an uplink transit whose only
          outcome is the same counter bump two events later. *)
       if Hashtbl.mem t.hosts dgram.Dgram.dst.ip then Link.send host.uplink dgram
-      else t.undeliverable <- t.undeliverable + 1
-  | None -> t.undeliverable <- t.undeliverable + 1
+      else begin
+        t.undeliverable <- t.undeliverable + 1;
+        Dgram.release dgram
+      end
+  | None ->
+      t.undeliverable <- t.undeliverable + 1;
+      Dgram.release dgram
 
 let uplink t ~ip =
   match Hashtbl.find_opt t.hosts ip with

@@ -178,13 +178,19 @@ type fastpath_stats = {
   fp_slow_pkts : int;
       (** ingress media packets that took the record path (Slow mode, or
           non-canonical encodings the fast path must not touch) *)
-  fp_replica_copies : int;  (** [Bytes.copy] fan-out replicas made by the fast path *)
+  fp_replica_copies : int;
+      (** fan-out replicas materialized by the fast path (blits into
+          pooled buffers) *)
   fp_paranoid_checks : int;  (** egress datagrams byte-compared across both paths *)
   fp_paranoid_mismatches : int;  (** comparisons that failed (0 or the run raised) *)
   fp_cache_hits : int;
   fp_cache_misses : int;
   fp_cache_invalidations : int;
   fp_cache_entries : int;  (** resident PRE fan-out cache entries *)
+  fp_pool_live : int;  (** replica buffers currently checked out of the pool *)
+  fp_pool_high_water : int;  (** peak simultaneously-live replica buffers *)
+  fp_pool_recycled : int;  (** replica checkouts served from a free list *)
+  fp_pool_fresh : int;  (** replica checkouts that had to allocate *)
 }
 
 val fastpath_stats : t -> fastpath_stats
@@ -192,6 +198,18 @@ val fastpath_stats : t -> fastpath_stats
     [scallop_cli check]. A view over the registry-backed
     [scallop_dp_*] / [scallop_pre_cache_*] series (see
     {!Scallop_obs.Metrics}). *)
+
+val pool_stats : t -> Scallop_util.Bufpool.stats
+(** The replica buffer pool's full accounting (see {!Scallop_util.Bufpool}).
+    After the simulation drains, [live] must be back to 0: every pooled
+    replica was terminated by the network layer exactly once. *)
+
+val alloc_budget_bytes_per_packet : int
+(** Pinned steady-state allocation ceiling for the fast path, in bytes of
+    minor-heap allocation per ingress packet for the canonical 30-receiver
+    fan-out (replica buffers pooled, egress batches recycled). The bench's
+    GC-pressure gate and the regression test both check against this one
+    constant; raising it is an explicit, reviewed decision. *)
 
 val set_egress_hook :
   t -> (receiver:int -> ssrc:int -> template:int option -> size:int -> unit) -> unit

@@ -51,6 +51,12 @@ type handle = {
   mutable impl : impl;
   mutable next_pidx : int;
   mutable free_pidx : int list;  (** indices reclaimed from removed participants *)
+  mutable rev : int array;
+      (** index -> participant (-1 = hole): the inverse of the impl's
+          pidx/ridx table, consulted once per fan-out replica on the data
+          path — an O(participants) fold there would make every packet
+          O(receivers x participants) *)
+  mutable rev_valid : bool;
 }
 
 type t = {
@@ -195,6 +201,7 @@ let pidx_of h tbl p =
             i
       in
       Hashtbl.replace tbl p i;
+      h.rev_valid <- false;
       i
 
 (* Reclaim a departed participant's index (and thus its RID) for reuse —
@@ -205,7 +212,8 @@ let free_pidx_of h tbl p =
   | None -> ()
   | Some i ->
       Hashtbl.remove tbl p;
-      h.free_pidx <- i :: h.free_pidx
+      h.free_pidx <- i :: h.free_pidx;
+      h.rev_valid <- false
 
 let shared_add_participant t h group slot pidx nodes (p, port) =
   ensure_l2_xid t port;
@@ -331,6 +339,8 @@ let register_meeting t design ~participants ~senders =
       impl = I_two_party;
       next_pidx = 0;
       free_pidx = [];
+      rev = [||];
+      rev_valid = false;
     }
   in
   t.next_handle <- t.next_handle + 1;
@@ -531,6 +541,18 @@ let route_media _t h ~sender ~layer =
           let other_tag = 3 - tag in
           Replicate { mgid = pair.pair_mgids.(q); l1_xid = other_tag; rid = -1; l2_xid = 0 })
 
+(* Lazily (re)built inverse of the handle's participant-index table;
+   invalidated by [pidx_of]/[free_pidx_of]. The indices are injective, so
+   the array holds at most one participant per slot. *)
+let rev_of h tbl =
+  if not h.rev_valid then begin
+    if Array.length h.rev < rid_stride then h.rev <- Array.make rid_stride (-1)
+    else Array.fill h.rev 0 rid_stride (-1);
+    Hashtbl.iter (fun p i -> h.rev.(i) <- p) tbl;
+    h.rev_valid <- true
+  end;
+  h.rev
+
 let receiver_of_replica _t h ~mgid ~rid =
   ignore mgid;
   match h.impl with
@@ -538,11 +560,11 @@ let receiver_of_replica _t h ~mgid ~rid =
   | I_shared { slot; pidx; _ } ->
       if rid / rid_stride <> slot then None
       else
-        let idx = rid mod rid_stride in
-        Hashtbl.fold (fun p i acc -> if i = idx then Some p else acc) pidx None
+        let p = (rev_of h pidx).(rid mod rid_stride) in
+        if p < 0 then None else Some p
   | I_ra_sr { ridx; _ } ->
-      let idx = rid mod rid_stride in
-      Hashtbl.fold (fun p i acc -> if i = idx then Some p else acc) ridx None
+      let p = (rev_of h ridx).(rid mod rid_stride) in
+      if p < 0 then None else Some p
 
 let participants h = h.h_participants
 let senders h = h.h_senders

@@ -42,8 +42,14 @@ let setup ?(mode = Dp.Paranoid) ?(rewrite = Some Scallop.Seq_rewrite.S_LM)
   Network.add_host network ~ip:receiver_addr.Addr.ip ~uplink:fast ~downlink:fast ();
   let dp = Dp.create engine network ~ip:sfu_ip ~mode () in
   let received = ref [] and at_sender = ref [] and cpu = ref [] in
-  Network.bind network receiver_addr (fun d -> received := d :: !received);
-  Network.bind network sender_addr (fun d -> at_sender := d :: !at_sender);
+  (* pooled fast-path payloads are recycled (and, in Paranoid, poisoned)
+     once a delivery handler returns — retaining a datagram requires
+     detaching its payload with a copy, per the Dgram ownership contract *)
+  let keep d =
+    { d with Dgram.payload = Bytes.copy d.Dgram.payload; pool = None }
+  in
+  Network.bind network receiver_addr (fun d -> received := keep d :: !received);
+  Network.bind network sender_addr (fun d -> at_sender := keep d :: !at_sender);
   Dp.set_cpu_sink dp (fun d -> cpu := d :: !cpu);
   let meeting =
     Scallop.Trees.register_meeting (Dp.trees dp) Scallop.Trees.Nra
@@ -399,6 +405,105 @@ let pre_cache_hit_miss_invalidate () =
   let after = List.length !(w.received) in
   Alcotest.(check int) "only the remaining receiver is served" 1 (after - before)
 
+(* --- allocation & buffer pool ----------------------------------------------- *)
+
+(* Suppressed replicas short-circuit before materialization: no replica
+   buffer is checked out and no copy is counted for them. *)
+let suppress_short_circuits () =
+  let w = setup ~mode:Dp.Fast () in
+  Dp.set_leg_target w.dp ~receiver:2 ~video_ssrc:77 Dd.DT_15fps;
+  (* frames 0 (T0, kept), 1 (T2, suppressed), 2 (T1, kept) *)
+  send_media w (media_packet ~seq:10 ~frame:0 ~template:1 ());
+  send_media w (media_packet ~seq:11 ~frame:1 ~template:3 ());
+  send_media w (media_packet ~seq:12 ~frame:2 ~template:2 ());
+  let s = Dp.fastpath_stats w.dp in
+  Alcotest.(check int) "one replica suppressed" 1 (Dp.replicas_suppressed w.dp);
+  Alcotest.(check int) "copies only for forwarded replicas" 2 s.Dp.fp_replica_copies;
+  Alcotest.(check int) "pool served only forwarded replicas" 2
+    (s.Dp.fp_pool_recycled + s.Dp.fp_pool_fresh)
+
+(* Every pooled replica must come back: once the engine drains, whoever
+   terminated each datagram (the delivery handler returning, here) has
+   released its buffer exactly once. *)
+let pool_drains_to_zero () =
+  let w = setup ~mode:Dp.Fast () in
+  for i = 1 to 20 do
+    send_media w (media_packet ~seq:i ~frame:i ~template:((i mod 4) + 1) ())
+  done;
+  let s = Dp.pool_stats w.dp in
+  Alcotest.(check int) "all buffers returned" 0 s.Scallop_util.Bufpool.live;
+  Alcotest.(check bool) "pool actually used" true
+    (s.Scallop_util.Bufpool.high_water >= 1);
+  Alcotest.(check bool) "steady state recycles" true
+    (s.Scallop_util.Bufpool.recycled > 0)
+
+(* Steady-state allocation regression gate: the canonical 30-receiver Fast
+   fan-out must stay under the pinned budget. Mirrors the bench's GC gate
+   so a regression fails in `dune runtest`, not only in CI's bench smoke.
+   The receiver IP is unhosted, so the network terminates every replica
+   (and must release its pooled buffer there). *)
+let alloc_budget_regression () =
+  let engine = Engine.create () in
+  let rng = Rng.create 7 in
+  let network = Network.create engine rng in
+  let fast = { Netsim.Link.default with rate_bps = infinity; propagation_ns = 100 } in
+  Network.add_host network ~ip:sfu_ip ~uplink:fast ~downlink:fast ();
+  Network.add_host network ~ip:sender_addr.Addr.ip ~uplink:fast ~downlink:fast ();
+  let dp = Dp.create engine network ~ip:sfu_ip ~mode:Dp.Fast () in
+  let receivers = 30 in
+  let participants =
+    (1, uplink_port) :: List.init receivers (fun i -> (2 + i, 50_000 + i))
+  in
+  let meeting =
+    Scallop.Trees.register_meeting (Dp.trees dp) Scallop.Trees.Nra ~participants
+      ~senders:[ 1 ]
+  in
+  Dp.register_uplink dp ~port:uplink_port ~sender:1 ~meeting ~video_ssrc:77
+    ~audio_ssrc:78;
+  let recv_ip = Addr.ip_of_string "10.0.2.1" in
+  List.iteri
+    (fun i (pid, port) ->
+      Dp.register_leg dp ~receiver:pid ~video_ssrc:77 ~audio_ssrc:78
+        ~dst:(Addr.v recv_ip (6000 + i)) ~src_port:port ~uplink_port ~rewrite:None)
+    (List.tl participants);
+  let payload = Bytes.make 1200 'v' in
+  let raw seq frame =
+    let dd =
+      {
+        Dd.start_of_frame = true;
+        end_of_frame = true;
+        template_id = (frame mod 4) + 1;
+        frame_number = frame land 0xFFFF;
+        structure = None;
+      }
+    in
+    Packet.serialize
+      (Packet.make
+         ~extensions:[ { Packet.id = Dd.extension_id; data = Dd.serialize dd } ]
+         ~payload_type:96 ~sequence:(seq land 0xFFFF) ~timestamp:(frame * 3000)
+         ~ssrc:77 payload)
+  in
+  let one buf =
+    Network.send network (Dgram.v ~src:sender_addr ~dst:(Addr.v sfu_ip uplink_port) buf);
+    Engine.run engine
+  in
+  (* warm-up: fill the PRE cache, the replica pool and the batch free list *)
+  Array.iter one (Array.init 100 (fun i -> raw (60_000 + i) (30_000 + (i / 2))));
+  let packets = 200 in
+  let stream = Array.init packets (fun i -> raw i (i / 2)) in
+  let fresh0 = (Dp.pool_stats dp).Scallop_util.Bufpool.fresh in
+  let a0 = Gc.allocated_bytes () in
+  Array.iter one stream;
+  let per_pkt = (Gc.allocated_bytes () -. a0) /. float_of_int packets in
+  if per_pkt > float_of_int Dp.alloc_budget_bytes_per_packet then
+    Alcotest.failf "fast path allocates %.0f B/packet (budget %d)" per_pkt
+      Dp.alloc_budget_bytes_per_packet;
+  let s = Dp.pool_stats dp in
+  Alcotest.(check int) "no fresh checkouts in steady state" fresh0
+    s.Scallop_util.Bufpool.fresh;
+  Alcotest.(check int) "unhosted deliveries released every buffer" 0
+    s.Scallop_util.Bufpool.live
+
 let () =
   Alcotest.run "dataplane"
     [
@@ -431,4 +536,12 @@ let () =
              Alcotest.test_case "pre cache hit/miss/invalidate" `Quick
                pre_cache_hit_miss_invalidate;
            ] );
+      ( "alloc",
+        [
+          Alcotest.test_case "suppress short-circuits materialization" `Quick
+            suppress_short_circuits;
+          Alcotest.test_case "pool drains to zero" `Quick pool_drains_to_zero;
+          Alcotest.test_case "alloc budget regression" `Quick
+            alloc_budget_regression;
+        ] );
     ]

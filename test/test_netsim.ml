@@ -125,6 +125,117 @@ let prop_eventq_sorted =
       in
       drain min_int)
 
+(* The wheel window is ~8.4 ms; +20 ms lands in the heap spill. A tied run
+   that lives in the heap — partly pushed before and partly after the near
+   events drained — must still fire in insertion order once the window
+   jumps forward and the run migrates back into a wheel bucket. *)
+let eventq_spill_preserves_ties () =
+  let q = Eventq.create () in
+  let far = 20_000_000 in
+  Eventq.push q ~time:5 "near";
+  Eventq.push q ~time:far "h1";
+  Eventq.push q ~time:far "h2";
+  Alcotest.(check (option string)) "near first" (Some "near")
+    (Option.map snd (Eventq.pop q));
+  Eventq.push q ~time:far "h3";
+  Alcotest.(check int) "migrated run counted" 3 (Eventq.ready_count q);
+  Alcotest.(check (option string)) "pop_nth into migrated run" (Some "h2")
+    (Option.map snd (Eventq.pop_nth q 1));
+  Alcotest.(check (option string)) "insertion order kept" (Some "h1")
+    (Option.map snd (Eventq.pop q));
+  Alcotest.(check (option string)) "post-migration push last" (Some "h3")
+    (Option.map snd (Eventq.pop q))
+
+(* A push below the window base rebases the wheel, spilling entries that
+   fall beyond the shrunk window to the heap. Ties split across that
+   rebase (one entry spilled, one pushed straight to the heap) must still
+   fire in insertion order. *)
+let eventq_rebase_preserves_ties () =
+  let q = Eventq.create () in
+  Eventq.push q ~time:10_000_000 "a";
+  Eventq.push q ~time:50 "early";  (* rebase: "a" spills to the heap *)
+  Eventq.push q ~time:10_000_000 "b";
+  Alcotest.(check (option string)) "rebased minimum" (Some "early")
+    (Option.map snd (Eventq.pop q));
+  Alcotest.(check (option string)) "spilled tie first" (Some "a")
+    (Option.map snd (Eventq.pop q));
+  Alcotest.(check (option string)) "heap tie second" (Some "b")
+    (Option.map snd (Eventq.pop q));
+  Alcotest.(check bool) "drained" true (Eventq.is_empty q)
+
+(* Full behavioural equivalence against a sorted-list reference over
+   random push/pop/pop_nth sequences whose times span many wheel windows
+   (so heap spill, migration and the past-push rebase all trigger), with
+   peek_time/ready_count/length checked after every op. *)
+let prop_eventq_model =
+  QCheck.Test.make ~count:200 ~name:"wheel+heap queue = sorted-list reference"
+    QCheck.(list_of_size Gen.(1 -- 120) (pair (int_bound 5) (int_bound 30_000_000)))
+    (fun ops ->
+      let q = Eventq.create () in
+      (* reference: (time, seq, v) kept sorted lexicographically *)
+      let model = ref [] in
+      let seq = ref 0 in
+      let le (t1, s1, _) (t2, s2, _) = t1 < t2 || (t1 = t2 && s1 <= s2) in
+      let model_insert e =
+        let rec go = function
+          | [] -> [ e ]
+          | x :: rest -> if le e x then e :: x :: rest else x :: go rest
+        in
+        model := go !model
+      in
+      let model_pop_nth k =
+        match !model with
+        | [] -> None
+        | (t0, _, _) :: _ ->
+            (* remove the k-th entry of the equal-time head run, if any *)
+            let rec go j l =
+              match l with
+              | (t, s, v) :: rest when t = t0 ->
+                  if j = k then Some ((t, v), rest)
+                  else
+                    Option.map
+                      (fun (r, rest') -> (r, (t, s, v) :: rest'))
+                      (go (j + 1) rest)
+              | _ -> None
+            in
+            Option.map
+              (fun (r, m') ->
+                model := m';
+                r)
+              (go 0 !model)
+      in
+      let ok = ref true in
+      let expect _name a b = if a <> b then ok := false in
+      List.iter
+        (fun (tag, t) ->
+          (match tag with
+          | 0 | 1 | 2 ->
+              incr seq;
+              Eventq.push q ~time:t !seq;
+              model_insert (t, !seq, !seq)
+          | 3 ->
+              let e =
+                match !model with
+                | [] -> None
+                | (t, _, v) :: rest ->
+                    model := rest;
+                    Some (t, v)
+              in
+              expect "pop" e (Eventq.pop q)
+          | _ -> expect "pop_nth" (model_pop_nth (t mod 4)) (Eventq.pop_nth q (t mod 4)));
+          expect "length" (List.length !model) (Eventq.length q);
+          expect "peek"
+            (match !model with [] -> None | (t, _, _) :: _ -> Some t)
+            (Eventq.peek_time q);
+          let ready =
+            match !model with
+            | [] -> 0
+            | (t0, _, _) :: _ -> List.length (List.filter (fun (t, _, _) -> t = t0) !model)
+          in
+          expect "ready_count" ready (Eventq.ready_count q))
+        ops;
+      !ok)
+
 (* --- engine ------------------------------------------------------------------ *)
 
 let engine_schedule_order () =
@@ -423,7 +534,7 @@ let cpu_wakeup_latency () =
 
 let qsuite =
   List.map QCheck_alcotest.to_alcotest
-    [ prop_eventq_sorted; prop_eventq_pop_nth0_is_pop ]
+    [ prop_eventq_sorted; prop_eventq_pop_nth0_is_pop; prop_eventq_model ]
 
 let () =
   Alcotest.run "netsim"
@@ -434,6 +545,10 @@ let () =
           Alcotest.test_case "stable ties" `Quick eventq_stable_ties;
           Alcotest.test_case "ready count" `Quick eventq_ready_count;
           Alcotest.test_case "pop nth" `Quick eventq_pop_nth;
+          Alcotest.test_case "heap spill keeps ties" `Quick
+            eventq_spill_preserves_ties;
+          Alcotest.test_case "rebase keeps ties" `Quick
+            eventq_rebase_preserves_ties;
         ] );
       ( "engine",
         [

@@ -331,6 +331,108 @@ let addr_ordering () =
   Alcotest.(check bool) "ip order" true (Addr.compare b c < 0);
   Alcotest.(check bool) "equal" true (Addr.equal a (Addr.v 1 5))
 
+(* --- Bufpool ---------------------------------------------------------------- *)
+
+module Bufpool = Scallop_util.Bufpool
+
+let bufpool_exact_length () =
+  let p = Bufpool.create () in
+  List.iter
+    (fun len ->
+      Alcotest.(check int) "exact length" len (Bytes.length (Bufpool.checkout p len)))
+    [ 0; 1; 13; 1200; 65_536 ]
+
+let bufpool_recycles_physically () =
+  let p = Bufpool.create () in
+  let a = Bufpool.checkout p 1200 in
+  Bufpool.release p a;
+  let b = Bufpool.checkout p 1200 in
+  Alcotest.(check bool) "same buffer back" true (a == b);
+  (* a different length is a different class: must not alias *)
+  Bufpool.release p b;
+  let c = Bufpool.checkout p 1201 in
+  Alcotest.(check bool) "class isolation" false (Obj.repr b == Obj.repr c)
+
+let bufpool_stats_accounting () =
+  let p = Bufpool.create () in
+  let a = Bufpool.checkout p 100 in
+  let b = Bufpool.checkout p 100 in
+  let s = Bufpool.stats p in
+  Alcotest.(check int) "live" 2 s.Bufpool.live;
+  Alcotest.(check int) "high water" 2 s.Bufpool.high_water;
+  Alcotest.(check int) "fresh" 2 s.Bufpool.fresh;
+  Alcotest.(check int) "recycled" 0 s.Bufpool.recycled;
+  Bufpool.release p a;
+  Bufpool.release p b;
+  let c = Bufpool.checkout p 100 in
+  let s = Bufpool.stats p in
+  Alcotest.(check int) "live after cycle" 1 s.Bufpool.live;
+  Alcotest.(check int) "high water sticky" 2 s.Bufpool.high_water;
+  Alcotest.(check int) "recycled" 1 s.Bufpool.recycled;
+  Alcotest.(check int) "released" 2 s.Bufpool.released;
+  Alcotest.(check int) "classes" 1 s.Bufpool.classes;
+  Alcotest.(check int) "parked bytes" 100 s.Bufpool.parked_bytes;
+  Bufpool.release p c
+
+let bufpool_double_release_debug () =
+  let p = Bufpool.create ~debug:true () in
+  let a = Bufpool.checkout p 64 in
+  Bufpool.release p a;
+  Alcotest.check_raises "double release" (Bufpool.Double_release 64) (fun () ->
+      Bufpool.release p a)
+
+let bufpool_poison_on_release () =
+  let p = Bufpool.create ~debug:true () in
+  let a = Bufpool.checkout p 32 in
+  Bytes.fill a 0 32 'x';
+  Bufpool.release p a;
+  (* the parked buffer must be stamped so stale aliases read garbage *)
+  Bytes.iter
+    (fun c ->
+      if c <> Bufpool.poison_byte then
+        Alcotest.failf "unpoisoned byte %C after release" c)
+    a
+
+let bufpool_class_depth_cap () =
+  let p = Bufpool.create ~max_class_depth:2 () in
+  let bufs = List.init 5 (fun _ -> Bufpool.checkout p 10) in
+  List.iter (Bufpool.release p) bufs;
+  let s = Bufpool.stats p in
+  Alcotest.(check int) "parked capped" (2 * 10) s.Bufpool.parked_bytes;
+  Alcotest.(check int) "overflow dropped" 3 s.Bufpool.dropped;
+  Alcotest.(check int) "all releases counted" 5 s.Bufpool.released
+
+(* random checkout/release interleavings against a naive model: live count
+   matches, checkouts always have the requested length, and nothing is
+   handed out twice while still checked out *)
+let prop_bufpool_model =
+  QCheck.Test.make ~count:100 ~name:"bufpool checkout/release model"
+    QCheck.(list_of_size Gen.(1 -- 200) (pair bool (int_bound 4)))
+    (fun ops ->
+      let p = Bufpool.create ~debug:true () in
+      let lens = [| 10; 100; 1200; 1300; 65_536 |] in
+      let live = ref [] in
+      let ok = ref true in
+      List.iter
+        (fun (is_checkout, i) ->
+          if is_checkout || !live = [] then begin
+            let b = Bufpool.checkout p lens.(i) in
+            if Bytes.length b <> lens.(i) then ok := false;
+            if List.memq b !live then ok := false (* aliased while live *);
+            live := b :: !live
+          end
+          else
+            match !live with
+            | b :: rest ->
+                Bufpool.release p b;
+                live := rest
+            | [] -> ())
+        ops;
+      let s = Bufpool.stats p in
+      !ok
+      && s.Bufpool.live = List.length !live
+      && s.Bufpool.fresh + s.Bufpool.recycled = s.Bufpool.live + s.Bufpool.released)
+
 (* --- qcheck properties ------------------------------------------------------ *)
 
 let prop_percentile_bounded =
@@ -359,7 +461,8 @@ let prop_addr_roundtrip =
       Addr.equal a (Addr.of_string (Addr.to_string a)))
 
 let qsuite = List.map QCheck_alcotest.to_alcotest
-    [ prop_percentile_bounded; prop_online_mean_matches; prop_addr_roundtrip ]
+    [ prop_percentile_bounded; prop_online_mean_matches; prop_addr_roundtrip;
+      prop_bufpool_model ]
 
 let () =
   Alcotest.run "util"
@@ -426,6 +529,18 @@ let () =
           Alcotest.test_case "ip conversion" `Quick addr_ip_conversion;
           Alcotest.test_case "invalid input" `Quick addr_invalid;
           Alcotest.test_case "ordering" `Quick addr_ordering;
+        ] );
+      ( "bufpool",
+        [
+          Alcotest.test_case "exact length" `Quick bufpool_exact_length;
+          Alcotest.test_case "physical recycling" `Quick
+            bufpool_recycles_physically;
+          Alcotest.test_case "stats accounting" `Quick bufpool_stats_accounting;
+          Alcotest.test_case "double release (debug)" `Quick
+            bufpool_double_release_debug;
+          Alcotest.test_case "poison on release (debug)" `Quick
+            bufpool_poison_on_release;
+          Alcotest.test_case "class depth cap" `Quick bufpool_class_depth_cap;
         ] );
       ("properties", qsuite);
     ]
