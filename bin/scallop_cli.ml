@@ -447,7 +447,11 @@ let check_cmd =
       in
       let total_errors = ref 0 in
       let points = ref [] in
+      let slo = Scallop_obs.Slo.create () in
       let verify_point label =
+        (* QoE SLOs ride along with the state checks: any burn over the
+           live collectors surfaces here too *)
+        ignore (Scallop_obs.Slo.evaluate slo ~now_ns:(Netsim.Engine.now engine));
         let findings = Scallop_analysis.verify controller in
         let errors = Scallop_analysis.errors findings in
         if json then points := (label, findings) :: !points
@@ -489,6 +493,7 @@ let check_cmd =
       Scallop.Controller.leave controller p0;
       run_for 1.0;
       verify_point "after churn";
+      let slo_alerts = Scallop_obs.Slo.alerts slo in
       if json then begin
         let module J = Scallop_mc.Mc_json in
         print_endline
@@ -504,15 +509,26 @@ let check_cmd =
                             ("findings", J.arr (List.map J.finding findings));
                           ])
                       !points) );
+               ( "slo_alerts",
+                 J.arr
+                   (List.map
+                      (fun a -> J.str (Scallop_obs.Slo.alert_str a))
+                      slo_alerts) );
                ("errors", J.int !total_errors);
                ("clean", J.bool (!total_errors = 0));
              ])
       end
-      else
+      else begin
+        List.iter
+          (fun a ->
+            Printf.printf "slo alert: %s\n" (Scallop_obs.Slo.alert_str a))
+          slo_alerts;
+        if slo_alerts = [] then Printf.printf "slo: no QoE burn\n";
         (* the registry-backed view of both switches (fast path, PRE cache,
            agent and controller RPC counters), one sorted dump instead of a
            bespoke printf per series *)
-        print_string (Scallop_obs.Metrics.dump ());
+        print_string (Scallop_obs.Metrics.dump ())
+      end;
       if !total_errors = 0 then begin
         if not json then Printf.printf "all state checks clean\n";
         Ok ()
@@ -562,6 +578,121 @@ let metrics_cmd =
           (data-plane fast path, PRE cache, control-plane RPC) in Prometheus text \
           or JSON form.")
     Term.(const run $ json $ participants $ seconds)
+
+let qoe_cmd =
+  let module Qc = Experiments.Qoe_chaos in
+  let module Slo = Scallop_obs.Slo in
+  let module Qoe = Scallop_obs.Qoe in
+  let module Attrib = Scallop_obs.Attrib in
+  let quick = quick_arg in
+  let seed = Arg.(value & opt int 7 & info [ "seed" ] ~doc:"Scenario seed.") in
+  let loss =
+    Arg.(value & opt float 0.3
+         & info [ "loss" ] ~doc:"Loss probability injected on the victim's downlink.")
+  in
+  let json =
+    Arg.(value & flag
+         & info [ "json" ]
+             ~doc:"Emit the full report (alerts, findings, per-stream summaries) \
+                   as one JSON document instead of the human tables.")
+  in
+  let json_out =
+    Arg.(value & opt (some string) None
+         & info [ "json-out" ] ~docv:"FILE"
+             ~doc:"Also write the JSON report to $(docv) (the CI artifact).")
+  in
+  let expect_burn =
+    Arg.(value & flag
+         & info [ "expect-burn" ]
+             ~doc:"Fail unless at least one SLO alert fired and the attribution \
+                   named the injected link — the CI qoe gate's assertion.")
+  in
+  let report_json (r : Qc.result) =
+    let fs = Printf.sprintf "%.6g" in
+    let alert (a : Slo.alert) =
+      Printf.sprintf
+        "{\"slo\": \"%s\", \"stream\": \"%s\", \"at_ns\": %d, \"burn_long\": \
+         %s, \"burn_short\": %s, \"window_ns\": [%d, %d]}"
+        a.Slo.a_slo
+        (Qoe.key_str a.Slo.a_key)
+        a.Slo.a_at_ns (fs a.Slo.a_burn_long) (fs a.Slo.a_burn_short)
+        a.Slo.a_from_ns a.Slo.a_until_ns
+    in
+    let summary (s : Qoe.summary) =
+      Printf.sprintf
+        "{\"stream\": \"%s\", \"packets\": %d, \"gap_packets\": %d, \
+         \"recovered\": %d, \"frames\": %d, \"freezes\": %d, \"frozen_ms\": \
+         %s, \"loss_ratio\": %s}"
+        (Qoe.key_str s.Qoe.s_key)
+        s.Qoe.s_packets s.Qoe.s_gap_packets s.Qoe.s_recovered s.Qoe.s_frames
+        s.Qoe.s_freeze_count (fs s.Qoe.s_frozen_ms) (fs s.Qoe.s_loss_ratio)
+    in
+    Printf.sprintf
+      "{\"victim\": %d, \"victim_link\": \"%s\", \"loss\": %s, \"burst_s\": \
+       [%s, %s],\n\
+       \"alerts\": [%s],\n\
+       \"findings\": [%s],\n\
+       \"summaries\": [%s],\n\
+       \"link_named\": %b, \"roundtrip\": %b}"
+      r.Qc.victim r.Qc.victim_link (fs r.Qc.loss) (fs r.Qc.burst_from_s)
+      (fs r.Qc.burst_until_s)
+      (String.concat ", " (List.map alert r.Qc.alerts))
+      (String.concat ",\n" (List.map Attrib.finding_to_json r.Qc.findings))
+      (String.concat ", " (List.map summary r.Qc.summaries))
+      r.Qc.link_named r.Qc.roundtrip_ok
+  in
+  let run quick seed loss json json_out expect_burn =
+    let r = Qc.compute ~quick ~seed ~loss () in
+    Option.iter
+      (fun path ->
+        let oc = open_out path in
+        output_string oc (report_json r);
+        output_char oc '\n';
+        close_out oc)
+      json_out;
+    if json then print_endline (report_json r)
+    else begin
+      Printf.printf
+        "chaos: %.0f%% loss on %s (victim p%d) during [%.1fs, %.1fs]\n\n"
+        (100.0 *. r.Qc.loss) r.Qc.victim_link r.Qc.victim r.Qc.burst_from_s
+        r.Qc.burst_until_s;
+      Scallop_util.Table.print (Qc.summary_table r.Qc.summaries);
+      List.iter
+        (fun a -> Printf.printf "slo alert: %s\n" (Slo.alert_str a))
+        r.Qc.alerts;
+      print_newline ();
+      List.iter
+        (fun f -> Printf.printf "finding: %s\n" (Attrib.render f))
+        r.Qc.findings;
+      Printf.printf
+        "\nqoe report: %d alert(s), %d finding(s); faulty link %s: %s; json \
+         round-trip: %s\n"
+        (List.length r.Qc.alerts)
+        (List.length r.Qc.findings)
+        r.Qc.victim_link
+        (if r.Qc.link_named then "named" else "NOT NAMED")
+        (if r.Qc.roundtrip_ok then "ok" else "FAILED")
+    end;
+    if not r.Qc.roundtrip_ok then
+      Error (`Msg "qoe: finding JSON failed to round-trip")
+    else if expect_burn && r.Qc.alerts = [] then
+      Error (`Msg "qoe: expected an SLO alert, none fired")
+    else if expect_burn && not r.Qc.link_named then
+      Error
+        (`Msg
+          (Printf.sprintf "qoe: attribution did not name the faulty link %s"
+             r.Qc.victim_link))
+    else Ok ()
+  in
+  Cmd.v
+    (Cmd.info "qoe"
+       ~doc:
+         "Run the QoE observability drill: inject loss on one receiver's named \
+          downlink, fire SLO burn-rate alerts from the live QoE collectors, and \
+          attribute the burn back through the deterministic trace to the faulty \
+          link.")
+    Term.(term_result
+            (const run $ quick $ seed $ loss $ json $ json_out $ expect_burn))
 
 let trace_cmd =
   let meetings =
@@ -834,5 +965,5 @@ let () =
        (Cmd.group info
           [
             list_cmd; run_cmd; capacity_cmd; simulate_cmd; check_cmd; explore_cmd;
-            metrics_cmd; trace_cmd;
+            metrics_cmd; qoe_cmd; trace_cmd;
           ]))

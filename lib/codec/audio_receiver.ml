@@ -1,7 +1,9 @@
 module Packet = Rtp.Packet
+module Qoe = Scallop_obs.Qoe
 
 type t = {
   ssrc : int;
+  mutable qoe : Qoe.t option;
   mutable started : bool;
   mutable highest_seq : int;
   mutable packets_received : int;
@@ -20,6 +22,7 @@ let window = 512
 let create ~ssrc =
   {
     ssrc;
+    qoe = None;
     started = false;
     highest_seq = 0;
     packets_received = 0;
@@ -42,9 +45,17 @@ let remember t seq =
   t.ring_count <- t.ring_count + 1;
   Hashtbl.replace t.seen seq ()
 
+let set_qoe t q = t.qoe <- Some q
+let qoe t = t.qoe
+
 let receive t ~time_ns (pkt : Packet.t) =
   if pkt.ssrc = t.ssrc then begin
-    if Hashtbl.mem t.seen pkt.sequence then t.duplicates <- t.duplicates + 1
+    if Hashtbl.mem t.seen pkt.sequence then begin
+      t.duplicates <- t.duplicates + 1;
+      match t.qoe with
+      | Some q -> Qoe.on_duplicate q ~time_ns
+      | None -> ()
+    end
     else begin
       (* jitter over fresh packets only *)
       if t.packets_received > 0 then begin
@@ -55,6 +66,9 @@ let receive t ~time_ns (pkt : Packet.t) =
       t.last_arrival_ns <- time_ns;
       t.last_rtp_ts <- pkt.timestamp;
       t.packets_received <- t.packets_received + 1;
+      (match t.qoe with
+      | Some q -> Qoe.on_packet q ~time_ns ~size:(Packet.wire_size pkt)
+      | None -> ());
       remember t pkt.sequence;
       if not t.started then begin
         t.started <- true;
@@ -63,12 +77,21 @@ let receive t ~time_ns (pkt : Packet.t) =
       else begin
         let delta = Packet.seq_sub pkt.sequence t.highest_seq in
         if delta > 0 then begin
-          if delta > 1 && delta < 1000 then t.packets_lost <- t.packets_lost + delta - 1;
+          if delta > 1 && delta < 1000 then begin
+            t.packets_lost <- t.packets_lost + delta - 1;
+            match t.qoe with
+            | Some q -> Qoe.on_gap q ~time_ns ~count:(delta - 1)
+            | None -> ()
+          end;
           t.highest_seq <- pkt.sequence
         end
-        else if t.packets_lost > 0 then
+        else if t.packets_lost > 0 then begin
           (* a late (reordered) packet fills a gap we already counted *)
-          t.packets_lost <- t.packets_lost - 1
+          t.packets_lost <- t.packets_lost - 1;
+          match t.qoe with
+          | Some q -> Qoe.on_gap_filled q ~time_ns
+          | None -> ()
+        end
       end
     end
   end

@@ -8,6 +8,12 @@ type t
 val create : ssrc:int -> t
 val receive : t -> time_ns:int -> Rtp.Packet.t -> unit
 
+val set_qoe : t -> Scallop_obs.Qoe.t -> unit
+(** Attach a QoE collector; the receiver then reports packets, gaps,
+    late-fill recoveries and duplicates into it. *)
+
+val qoe : t -> Scallop_obs.Qoe.t option
+
 val packets_received : t -> int
 val packets_lost : t -> int
 (** Sequence-gap count (retransmitted packets arriving late still count as

@@ -2,6 +2,7 @@ module Dd = Av1.Dd
 module Packet = Rtp.Packet
 module Timeseries = Scallop_util.Timeseries
 module Stats = Scallop_util.Stats
+module Qoe = Scallop_obs.Qoe
 
 (* Assembly state for one frame. *)
 type frame_state = {
@@ -61,7 +62,13 @@ type t = {
   jitter_bins : (int, Stats.Samples.t) Hashtbl.t;
   mouth_to_ear : Stats.Samples.t;
   capture_ts : (int, int) Hashtbl.t;  (** frame -> capture time (ns, from RTP ts) *)
+  mutable qoe : Qoe.t option;  (** per-stream QoE collector, attached by the client *)
 }
+
+(* A decode gap longer than this counts as a playback stall for QoE. The
+   floor must clear the legitimate T0-only cadence (one frame per 133 ms
+   when rate adaptation drops both enhancement layers) plus jitter. *)
+let stall_threshold_ns = 250_000_000
 
 let seq_window_size = 2048
 
@@ -101,7 +108,11 @@ let create ?(nack_delay_ns = 30_000_000) ?(pli_timeout_ns = 500_000_000) ~ssrc (
     jitter_bins = Hashtbl.create 64;
     mouth_to_ear = Stats.Samples.create ();
     capture_ts = Hashtbl.create 64;
+    qoe = None;
   }
+
+let set_qoe t q = t.qoe <- Some q
+let qoe t = t.qoe
 
 (* --- jitter (RFC 3550 §6.4.1, 90 kHz video clock) ----------------------- *)
 
@@ -167,11 +178,30 @@ let contiguous seqs =
       in
       check 1 norm
 
+(* Temporal layer actually delivered by a decoded frame: templates 0
+   (key) and 1 are T0, 2 is T1, 3 and 4 are T2 (paper Fig. 9). *)
+let layer_of_template = function 0 | 1 -> 0 | 2 -> 1 | _ -> 2
+
 let mark_decoded t ~time_ns ~frame_number fs =
   (match Hashtbl.find_opt t.capture_ts frame_number with
   | Some captured_ns ->
       Hashtbl.remove t.capture_ts frame_number;
-      Stats.Samples.observe t.mouth_to_ear (float_of_int (time_ns - captured_ns) /. 1e6)
+      let ms = float_of_int (time_ns - captured_ns) /. 1e6 in
+      Stats.Samples.observe t.mouth_to_ear ms;
+      (match t.qoe with
+      | Some q -> Qoe.on_mouth_to_ear q ~time_ns ~ms
+      | None -> ())
+  | None -> ());
+  (match t.qoe with
+  | Some q ->
+      (* a long decode gap is a playback stall, visible only now that the
+         next frame finally landed; skip while broken — the open freeze
+         interval already covers that span *)
+      if
+        t.decoded_any && (not t.broken)
+        && time_ns - t.last_decode_time > stall_threshold_ns
+      then Qoe.on_stall q ~from_ns:t.last_decode_time ~until_ns:time_ns;
+      Qoe.on_frame q ~time_ns ~layer:(layer_of_template fs.template_id)
   | None -> ());
   Hashtbl.replace t.decoded frame_number ();
   (* prune the decoded set to a window *)
@@ -181,7 +211,10 @@ let mark_decoded t ~time_ns ~frame_number fs =
   t.last_decode_time <- time_ns;
   Timeseries.incr t.fps_series time_ns;
   if fs.keyframe && t.broken then begin
-    t.broken <- false
+    t.broken <- false;
+    match t.qoe with
+    | Some q -> Qoe.on_freeze_end q ~time_ns
+    | None -> ()
   end
 
 (* Frames whose reference decodes later (it was being retransmitted, or
@@ -238,7 +271,10 @@ let freeze t ~time_ns =
   if not t.broken then begin
     t.broken <- true;
     t.broken_since <- time_ns;
-    t.freezes <- t.freezes + 1
+    t.freezes <- t.freezes + 1;
+    match t.qoe with
+    | Some q -> Qoe.on_freeze_begin q ~time_ns
+    | None -> ()
   end
 
 (* --- gap / NACK management ----------------------------------------------- *)
@@ -252,10 +288,19 @@ let note_gaps t ~time_ns ~from_seq ~to_seq =
           { seq = Packet.seq_add from_seq (i + 1); noticed_at = time_ns; attempts = 0;
             last_nack = 0 })
     in
-    t.gaps <- t.gaps @ gaps
+    t.gaps <- t.gaps @ gaps;
+    match t.qoe with
+    | Some q -> Qoe.on_gap q ~time_ns ~count:missing
+    | None -> ()
   end
 
-let clear_gap t seq = t.gaps <- List.filter (fun g -> g.seq <> seq) t.gaps
+let clear_gap t ~time_ns seq =
+  let before = List.length t.gaps in
+  t.gaps <- List.filter (fun g -> g.seq <> seq) t.gaps;
+  if List.length t.gaps < before then
+    match t.qoe with
+    | Some q -> Qoe.on_gap_filled q ~time_ns
+    | None -> ()
 
 let remember_seq t seq =
   let slot = t.seq_ring_count mod seq_window_size in
@@ -272,6 +317,9 @@ let receive t ~time_ns (pkt : Packet.t) =
     t.packets_received <- t.packets_received + 1;
     let size = Packet.wire_size pkt in
     t.bytes_received <- t.bytes_received + size;
+    (match t.qoe with
+    | Some q -> Qoe.on_packet q ~time_ns ~size
+    | None -> ());
     Timeseries.add t.bitrate_series time_ns (float_of_int size);
     update_jitter t ~time_ns ~rtp_ts:pkt.timestamp;
     let dd =
@@ -287,10 +335,16 @@ let receive t ~time_ns (pkt : Packet.t) =
             (* Same sequence number, different frame: broken rewrite. This
                is the catastrophic case of §6.2 — decoder state corrupts. *)
             t.duplicates <- t.duplicates + 1;
+            (match t.qoe with
+            | Some q -> Qoe.on_duplicate q ~time_ns
+            | None -> ());
             freeze t ~time_ns
         | Some _ ->
             (* plain retransmission duplicate: harmless *)
-            t.duplicates <- t.duplicates + 1
+            t.duplicates <- t.duplicates + 1;
+            (match t.qoe with
+            | Some q -> Qoe.on_duplicate q ~time_ns
+            | None -> ())
         | None ->
             Hashtbl.replace t.seq_to_frame pkt.sequence dd.frame_number;
             remember_seq t pkt.sequence;
@@ -303,7 +357,7 @@ let receive t ~time_ns (pkt : Packet.t) =
               note_gaps t ~time_ns ~from_seq:t.highest_seq ~to_seq:pkt.sequence;
               t.highest_seq <- pkt.sequence
             end
-            else clear_gap t pkt.sequence;
+            else clear_gap t ~time_ns pkt.sequence;
             let fs =
               match Hashtbl.find_opt t.frames dd.frame_number with
               | Some fs -> fs

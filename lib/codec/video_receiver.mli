@@ -17,6 +17,14 @@ val create : ?nack_delay_ns:int -> ?pli_timeout_ns:int -> ssrc:int -> unit -> t
 
 val receive : t -> time_ns:int -> Rtp.Packet.t -> unit
 
+val set_qoe : t -> Scallop_obs.Qoe.t -> unit
+(** Attach a QoE collector; the receiver then reports packets, gaps and
+    recoveries, duplicates, per-layer decoded frames, mouth-to-ear
+    samples, broken-playback freezes and decode stalls (> 250 ms between
+    decodes) into it. *)
+
+val qoe : t -> Scallop_obs.Qoe.t option
+
 val poll_nacks : t -> time_ns:int -> int list
 (** Sequence numbers overdue for retransmission; each is returned once. *)
 

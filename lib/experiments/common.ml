@@ -26,6 +26,9 @@ let sfu_ip = Addr.ip_of_string "10.0.0.1"
 
 let make_scallop ?(seed = 1) ?(rewrite = Scallop.Seq_rewrite.S_LM) ?(switch_link = fast_link)
     ?(control = Scallop.Rpc_transport.default) ?(batch = false) () =
+  (* a fresh world: stale same-key QoE collectors from a previous stack in
+     this process would otherwise be reused and keep accumulating *)
+  Scallop_obs.Qoe.reset ();
   let engine = Engine.create () in
   let rng = Rng.create seed in
   let network = Network.create engine (Rng.split rng) in

@@ -11,6 +11,7 @@ type result = {
   initial_fps : float;
   mid_fps : float;
   late_fps : float;
+  p3_qoe : Scallop_obs.Qoe.summary list;
 }
 
 (* Downlink caps chosen so GCC's post-overuse estimate (0.85x the measured
@@ -75,6 +76,18 @@ let compute ?(quick = false) () =
       ~meeting:(Scallop.Controller.agent_meeting_id stack.controller 0)
       ~sender:p1 ~receiver:p3
   in
+  (* the QoE engine's independent view of the constrained receiver: the
+     same no-freeze claim plus layer residency and mouth-to-ear tails *)
+  let now_ns = Netsim.Engine.now stack.engine in
+  let p3_qoe =
+    List.filter_map
+      (fun c ->
+        let k = Scallop_obs.Qoe.key_of c in
+        if k.Scallop_obs.Qoe.k_receiver = p3 && k.Scallop_obs.Qoe.k_kind = Scallop_obs.Qoe.Video
+        then Some (Scallop_obs.Qoe.summary c ~now_ns)
+        else None)
+      (Scallop_obs.Qoe.all ())
+  in
   {
     series;
     final_target;
@@ -82,6 +95,7 @@ let compute ?(quick = false) () =
     initial_fps = mean_fps (phase -. 6.0) phase;
     mid_fps = mean_fps ((2.0 *. phase) -. 6.0) (2.0 *. phase);
     late_fps = mean_fps ((3.0 *. phase) -. 6.0) (3.0 *. phase);
+    p3_qoe;
   }
 
 let run ?quick () =
@@ -103,5 +117,24 @@ let run ?quick () =
     r.series;
   Table.print table;
   Printf.printf
-    "phases: %.1f -> %.1f -> %.1f fps (paper: 30 -> 15 with no freezes); freezes=%d\n\n"
-    r.initial_fps r.mid_fps r.late_fps r.freezes
+    "phases: %.1f -> %.1f -> %.1f fps (paper: 30 -> 15 with no freezes); freezes=%d\n"
+    r.initial_fps r.mid_fps r.late_fps r.freezes;
+  List.iter
+    (fun (s : Scallop_obs.Qoe.summary) ->
+      Printf.printf
+        "qoe engine %s: layers %.0f/%.0f/%.0f%%, m2e p50/p99 %s/%s ms, \
+         freeze ratio %.2f%%, loss %.2f%%\n"
+        (Scallop_obs.Qoe.key_str s.Scallop_obs.Qoe.s_key)
+        (100.0 *. s.Scallop_obs.Qoe.s_layer_share.(0))
+        (100.0 *. s.Scallop_obs.Qoe.s_layer_share.(1))
+        (100.0 *. s.Scallop_obs.Qoe.s_layer_share.(2))
+        (match s.Scallop_obs.Qoe.s_m2e_p50_ms with
+        | None -> "-"
+        | Some v -> Printf.sprintf "%.1f" v)
+        (match s.Scallop_obs.Qoe.s_m2e_p99_ms with
+        | None -> "-"
+        | Some v -> Printf.sprintf "%.1f" v)
+        (100.0 *. s.Scallop_obs.Qoe.s_freeze_ratio)
+        (100.0 *. s.Scallop_obs.Qoe.s_loss_ratio))
+    r.p3_qoe;
+  print_newline ()

@@ -22,6 +22,9 @@ type result = {
   initial_fps : float;
   mid_fps : float;  (** after the first constraint *)
   late_fps : float;  (** after the second constraint *)
+  p3_qoe : Scallop_obs.Qoe.summary list;
+      (** the QoE engine's view of the constrained receiver's video legs:
+          temporal-layer residency, mouth-to-ear tails, freeze/loss ratios *)
 }
 
 val compute : ?quick:bool -> unit -> result

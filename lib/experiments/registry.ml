@@ -131,6 +131,13 @@ let all =
       run = (fun ?quick () -> Ctrl_churn.run ?quick ());
     };
     {
+      id = "qoe_chaos";
+      title = "QoE SLO burn-rate alerting and trace-linked attribution";
+      paper_claim = "loss injected on one named downlink fires an SLO alert whose \
+                     attribution cites that link and a replayable trace window";
+      run = (fun ?quick () -> Qoe_chaos.run ?quick ());
+    };
+    {
       id = "ablations";
       title = "Design-choice ablations (feedback filter, sequence rewriting)";
       paper_claim = "naive feedback converges to the slowest receiver (5.3); raw gaps trigger endless retransmissions (6.2)";

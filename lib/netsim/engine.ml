@@ -4,7 +4,13 @@ type t = {
   mutable chooser : (ready:int -> int) option;
 }
 
-let create () = { q = Eventq.create (); clock = 0; chooser = None }
+let create () =
+  let t = { q = Eventq.create (); clock = 0; chooser = None } in
+  (* Publish this engine's virtual clock to the tracer so components
+     without an engine handle (e.g. the PRE) can stamp events. Worlds are
+     created one at a time; the newest engine owns the shared clock. *)
+  Scallop_obs.Trace.set_clock (fun () -> t.clock);
+  t
 let now t = t.clock
 let set_chooser t c = t.chooser <- c
 

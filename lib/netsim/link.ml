@@ -35,6 +35,7 @@ type t = {
   engine : Engine.t;
   rng : Rng.t;
   mutable cfg : config;
+  mutable name : string;  (** identity cited by drop events / attribution *)
   sink : Dgram.t -> unit;
   mutable busy_until : int;
   mutable queued_bytes : int;
@@ -45,11 +46,12 @@ type t = {
   mutable bytes_delivered : int;
 }
 
-let create engine rng cfg ~sink =
+let create ?(name = "") engine rng cfg ~sink =
   {
     engine;
     rng;
     cfg;
+    name;
     sink;
     busy_until = 0;
     queued_bytes = 0;
@@ -59,6 +61,9 @@ let create engine rng cfg ~sink =
     dropped = 0;
     bytes_delivered = 0;
   }
+
+let set_name t name = t.name <- name
+let name t = t.name
 
 let tx_time_ns cfg size =
   if cfg.rate_bps = infinity then 0
@@ -97,7 +102,7 @@ let send t dgram =
     t.dropped <- t.dropped + 1;
     if traced then
       Trace.instant ~ts:(Engine.now t.engine) ~trace:dgram.Dgram.trace ~cat:"link"
-        "link_drop" ~args:[ ("reason", Trace.S "loss") ];
+        "link_drop" ~args:[ ("reason", Trace.S "loss"); ("link", Trace.S t.name) ];
     (* the datagram dies here: recycle a pooled payload *)
     Dgram.release dgram
   end
@@ -106,7 +111,12 @@ let send t dgram =
     if traced then
       Trace.instant ~ts:(Engine.now t.engine) ~trace:dgram.Dgram.trace ~cat:"link"
         "link_drop"
-        ~args:[ ("reason", Trace.S "queue"); ("queued_bytes", Trace.I t.queued_bytes) ];
+        ~args:
+          [
+            ("reason", Trace.S "queue");
+            ("link", Trace.S t.name);
+            ("queued_bytes", Trace.I t.queued_bytes);
+          ];
     Dgram.release dgram
   end
   else begin

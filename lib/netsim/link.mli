@@ -38,9 +38,19 @@ val default : config
 type t
 
 val create :
-  Engine.t -> Scallop_util.Rng.t -> config -> sink:(Dgram.t -> unit) -> t
+  ?name:string ->
+  Engine.t ->
+  Scallop_util.Rng.t ->
+  config ->
+  sink:(Dgram.t -> unit) ->
+  t
 (** [sink] is invoked at the (virtual) time each surviving packet is
-    delivered. *)
+    delivered. [name] identifies the link in drop trace events so
+    attribution can cite it (default [""]; {!Netsim.Network} names host
+    links ["up:<ip>"] / ["down:<ip>"]). *)
+
+val set_name : t -> string -> unit
+val name : t -> string
 
 val send : t -> Dgram.t -> unit
 (** Enqueue a packet at the current engine time. *)

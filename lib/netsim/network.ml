@@ -45,8 +45,17 @@ let route t dgram =
       Dgram.release dgram
 
 let add_host t ~ip ?(uplink = Link.default) ?(downlink = Link.default) () =
-  let up = Link.create t.engine (Rng.split t.rng) uplink ~sink:(fun d -> route t d) in
-  let down = Link.create t.engine (Rng.split t.rng) downlink ~sink:(fun d -> deliver t d) in
+  (* Links carry a stable name ("up:<ip>" / "down:<ip>") so drop trace
+     events identify the culpable edge — what QoE attribution cites. *)
+  let ip_s = Addr.ip_to_string ip in
+  let up =
+    Link.create ~name:("up:" ^ ip_s) t.engine (Rng.split t.rng) uplink
+      ~sink:(fun d -> route t d)
+  in
+  let down =
+    Link.create ~name:("down:" ^ ip_s) t.engine (Rng.split t.rng) downlink
+      ~sink:(fun d -> deliver t d)
+  in
   Hashtbl.replace t.hosts ip { uplink = up; downlink = down }
 
 let bind t addr handler = Hashtbl.replace t.handlers addr handler

@@ -50,6 +50,10 @@ let histogram ?labels ?help ?bounds name =
 
 let register_callback ?labels ?help name f = register ?labels ?help name (Callback f)
 
+(* Adopt a histogram the caller already owns (and keeps observing into)
+   instead of minting a fresh zeroed one like {!histogram} does. *)
+let register_histogram ?labels ?help name h = register ?labels ?help name (Histogram h)
+
 let unregister ?(labels = []) name = Hashtbl.remove registry (name, render_labels labels)
 
 let reset () = Hashtbl.reset registry
@@ -123,15 +127,28 @@ let dump_json () =
       | Gauge g -> Buffer.add_string b (float_str g.g)
       | Callback f -> Buffer.add_string b (float_str (f ()))
       | Histogram h ->
+          (* Cumulative buckets in the JSON too, mirroring the Prometheus
+             text form, so offline consumers can re-derive any quantile.
+             [le] is a string because JSON has no Infinity literal. *)
+          let buckets = Buffer.create 256 in
+          let first_b = ref true in
+          Stats.Histogram.iter_buckets h (fun ~le ~count ->
+              if count > 0 then begin
+                if !first_b then first_b := false else Buffer.add_string buckets ", ";
+                let le_str = if le = infinity then "+Inf" else float_str le in
+                Buffer.add_string buckets (Printf.sprintf "[\"%s\", %d]" le_str count)
+              end);
           if Stats.Histogram.count h = 0 then
-            Buffer.add_string b "{\"count\": 0, \"sum\": 0}"
+            Buffer.add_string b "{\"count\": 0, \"sum\": 0, \"buckets\": []}"
           else
             Buffer.add_string b
-              (Printf.sprintf "{\"count\": %d, \"sum\": %s, \"p50\": %s, \"p99\": %s}"
+              (Printf.sprintf
+                 "{\"count\": %d, \"sum\": %s, \"p50\": %s, \"p99\": %s, \"buckets\": [%s]}"
                  (Stats.Histogram.count h)
                  (float_str (Stats.Histogram.sum h))
                  (float_str (Stats.Histogram.percentile h 50.0))
-                 (float_str (Stats.Histogram.percentile h 99.0))))
+                 (float_str (Stats.Histogram.percentile h 99.0))
+                 (Buffer.contents buckets)))
     (sorted_entries ());
   Buffer.add_string b "\n}\n";
   Buffer.contents b

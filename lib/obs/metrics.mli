@@ -43,6 +43,15 @@ val register_callback :
 (** A gauge whose value is polled at dump time — for quantities another
     data structure already maintains (cache residency, table occupancy). *)
 
+val register_histogram :
+  ?labels:(string * string) list ->
+  ?help:string ->
+  string ->
+  Scallop_util.Stats.Histogram.t ->
+  unit
+(** Register a histogram handle the caller already owns and keeps
+    observing into — unlike {!histogram}, which mints a fresh zeroed one. *)
+
 val unregister : ?labels:(string * string) list -> string -> unit
 
 val dump : unit -> string
@@ -51,7 +60,9 @@ val dump : unit -> string
 
 val dump_json : unit -> string
 (** One JSON object keyed by [name{labels}]; histograms expand to
-    [{count, sum, p50, p99}]. *)
+    [{count, sum, p50, p99, buckets}] where [buckets] is the cumulative
+    [["le", count], ...] list (only non-empty cumulative buckets; ["+Inf"]
+    for the overflow bound). *)
 
 val reset : unit -> unit
 (** Drop every registered entry (tests / fresh worlds). Existing handles

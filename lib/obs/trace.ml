@@ -81,6 +81,27 @@ let complete ~ts ~dur ?(trace = -1) ?(args = []) ~cat name =
 
 let writes () = ring.written
 let dropped () = Stdlib.max 0 (ring.written - Array.length ring.buf)
+let first_retained () = dropped ()
+
+(* Export the evidence-truncation counter so attribution (and dashboards)
+   can tell a quiet ring from one that silently overwrote its history.
+   Re-invoked by dump sites because [Metrics.reset] detaches callbacks. *)
+let register_metrics () =
+  Metrics.register_callback "scallop_trace_dropped_total"
+    ~help:"Trace events overwritten after the ring buffer wrapped"
+    (fun () -> float_of_int (dropped ()));
+  Metrics.register_callback "scallop_trace_writes_total"
+    ~help:"Trace events written to the ring sink since reset"
+    (fun () -> float_of_int (writes ()))
+
+let () = register_metrics ()
+
+(* Virtual-time source for emitters that have no engine handle in scope
+   (e.g. [Tofino.Pre] cache invalidations). Installed by [Netsim.Engine]
+   at creation; deterministic because the engine clock is. *)
+let clock : (unit -> int) ref = ref (fun () -> 0)
+let set_clock f = clock := f
+let now () = !clock ()
 
 let events () =
   let cap = Array.length ring.buf in
@@ -90,6 +111,10 @@ let events () =
       match ring.buf.((start + i) mod cap) with
       | Some ev -> ev
       | None -> assert false)
+
+let events_indexed () =
+  let base = first_retained () in
+  List.mapi (fun i ev -> (base + i, ev)) (events ())
 
 let timeline ~trace = List.filter (fun ev -> ev.trace = trace) (events ())
 

@@ -68,8 +68,31 @@ val writes : unit -> int
 val dropped : unit -> int
 (** Events overwritten after the ring wrapped. *)
 
+val first_retained : unit -> int
+(** Global index (0-based since reset) of the oldest event still in the
+    buffer — equals {!dropped}. Evidence windows reaching below this
+    index are truncated. *)
+
+val register_metrics : unit -> unit
+(** (Re-)register [scallop_trace_dropped_total] / [scallop_trace_writes_total]
+    callback metrics in {!Metrics}. Done once at module init; call again
+    after a [Metrics.reset]. *)
+
+val set_clock : (unit -> int) -> unit
+(** Install the virtual-time source used by {!now} — wired to
+    [Netsim.Engine.now] at engine creation so components without an
+    engine handle (e.g. the PRE) can stamp events. *)
+
+val now : unit -> int
+(** Current virtual time per the installed clock (0 before any engine
+    exists). *)
+
 val events : unit -> event list
 (** Buffered events, oldest first. *)
+
+val events_indexed : unit -> (int * event) list
+(** Buffered events paired with their global write index (stable across
+    ring wraparound) — the coordinate system attribution findings cite. *)
 
 val timeline : trace:int -> event list
 (** Every buffered event carrying the given per-packet trace id, in

@@ -698,6 +698,13 @@ let create_stream_leg t m ~kind ~(sender : participant) ~(receiver : participant
   (match kind with
   | Camera -> receiver.recv_conns <- (sender.pid, conn) :: receiver.recv_conns
   | Screen -> receiver.screen_recv_conns <- (sender.pid, conn) :: receiver.screen_recv_conns);
+  (* the controller is the only party that knows whose media this leg
+     carries — attach the QoE collectors here, keyed by that identity *)
+  Client.attach_qoe conn ~meeting:m.mid ~receiver:receiver.pid ~sender:sender.pid
+    ~media:
+      (match kind with
+      | Camera -> Scallop_obs.Qoe.Camera
+      | Screen -> Scallop_obs.Qoe.Screen);
   let li =
     {
       li_idx = receiver.home;

@@ -935,8 +935,12 @@ let handle_receiver_rtcp t leg (dgram : Dgram.t) =
             let out_size = Bytes.length payload + 42 in
             t.egress_pkts <- t.egress_pkts + 1;
             t.egress_bytes <- t.egress_bytes + out_size;
+            (* the forwarded compound inherits the inbound RTCP's trace id:
+               a retained copy must never orphan the packet's timeline *)
             let out =
-              Dgram.v ~src:(Addr.v t.ip leg.uplink_port) ~dst payload
+              Dgram.v ~trace:dgram.Dgram.trace
+                ~src:(Addr.v t.ip leg.uplink_port)
+                ~dst payload
             in
             Engine.at t.engine
               ~time:(max (ingress_ns + t.pipeline_latency_ns) (Engine.now t.engine))

@@ -20,9 +20,11 @@ type replica = { rid : int; port : int }
 type cache_stats = { hits : int; misses : int; invalidations : int; entries : int }
 
 module Metrics = Scallop_obs.Metrics
+module Trace = Scallop_obs.Trace
 
 type t = {
   lim : limits;
+  obs_label : string;
   nodes : (node_id, node) Hashtbl.t;
   trees : (mgid, node_id list ref) Hashtbl.t;
   l2_xids : (int, int list) Hashtbl.t;
@@ -43,6 +45,7 @@ let create ?(limits = tofino2_limits) ?(obs_label = "pre0") () =
   let t =
     {
       lim = limits;
+      obs_label;
       nodes = Hashtbl.create 1024;
       trees = Hashtbl.create 256;
       l2_xids = Hashtbl.create 64;
@@ -64,6 +67,15 @@ let create ?(limits = tofino2_limits) ?(obs_label = "pre0") () =
 let flush_cache t =
   if Hashtbl.length t.cache > 0 then begin
     Metrics.incr t.cache_invalidations;
+    if Trace.enabled Trace.Packet then
+      (* the PRE has no engine handle; Trace.now is the engine-installed
+         shared clock — an invalidation storm here is attribution evidence *)
+      Trace.instant ~ts:(Trace.now ()) ~cat:"pre" "pre_invalidate"
+        ~args:
+          [
+            ("pre", Trace.S t.obs_label);
+            ("entries", Trace.I (Hashtbl.length t.cache));
+          ];
     Hashtbl.reset t.cache
   end
 

@@ -280,6 +280,39 @@ let send_stun_check t conn =
   let req = Rtp.Stun.binding_request ~username:"scallop" ~transaction_id:tid () in
   transmit t conn (Rtp.Stun.serialize req)
 
+(* --- QoE ------------------------------------------------------------------ *)
+
+module Qoe = Scallop_obs.Qoe
+
+(* Attach per-stream QoE collectors to a receive connection's decoders.
+   The controller calls this when it creates the stream leg — it is the
+   only party that knows the (meeting, receiver, sender) identity of the
+   media this connection carries. *)
+let attach_qoe conn ~meeting ~receiver ~sender ~media =
+  let key kind =
+    {
+      Qoe.k_meeting = meeting;
+      k_receiver = receiver;
+      k_sender = sender;
+      k_media = media;
+      k_kind = kind;
+    }
+  in
+  let attach collector =
+    (* the collector learns its host so attribution can recognize the
+       victim's own access links ("up:<ip>"/"down:<ip>") *)
+    Qoe.set_host collector (Addr.ip_to_string conn.local.Addr.ip);
+    collector
+  in
+  Option.iter
+    (fun rx ->
+      Codec.Video_receiver.set_qoe rx (attach (Qoe.collector (key Qoe.Video))))
+    conn.video_rx;
+  Option.iter
+    (fun rx ->
+      Codec.Audio_receiver.set_qoe rx (attach (Qoe.collector (key Qoe.Audio))))
+    conn.audio_rx
+
 (* --- dispatch ------------------------------------------------------------- *)
 
 let handle_rtp t conn (dgram : Dgram.t) =
@@ -299,6 +332,19 @@ let handle_rtp t conn (dgram : Dgram.t) =
       end
       else if pkt.Packet.ssrc = conn.audio_ssrc then
         Option.iter (fun rx -> Codec.Audio_receiver.receive rx ~time_ns:now pkt) conn.audio_rx;
+      (* anchor the packet's trace id on the receiver's QoE timeline so
+         attribution can walk from a burn back to these exact packets *)
+      if dgram.Dgram.trace >= 0 then begin
+        let note q = Qoe.note_trace q ~time_ns:now ~trace:dgram.Dgram.trace in
+        if pkt.Packet.ssrc = conn.video_ssrc then
+          Option.iter
+            (fun rx -> Option.iter note (Codec.Video_receiver.qoe rx))
+            conn.video_rx
+        else if pkt.Packet.ssrc = conn.audio_ssrc then
+          Option.iter
+            (fun rx -> Option.iter note (Codec.Audio_receiver.qoe rx))
+            conn.audio_rx
+      end;
       (* terminal hop of the causal timeline: the packet reached the
          receiving endpoint and (for video) advanced the decoder *)
       if dgram.Dgram.trace >= 0 && Trace.enabled Trace.Packet then

@@ -74,6 +74,18 @@ val add_recv_connection :
   audio_ssrc:int -> connection
 (** [video_ssrc]/[audio_ssrc] are the remote sender's stream ids. *)
 
+val attach_qoe :
+  connection ->
+  meeting:int ->
+  receiver:int ->
+  sender:int ->
+  media:Scallop_obs.Qoe.media ->
+  unit
+(** Attach per-stream QoE collectors (video + audio) to a receive
+    connection's decoders, keyed by the meeting/receiver/sender identity
+    only the controller knows. Incoming traced packets are then anchored
+    on the collector for root-cause attribution. *)
+
 val close_connection : t -> connection -> unit
 (** Sends an RTCP BYE for the connection's streams, then stops its timers
     and unbinds its port. *)

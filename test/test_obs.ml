@@ -84,6 +84,56 @@ let metrics_callback_polls () =
   v := 9.0;
   Alcotest.(check bool) "re-polled at dump" true (has (Metrics.dump ()) "polled 9")
 
+let contains haystack needle =
+  let rec scan i =
+    i + String.length needle <= String.length haystack
+    && (String.sub haystack i (String.length needle) = needle || scan (i + 1))
+  in
+  scan 0
+
+(* The exact Prometheus exposition of a histogram — cumulative
+   [_bucket{le=...}] samples ending at +Inf, then [_sum]/[_count]. A
+   golden string so any drift in the text form is a deliberate choice. *)
+let metrics_histogram_golden_dump () =
+  fresh ();
+  let h =
+    Metrics.histogram ~labels:[ ("q", "a") ] ~help:"test histogram"
+      ~bounds:[| 1.0; 2.0; 4.0 |] "hist_gold"
+  in
+  List.iter (Scallop_util.Stats.Histogram.observe h) [ 0.5; 1.5; 3.0; 9.0 ];
+  let expected =
+    "# HELP hist_gold test histogram\n\
+     # TYPE hist_gold histogram\n\
+     hist_gold_bucket{q=\"a\",le=\"1\"} 1\n\
+     hist_gold_bucket{q=\"a\",le=\"2\"} 2\n\
+     hist_gold_bucket{q=\"a\",le=\"4\"} 3\n\
+     hist_gold_bucket{q=\"a\",le=\"+Inf\"} 4\n\
+     hist_gold_sum{q=\"a\"} 14\n\
+     hist_gold_count{q=\"a\"} 4\n"
+  in
+  Alcotest.(check string) "golden text dump" expected (Metrics.dump ())
+
+let metrics_histogram_json_buckets () =
+  fresh ();
+  let h = Metrics.histogram ~bounds:[| 1.0; 2.0 |] "hist_json" in
+  let empty = Metrics.dump_json () in
+  Alcotest.(check bool) "empty histogram shape" true
+    (contains empty "{\"count\": 0, \"sum\": 0, \"buckets\": []}");
+  List.iter (Scallop_util.Stats.Histogram.observe h) [ 1.0; 5.0 ];
+  let json = Metrics.dump_json () in
+  Alcotest.(check bool) "cumulative buckets in JSON" true
+    (contains json "\"buckets\": [[\"1\", 1], [\"2\", 1], [\"+Inf\", 2]]");
+  Alcotest.(check bool) "count" true (contains json "\"count\": 2")
+
+let metrics_adopted_histogram () =
+  fresh ();
+  let h = Scallop_util.Stats.Histogram.create ~bounds:[| 10.0 |] () in
+  Scallop_util.Stats.Histogram.observe h 3.0;
+  (* register_histogram adopts the live handle instead of zeroing it *)
+  Metrics.register_histogram "adopted" h;
+  Alcotest.(check bool) "prior observations visible" true
+    (contains (Metrics.dump ()) "adopted_count 1")
+
 (* --- Trace gating and sink ------------------------------------------------- *)
 
 let trace_off_writes_nothing () =
@@ -138,6 +188,25 @@ let trace_ring_drops () =
   Alcotest.(check int) "ring keeps capacity" 4 (List.length evs);
   Alcotest.(check (list int)) "keeps newest, oldest first" [ 6; 7; 8; 9 ]
     (List.map (fun (e : Trace.event) -> e.Trace.ts) evs);
+  Trace.set_capacity 262_144
+
+let trace_dropped_metric_exported () =
+  fresh ();
+  (* Metrics.reset in [fresh] wiped the module-init registration *)
+  Trace.register_metrics ();
+  Trace.set_level Trace.Packet;
+  Trace.set_capacity 4;
+  for i = 0 to 9 do
+    Trace.instant ~ts:i ~cat:"dp" "e"
+  done;
+  let dump = Metrics.dump () in
+  Alcotest.(check bool) "dropped total exported" true
+    (contains dump "scallop_trace_dropped_total 6");
+  Alcotest.(check bool) "writes total exported" true
+    (contains dump "scallop_trace_writes_total 10");
+  Alcotest.(check int) "first retained index" 6 (Trace.first_retained ());
+  Alcotest.(check (list int)) "events indexed globally" [ 6; 7; 8; 9 ]
+    (List.map fst (Trace.events_indexed ()));
   Trace.set_capacity 262_144
 
 (* --- End-to-end determinism ------------------------------------------------ *)
@@ -204,6 +273,11 @@ let () =
           Alcotest.test_case "sorted deterministic dump" `Quick
             metrics_dump_sorted_deterministic;
           Alcotest.test_case "callback gauge" `Quick metrics_callback_polls;
+          Alcotest.test_case "histogram golden text dump" `Quick
+            metrics_histogram_golden_dump;
+          Alcotest.test_case "histogram JSON buckets" `Quick
+            metrics_histogram_json_buckets;
+          Alcotest.test_case "adopted histogram" `Quick metrics_adopted_histogram;
         ] );
       ( "trace",
         [
@@ -212,6 +286,8 @@ let () =
           Alcotest.test_case "counter sampling" `Quick trace_sampling;
           Alcotest.test_case "timeline filter" `Quick trace_timeline_filters;
           Alcotest.test_case "ring overwrite" `Quick trace_ring_drops;
+          Alcotest.test_case "dropped metric exported" `Quick
+            trace_dropped_metric_exported;
         ] );
       ( "determinism",
         [

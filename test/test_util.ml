@@ -225,6 +225,31 @@ let hist_bad_bounds () =
     (Invalid_argument "Stats.Histogram.create: bounds not strictly ascending")
     (fun () -> ignore (Stats.Histogram.create ~bounds:[| 1.0; 1.0 |] ()))
 
+let hist_empty_percentile_raises () =
+  let h = Stats.Histogram.create () in
+  Alcotest.check_raises "empty percentile"
+    (Invalid_argument "Stats.Histogram.percentile: empty") (fun () ->
+      ignore (Stats.Histogram.percentile h 50.0))
+
+let hist_single_sample () =
+  let h = Stats.Histogram.create () in
+  Stats.Histogram.observe h 42.0;
+  (* one sample: every percentile clamps to the observed min = max *)
+  List.iter
+    (fun p -> check_float (Printf.sprintf "p%g" p) 42.0 (Stats.Histogram.percentile h p))
+    [ 0.0; 50.0; 99.0; 100.0 ]
+
+let hist_all_equal () =
+  let h = Stats.Histogram.create () in
+  for _ = 1 to 100 do
+    Stats.Histogram.observe h 7.0
+  done;
+  Alcotest.(check int) "count" 100 (Stats.Histogram.count h);
+  (* identical samples: interpolation must not smear outside [min, max] *)
+  List.iter
+    (fun p -> check_float (Printf.sprintf "p%g" p) 7.0 (Stats.Histogram.percentile h p))
+    [ 1.0; 50.0; 99.0 ]
+
 (* --- Timeseries ------------------------------------------------------------ *)
 
 let ts_binning () =
@@ -256,6 +281,31 @@ let ts_out_of_order () =
   Timeseries.add ts 55 1.0;
   Timeseries.add ts 5 1.0;
   Alcotest.(check int) "bins span" 6 (Array.length (Timeseries.bins ts))
+
+let ts_window_rollover () =
+  (* samples straddling a bin boundary must land in distinct bins: the
+     last nanosecond of bin 0 stays in bin 0, the first of bin 1 rolls
+     over — the property the QoE sliding-window sums lean on *)
+  let ts = Timeseries.create ~bin_ns:1000 in
+  Timeseries.add ts 999 1.0;
+  Timeseries.add ts 1000 2.0;
+  Timeseries.add ts 1999 4.0;
+  Timeseries.add ts 2000 8.0;
+  let bins = Timeseries.bins ts in
+  Alcotest.(check int) "three bins" 3 (Array.length bins);
+  Alcotest.(check int) "bin 0 starts at 0" 0 (fst bins.(0));
+  check_float "bin 0" 1.0 (snd bins.(0));
+  Alcotest.(check int) "bin 1 starts at 1000" 1000 (fst bins.(1));
+  check_float "bin 1 rolls over" 6.0 (snd bins.(1));
+  check_float "bin 2" 8.0 (snd bins.(2));
+  (* fold visits each non-empty bin exactly once with its bin start *)
+  let visited =
+    Timeseries.fold ts ~init:[] ~f:(fun acc time v -> (time, v) :: acc)
+  in
+  Alcotest.(check (list (pair int (float 1e-9))))
+    "fold order and contents"
+    [ (0, 1.0); (1000, 6.0); (2000, 8.0) ]
+    (List.rev visited)
 
 (* --- Table ------------------------------------------------------------------ *)
 
@@ -507,6 +557,10 @@ let () =
           Alcotest.test_case "cumulative buckets" `Quick hist_buckets_cumulative;
           Alcotest.test_case "NaN rejected" `Quick hist_nan_raises;
           Alcotest.test_case "bad bounds" `Quick hist_bad_bounds;
+          Alcotest.test_case "empty percentile raises" `Quick
+            hist_empty_percentile_raises;
+          Alcotest.test_case "single sample" `Quick hist_single_sample;
+          Alcotest.test_case "all equal" `Quick hist_all_equal;
         ] );
       ( "timeseries",
         [
@@ -514,6 +568,7 @@ let () =
           Alcotest.test_case "empty bins filled" `Quick ts_empty_bins_filled;
           Alcotest.test_case "rates" `Quick ts_rates;
           Alcotest.test_case "out of order" `Quick ts_out_of_order;
+          Alcotest.test_case "window rollover" `Quick ts_window_rollover;
         ] );
       ( "table",
         [
