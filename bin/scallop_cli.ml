@@ -413,7 +413,26 @@ let check_cmd =
                    error count, clean flag) instead of the human report. The \
                    finding encoding is shared with $(b,explore).")
   in
-  let run ctrl_rtt_ms ctrl_loss seed json =
+  let failover =
+    Arg.(value & flag
+         & info [ "failover" ]
+             ~doc:
+               "Run the controller tier as the fault-tolerant primary/standby \
+                pair, kill the acting primary mid-churn, and continue against \
+                the promoted standby (its state rebuilt from the intent \
+                journal). Every verification point then also checks the \
+                cluster invariants: single acting primary and journal-replay \
+                fidelity.")
+  in
+  let journal_out =
+    Arg.(value & opt (some string) None
+         & info [ "journal-out" ] ~docv:"FILE"
+             ~doc:
+               "With $(b,--failover): write the intent journal's dump (live \
+                entries plus snapshot marker) to $(docv) at end of run — the \
+                CI chaos gate's journal artifact.")
+  in
+  let run ctrl_rtt_ms ctrl_loss seed json failover journal_out =
     try
       let module Addr = Scallop_util.Addr in
       let module Rng = Scallop_util.Rng in
@@ -435,9 +454,24 @@ let check_cmd =
         Scallop.Rpc_transport.degraded ~loss:ctrl_loss
           ~rtt_ns:(Netsim.Engine.ms ctrl_rtt_ms) ()
       in
+      let cluster =
+        if failover then
+          Some
+            (Scallop.Cluster.create engine network (Rng.split rng)
+               ~agents:[ s0; s1 ] ~control ())
+        else None
+      in
       let controller =
-        Scallop.Controller.create engine network (Rng.split rng) ~agents:[ s0; s1 ]
-          ~control ()
+        match cluster with
+        | Some cl -> Scallop.Cluster.primary cl
+        | None ->
+            Scallop.Controller.create engine network (Rng.split rng)
+              ~agents:[ s0; s1 ] ~control ()
+      in
+      let ctrl () =
+        match cluster with
+        | Some cl -> Scallop.Cluster.endpoint cl
+        | None -> controller
       in
       let client idx =
         let ip = Addr.ip_of_string (Printf.sprintf "10.0.3.%d" (idx + 1)) in
@@ -452,7 +486,13 @@ let check_cmd =
         (* QoE SLOs ride along with the state checks: any burn over the
            live collectors surfaces here too *)
         ignore (Scallop_obs.Slo.evaluate slo ~now_ns:(Netsim.Engine.now engine));
-        let findings = Scallop_analysis.verify controller in
+        let findings =
+          Scallop_analysis.verify (ctrl ())
+          @
+          match cluster with
+          | Some cl -> Scallop_analysis.check_cluster cl
+          | None -> []
+        in
         let errors = Scallop_analysis.errors findings in
         if json then points := (label, findings) :: !points
         else begin
@@ -468,31 +508,51 @@ let check_cmd =
       in
       (* a cascaded meeting: senders on both switches, plus mid-call churn
          and a screen share — every controller trigger the paper names *)
-      let mid = Scallop.Controller.create_meeting controller in
+      let mid = Scallop.Controller.create_meeting (ctrl ()) in
       let c = Array.init 6 client in
-      let p0 = Scallop.Controller.join ~home:0 controller mid c.(0) ~send_media:true in
-      let _p1 = Scallop.Controller.join ~home:0 controller mid c.(1) ~send_media:true in
-      let p2 = Scallop.Controller.join ~home:1 controller mid c.(2) ~send_media:true in
-      let p3 = Scallop.Controller.join ~home:1 controller mid c.(3) ~send_media:false in
+      let p0 = Scallop.Controller.join ~home:0 (ctrl ()) mid c.(0) ~send_media:true in
+      let _p1 = Scallop.Controller.join ~home:0 (ctrl ()) mid c.(1) ~send_media:true in
+      let p2 = Scallop.Controller.join ~home:1 (ctrl ()) mid c.(2) ~send_media:true in
+      let p3 = Scallop.Controller.join ~home:1 (ctrl ()) mid c.(3) ~send_media:false in
       run_for 2.0;
       verify_point "cascaded meeting (4 members)";
-      Scallop.Controller.start_screen_share controller p0;
+      Scallop.Controller.start_screen_share (ctrl ()) p0;
       run_for 1.0;
       verify_point "screen share started";
-      Scallop.Controller.stop_screen_share controller p0;
-      Scallop.Controller.leave controller p2;
-      Scallop.Controller.leave controller p3;
+      (* kill mid-churn: intent so far is only in the journal; the rest of
+         the workload runs against the promoted standby, whose state was
+         rebuilt by replay (allocators included — the pids above stay
+         valid) and whose fenced resync re-owns both agents *)
+      (match cluster with
+      | Some cl ->
+          Scallop.Cluster.kill_primary cl;
+          run_for 1.0;
+          verify_point "primary killed, standby promoted"
+      | None -> ());
+      Scallop.Controller.stop_screen_share (ctrl ()) p0;
+      Scallop.Controller.leave (ctrl ()) p2;
+      Scallop.Controller.leave (ctrl ()) p3;
       run_for 1.0;
       verify_point "remote members left";
-      let mid2 = Scallop.Controller.create_meeting controller in
-      let p4 = Scallop.Controller.join controller mid2 c.(4) ~send_media:true in
-      let _p5 = Scallop.Controller.join controller mid2 c.(5) ~send_media:true in
+      let mid2 = Scallop.Controller.create_meeting (ctrl ()) in
+      let p4 = Scallop.Controller.join (ctrl ()) mid2 c.(4) ~send_media:true in
+      let _p5 = Scallop.Controller.join (ctrl ()) mid2 c.(5) ~send_media:true in
       run_for 2.0;
       verify_point "second meeting up";
-      Scallop.Controller.leave controller p4;
-      Scallop.Controller.leave controller p0;
+      Scallop.Controller.leave (ctrl ()) p4;
+      Scallop.Controller.leave (ctrl ()) p0;
       run_for 1.0;
       verify_point "after churn";
+      (match cluster with
+      | Some cl ->
+          Option.iter
+            (fun path ->
+              let oc = open_out path in
+              output_string oc (Scallop.Journal.dump (Scallop.Cluster.journal cl));
+              close_out oc)
+            journal_out;
+          Scallop.Cluster.stop cl
+      | None -> ());
       let slo_alerts = Scallop_obs.Slo.alerts slo in
       if json then begin
         let module J = Scallop_mc.Mc_json in
@@ -548,7 +608,9 @@ let check_cmd =
        ~doc:
          "Drive a cascaded meeting through churn and statically verify the \
           controller/agent/data-plane state invariants at every quiescent point.")
-    Term.(term_result (const run $ ctrl_rtt_ms $ ctrl_loss $ seed $ json))
+    Term.(term_result
+            (const run $ ctrl_rtt_ms $ ctrl_loss $ seed $ json $ failover
+             $ journal_out))
 
 let metrics_cmd =
   let json =
@@ -566,8 +628,12 @@ let metrics_cmd =
     let _mid, _members =
       Experiments.Common.scallop_meeting stack ~participants ~senders:participants ()
     in
+    (* the failure detector registers the scallop_ctrl_health_* /
+       recovery-log metrics; run it so the dump covers them *)
+    Scallop.Controller.start_health stack.Experiments.Common.controller;
     Netsim.Engine.run stack.Experiments.Common.engine
       ~until:(Netsim.Engine.sec seconds);
+    Scallop.Controller.stop_health stack.Experiments.Common.controller;
     print_string
       (if json then Scallop_obs.Metrics.dump_json () else Scallop_obs.Metrics.dump ())
   in
@@ -822,6 +888,16 @@ let explore_cmd =
          & info [ "no-faults" ]
              ~doc:"Disable the crash/restart decision grid.")
   in
+  let cluster =
+    Arg.(value & flag
+         & info [ "cluster" ]
+             ~doc:
+               "Run the controller tier as the fault-tolerant primary/standby \
+                pair: the fault grid gains kill-primary and force-promote \
+                decision points, and the end-state check adds the cluster \
+                invariants (single acting primary, journal-replay fidelity). \
+                Implied by $(b,--mutate skip-fencing-check).")
+  in
   let seed = Arg.(value & opt int 11 & info [ "seed" ] ~doc:"Simulation seed.") in
   let json =
     Arg.(value & flag
@@ -843,8 +919,8 @@ let explore_cmd =
                    (timestamp, name, args) — the schedule's full timeline, for \
                    debugging a counterexample.")
   in
-  let run mutate runs depth replay ties no_channel no_faults seed json seq_out
-      dump =
+  let run mutate runs depth replay ties no_channel no_faults cluster seed json
+      seq_out dump =
     let config =
       {
         Mc.Scenario.default with
@@ -853,6 +929,10 @@ let explore_cmd =
         sc_ties = ties;
         sc_channel = not no_channel;
         sc_faults = not no_faults;
+        sc_cluster =
+          (* the skip-fencing-check defect only has observable effect in a
+             run with two controller instances to race *)
+          cluster || List.mem Scallop.Mutation.Skip_fencing_check mutate;
       }
     in
     let budget =
@@ -955,7 +1035,7 @@ let explore_cmd =
           rules. Prints a replayable choice sequence for any violation found.")
     Term.(term_result
             (const run $ mutate $ runs $ depth $ replay $ ties $ no_channel
-             $ no_faults $ seed $ json $ seq_out $ dump))
+             $ no_faults $ cluster $ seed $ json $ seq_out $ dump))
 
 let () =
   let doc = "Scallop (SIGCOMM'25) reproduction: SDN-based selective forwarding unit" in

@@ -26,6 +26,8 @@ type kind =
   | Intent_drift
   | Shadow_drift
   | Deferred_overflow
+  | Split_brain
+  | Journal_drift
 
 type finding = {
   severity : severity;
@@ -61,6 +63,8 @@ let kind_name = function
   | Intent_drift -> "intent-drift"
   | Shadow_drift -> "shadow-drift"
   | Deferred_overflow -> "deferred-overflow"
+  | Split_brain -> "split-brain"
+  | Journal_drift -> "journal-drift"
 
 let pp_finding ppf f =
   Format.fprintf ppf "%-7s %-10s %-20s %-28s %s" (severity_name f.severity)
@@ -1020,3 +1024,43 @@ let reconcile ?totals ctrl =
   let repairs = List.map (fun idx -> (idx, C.resync_switch ctrl idx)) targets in
   let after = if repairs = [] then before else check ?totals (snapshot ctrl) in
   { rr_before = before; rr_repairs = repairs; rr_after = after }
+
+(* --- controller cluster invariants -------------------------------------------
+
+   Two invariants tie the fault-tolerance design together. First, at
+   most one live instance may hold the Acting role at a quiescent point
+   — the lease check is run here first, so a fenced-out primary that
+   has not written since its deposition gets its chance to notice
+   before being counted (under [Mutation.Skip_fencing_check] the lease
+   check is inert and a genuine split brain surfaces). Second, the
+   journal must be a faithful record of intent: a standby that has
+   applied every entry must reconstruct the acting primary's
+   introspection state exactly. *)
+
+let check_cluster cluster =
+  let module Cl = Scallop.Cluster in
+  let ctx = { acc = [] } in
+  let insts = [ Cl.primary cluster; Cl.standby cluster ] in
+  List.iter (fun c -> if C.role c = C.Acting then C.refresh_role c) insts;
+  let acting = List.filter (fun c -> C.role c = C.Acting && C.alive c) insts in
+  (match acting with
+  | _ :: _ :: _ ->
+      errf ctx Controller Split_brain "cluster/roles"
+        "multiple live acting primaries: %s — fencing failed to depose the old \
+         primary"
+        (String.concat ", "
+           (List.map
+              (fun c -> Printf.sprintf "%s(fence=%d)" (C.label c) (C.fence c))
+              acting))
+  | _ -> ());
+  (match (Cl.standby_instance cluster, acting) with
+  | Some sb, [ act ] ->
+      ignore (C.apply_tail sb);
+      let fa = C.intent_fingerprint act and fs = C.intent_fingerprint sb in
+      if fa <> fs then
+        errf ctx Controller Journal_drift "cluster/journal"
+          "caught-up standby %s (applied=%d) does not reproduce acting %s \
+           (fence=%d): journal replay diverges from live intent"
+          (C.label sb) (C.journal_applied sb) (C.label act) (C.fence act)
+  | _ -> ());
+  List.rev ctx.acc

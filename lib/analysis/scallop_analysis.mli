@@ -63,6 +63,13 @@ type kind =
       (** the controller's deferred-op queue for a Dead switch hit its
           cap and dropped ops (Warning: the heal path compensates with a
           full resync, but the operator should know) *)
+  | Split_brain
+      (** two live controller instances both hold the Acting role — the
+          fencing protocol failed to depose the old primary *)
+  | Journal_drift
+      (** a standby that has applied every journal entry does not
+          reproduce the acting primary's intent — the write-ahead log is
+          not a faithful record of the mutations it claims to cover *)
 
 type finding = {
   severity : severity;
@@ -189,3 +196,17 @@ val reconcile :
     (subjects of the form ["sw<idx>/..."]) from controller intent;
     verify again. With no error findings (or none naming a reachable
     switch) nothing is repaired and [rr_after == rr_before]. *)
+
+(** {1 Controller cluster invariants} *)
+
+val check_cluster : Scallop.Cluster.t -> finding list
+(** Check the controller tier's fault-tolerance invariants at a
+    quiescent point: at most one live acting primary
+    ({!Split_brain}), and journal-replay fidelity — the standby is
+    tailed to the journal head ({!Scallop.Controller.apply_tail}, the
+    one mutation this check performs) and its
+    {!Scallop.Controller.intent_fingerprint} must match the acting
+    primary's ({!Journal_drift}). The lease check
+    ({!Scallop.Controller.refresh_role}) runs first on every acting
+    instance, so a fenced-out primary that never wrote after its
+    deposition is not miscounted. *)

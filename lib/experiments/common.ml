@@ -41,6 +41,34 @@ let make_scallop ?(seed = 1) ?(rewrite = Scallop.Seq_rewrite.S_LM) ?(switch_link
   in
   { engine; rng; network; dp; agent; controller }
 
+(* A scallop stack whose controller tier is the fault-tolerant pair: an
+   acting primary and a journal-tailing standby under the cluster's
+   heartbeat manager. The [scallop_stack] view inside it points its
+   [controller] field at the initial primary — helpers like
+   [scallop_meeting] work unchanged as long as they run before the first
+   failover; afterwards route ops through [Scallop.Cluster.endpoint]. *)
+type cluster_stack = { base : scallop_stack; cluster : Scallop.Cluster.t }
+
+let make_cluster ?(seed = 1) ?(rewrite = Scallop.Seq_rewrite.S_LM)
+    ?(switch_link = fast_link) ?(control = Scallop.Rpc_transport.default)
+    ?(batch = false) ?cluster_config () =
+  Scallop_obs.Qoe.reset ();
+  let engine = Engine.create () in
+  let rng = Rng.create seed in
+  let network = Network.create engine (Rng.split rng) in
+  Network.add_host network ~ip:sfu_ip ~uplink:switch_link ~downlink:switch_link ();
+  let dp = Scallop.Dataplane.create engine network ~ip:sfu_ip () in
+  let agent = Scallop.Switch_agent.create engine dp ~rewrite () in
+  let cluster =
+    Scallop.Cluster.create ?config:cluster_config engine network (Rng.split rng)
+      ~agents:[ (agent, dp) ] ~control ~batch ()
+  in
+  {
+    base =
+      { engine; rng; network; dp; agent; controller = Scallop.Cluster.primary cluster };
+    cluster;
+  }
+
 type software_stack = {
   s_engine : Engine.t;
   s_rng : Rng.t;

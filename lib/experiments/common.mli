@@ -26,6 +26,23 @@ val make_scallop :
     turns on the controller's control-plane batching mode
     ({!Scallop.Controller.create}). *)
 
+type cluster_stack = { base : scallop_stack; cluster : Scallop.Cluster.t }
+(** A scallop stack whose controller tier is the fault-tolerant
+    primary/standby pair. [base.controller] is the initial primary —
+    existing helpers ({!scallop_meeting}) work unchanged before the
+    first failover; afterwards, route operations through
+    {!Scallop.Cluster.endpoint}. *)
+
+val make_cluster :
+  ?seed:int ->
+  ?rewrite:Scallop.Seq_rewrite.variant ->
+  ?switch_link:Netsim.Link.config ->
+  ?control:Scallop.Rpc_transport.config ->
+  ?batch:bool ->
+  ?cluster_config:Scallop.Cluster.config ->
+  unit ->
+  cluster_stack
+
 type software_stack = {
   s_engine : Netsim.Engine.t;
   s_rng : Scallop_util.Rng.t;

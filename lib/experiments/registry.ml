@@ -124,6 +124,14 @@ let all =
       run = (fun ?quick () -> Failover.run ?quick ());
     };
     {
+      id = "ctrl_failover";
+      title = "Controller failover: recovery latency vs journal size";
+      paper_claim = "the controller holds only restartable session state (5.1); a \
+                     standby rebuilds it from journaled intent, so takeover is \
+                     detection-bound and rebuild is bounded by compaction";
+      run = (fun ?quick () -> Ctrl_failover.run ?quick ());
+    };
+    {
       id = "ctrl_churn";
       title = "Control-plane churn: per-op vs batched RPC throughput";
       paper_claim = "the controller acts only on session changes (5.1); batching its \

@@ -445,6 +445,102 @@ let quiet_heal () =
         | _ -> None
       else None)
 
+(* R10 — fencing epochs strictly increase: every controller activation
+   ([ctrl_activate], emitted by a promotion) mints a fence strictly above
+   every fence activated before it. Two primaries acting under one epoch
+   would make the agents' highest-fence-wins acceptance rule vacuous. *)
+let fence_monotone () =
+  let last = ref None in
+  (* (fence, ctrl label, event idx) of the latest activation *)
+  make ~name:"fence-monotone"
+    ~doc:
+      "controller activations mint strictly increasing fencing epochs: no \
+       two primaries ever act under the same epoch"
+    ~step:(fun ~idx ev ->
+      if is ev "ctrl_activate" then begin
+        let f = req "fence" (arg_i ev "fence") in
+        let who = Option.value ~default:"?" (arg_s ev "ctrl") in
+        match !last with
+        | Some (f', who', at) when f <= f' ->
+            [
+              {
+                v_rule = "fence-monotone";
+                v_detail =
+                  Printf.sprintf
+                    "controller %s activated under fence %d, not above fence \
+                     %d already activated by %s"
+                    who f f' who';
+                v_ts = ev.ts;
+                v_events = [ at; idx ];
+              };
+            ]
+        | _ ->
+            last := Some (f, who, idx);
+            []
+      end
+      else [])
+    ~final:(fun ~now:_ -> [])
+
+(* R11 — no op from a deposed epoch ever executes: once an agent accepts
+   a fenced op under epoch f, it must reject (Stale_fence) anything
+   fenced below f. Scoped per agent boot — a restarted agent forgets its
+   fence (by design) and the acting primary's first fenced resync
+   re-installs it. A fresh execution (replayed=false) that was not
+   rejected and carries a fence below the agent's high-water mark is the
+   split-brain signature the skip-fencing-check mutation plants. *)
+let no_deposed_exec () =
+  let restarts : (string, int) Hashtbl.t = Hashtbl.create 4 in
+  let hi : (string * int, int * int) Hashtbl.t = Hashtbl.create 8 in
+  (* (agent, boot era) -> (max accepted fence, its event idx) *)
+  make ~name:"no-deposed-exec"
+    ~doc:
+      "an agent never executes an op fenced under a deposed epoch: after \
+       accepting fence f (within one boot), everything below f is refused"
+    ~step:(fun ~idx ev ->
+      if is ev "agent_restart" then begin
+        let a = agent_s ev in
+        Hashtbl.replace restarts a
+          (1 + Option.value ~default:0 (Hashtbl.find_opt restarts a));
+        []
+      end
+      else if
+        is ev "rpc_exec"
+        && arg_s ev "replayed" = Some "false"
+        && arg_s ev "rejected" <> Some "true"
+      then begin
+        match arg_i ev "fence" with
+        | None -> [] (* unfenced request: single-controller traffic *)
+        | Some f -> (
+            let a = agent_s ev in
+            let era = Option.value ~default:0 (Hashtbl.find_opt restarts a) in
+            match Hashtbl.find_opt hi (a, era) with
+            | Some (f', at) when f < f' ->
+                [
+                  {
+                    v_rule = "no-deposed-exec";
+                    v_detail =
+                      Printf.sprintf
+                        "agent %s executed %s seq=%d under deposed fence %d \
+                         after accepting fence %d (event %d, same boot)"
+                        a
+                        (Option.value ~default:"?" (arg_s ev "name"))
+                        (req "seq" (arg_i ev "seq"))
+                        f f' at;
+                    v_ts = ev.ts;
+                    v_events = [ at; idx ];
+                  };
+                ]
+            | Some (f', _) when f > f' ->
+                Hashtbl.replace hi (a, era) (f, idx);
+                []
+            | Some _ -> []
+            | None ->
+                Hashtbl.replace hi (a, era) (f, idx);
+                [])
+      end
+      else [])
+    ~final:(fun ~now:_ -> [])
+
 let all () =
   [
     exactly_once_wire ();
@@ -456,4 +552,6 @@ let all () =
     hb_liveness ();
     replay_identical ();
     quiet_heal ();
+    fence_monotone ();
+    no_deposed_exec ();
   ]

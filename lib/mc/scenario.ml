@@ -19,6 +19,7 @@ type config = {
   sc_fault_every_ms : int;
   sc_horizon_s : float;
   sc_reconcile : bool;
+  sc_cluster : bool;
 }
 
 let default =
@@ -33,6 +34,7 @@ let default =
     sc_fault_every_ms = 250;
     sc_horizon_s = 10.0;
     sc_reconcile = true;
+    sc_cluster = false;
   }
 
 type outcome = {
@@ -54,22 +56,42 @@ let failed o =
    meeting (2 senders) against a single batched switch, with a join and
    two quality-pin ops fired at fixed virtual times. Ops serialize
    through a queue because a blocking controller call pumps the engine
-   through its retries — a later op's timer can fire mid-call. *)
-let install_workload stack mid parts =
+   through its retries — a later op's timer can fire mid-call.
+
+   In cluster mode each op targets whichever instance is currently the
+   acting primary. An op that lands mid-failover (the primary is killed
+   or freshly deposed) raises [Unavailable]/[Deposed_primary] {e before}
+   journaling anything; it is re-queued at the {e front} — submission
+   order, and therefore every replayed identifier, stays deterministic —
+   and retried after the failure detector has had a beat to promote. *)
+let install_workload ?cluster stack mid parts =
+  let ctrl () =
+    match cluster with
+    | None -> stack.Common.controller
+    | Some cl -> Scallop.Cluster.endpoint cl
+  in
   let live = ref (List.map fst parts) in
-  let pending = Queue.create () in
+  let pending = ref [] in
   let busy = ref false in
-  let enqueue f =
-    Queue.push f pending;
+  let rec drain () =
+    match !pending with
+    | [] -> ()
+    | f :: rest -> (
+        pending := rest;
+        match f (ctrl ()) with
+        | () -> drain ()
+        | exception (C.Unavailable | C.Deposed_primary) ->
+            pending := f :: !pending;
+            Engine.schedule stack.Common.engine ~after:(Engine.ms 300) pump)
+  and pump () =
     if not !busy then begin
       busy := true;
-      Fun.protect
-        ~finally:(fun () -> busy := false)
-        (fun () ->
-          while not (Queue.is_empty pending) do
-            (Queue.pop pending) ()
-          done)
+      Fun.protect ~finally:(fun () -> busy := false) drain
     end
+  in
+  let enqueue f =
+    pending := !pending @ [ f ];
+    pump ()
   in
   let next_index = ref 10 in
   let op i f =
@@ -77,25 +99,33 @@ let install_workload stack mid parts =
       ~time:(Engine.sec (0.8 +. float_of_int i))
       (fun () -> enqueue f)
   in
-  op 0 (fun () ->
+  op 0 (fun ctrl ->
       match !live with
       | s :: _ :: r :: _ ->
-          C.set_pair_target stack.Common.controller ~sender:s ~receiver:r
-            (Av1.Dd.target_of_index 0)
+          C.set_pair_target ctrl ~sender:s ~receiver:r (Av1.Dd.target_of_index 0)
       | _ -> ());
-  op 1 (fun () ->
+  op 1 (fun ctrl ->
       match !live with
       | _ :: s :: r :: _ ->
-          C.set_pair_target stack.Common.controller ~sender:s ~receiver:r
-            (Av1.Dd.target_of_index 2)
+          C.set_pair_target ctrl ~sender:s ~receiver:r (Av1.Dd.target_of_index 2)
       | _ -> ());
-  op 2 (fun () ->
-      incr next_index;
+  (* the late joiner's client is created once and remembered: a retry
+     after a failover must re-issue the join, not re-register the host *)
+  let joiner = ref None in
+  op 2 (fun ctrl ->
       let client =
-        Common.add_client stack.Common.engine stack.Common.network
-          stack.Common.rng ~index:!next_index ()
+        match !joiner with
+        | Some c -> c
+        | None ->
+            incr next_index;
+            let c =
+              Common.add_client stack.Common.engine stack.Common.network
+                stack.Common.rng ~index:!next_index ()
+            in
+            joiner := Some c;
+            c
       in
-      let pid = C.join stack.Common.controller mid client ~send_media:false in
+      let pid = C.join ctrl mid client ~send_media:false in
       live := !live @ [ pid ])
 
 (* Crash/restart decision points: one ternary choice per grid slot in
@@ -106,6 +136,26 @@ let install_workload stack mid parts =
    choice-sequence positions — counterexamples that only need fault
    timing stay shallow no matter how many channel/tie choice points the
    run consumes later. *)
+(* Controller fault decision points (cluster mode): two ternary slots at
+   the window's start and midpoint — 0 = nothing, 1 = kill the acting
+   primary (the detector then promotes the standby), 2 = force-promote
+   the standby with the primary still healthy (a false-positive failure
+   detection, the split-brain seed fencing must contain). Decided before
+   the agent grid, so controller-fault counterexamples occupy the very
+   first choice-sequence positions. *)
+let install_ctrl_faults stack cluster cfg choice =
+  let w0, w1 = cfg.sc_window_ms in
+  let times = [| w0; (w0 + w1) / 2 |] in
+  let decided = Array.map (fun _ -> Choice.next choice ~arity:3) times in
+  Array.iteri
+    (fun i pick ->
+      Engine.at stack.Common.engine ~time:(Engine.ms times.(i)) (fun () ->
+          match pick with
+          | 1 -> Scallop.Cluster.kill_primary cluster
+          | 2 -> Scallop.Cluster.promote cluster
+          | _ -> ()))
+    decided
+
 let install_faults stack cfg choice =
   let w0, w1 = cfg.sc_window_ms in
   let slots = (w1 - w0) / cfg.sc_fault_every_ms in
@@ -149,7 +199,18 @@ let run ?(config = default) ?on_event ~forced () =
       Mutation.disable_all ();
       Trace.set_level prev_level)
     (fun () ->
-      let stack = Common.make_scallop ~seed:cfg.sc_seed ~batch:cfg.sc_batch () in
+      let stack, cluster =
+        if cfg.sc_cluster then begin
+          let cs = Common.make_cluster ~seed:cfg.sc_seed ~batch:cfg.sc_batch () in
+          (cs.Common.base, Some cs.Common.cluster)
+        end
+        else (Common.make_scallop ~seed:cfg.sc_seed ~batch:cfg.sc_batch (), None)
+      in
+      let endpoint () =
+        match cluster with
+        | None -> stack.Common.controller
+        | Some cl -> Scallop.Cluster.endpoint cl
+      in
       let engine = stack.Common.engine in
       let w0, w1 = cfg.sc_window_ms in
       let in_window () =
@@ -187,8 +248,13 @@ let run ?(config = default) ?on_event ~forced () =
         let mid, parts =
           Common.scallop_meeting stack ~participants:3 ~senders:2 ()
         in
-        install_workload stack mid parts;
-        if cfg.sc_faults then install_faults stack cfg choice;
+        install_workload ?cluster stack mid parts;
+        if cfg.sc_faults then begin
+          (match cluster with
+          | Some cl -> install_ctrl_faults stack cl cfg choice
+          | None -> ());
+          install_faults stack cfg choice
+        end;
         if cfg.sc_ties then
           Engine.set_chooser engine
             (Some
@@ -209,23 +275,31 @@ let run ?(config = default) ?on_event ~forced () =
                    | _ -> Control_channel.Deliver
                  else Control_channel.Deliver))
         end;
-        C.start_health stack.Common.controller;
+        (match cluster with
+        | Some cl -> Scallop.Cluster.start_health cl
+        | None -> C.start_health stack.Common.controller);
         Engine.run engine ~until:(Engine.sec cfg.sc_horizon_s);
-        C.stop_health stack.Common.controller;
+        (match cluster with
+        | Some cl -> Scallop.Cluster.stop cl
+        | None -> C.stop_health stack.Common.controller);
         (* settle any tail work the health shutdown scheduled *)
         Engine.run engine ~until:(Engine.now engine);
         Engine.set_chooser engine None;
+        let ep = endpoint () in
         let findings =
           if cfg.sc_reconcile then
             (* the anti-entropy pass is part of the protocol: residual
                drift it repairs (e.g. a drain-path double-execute) is
                tolerated by design; what survives it is a real defect *)
-            (An.reconcile stack.Common.controller).An.rr_after
-          else An.verify stack.Common.controller
+            (An.reconcile ep).An.rr_after
+          else An.verify ep
         in
-        finish ~findings
-          ~state_hash:(An.state_hash (An.snapshot stack.Common.controller))
-          ~crash:None
+        let findings =
+          match cluster with
+          | Some cl -> findings @ An.check_cluster cl
+          | None -> findings
+        in
+        finish ~findings ~state_hash:(An.state_hash (An.snapshot ep)) ~crash:None
       with exn ->
         (* an uncaught exception is itself a finding — the schedule drove
            the system into a state the code never expected. The end state

@@ -36,6 +36,17 @@ type config = {
       (** run the anti-entropy reconcile pass before the final
           verification (default true: drift the protocol repairs by
           design is not a finding; what survives reconcile is) *)
+  sc_cluster : bool;
+      (** run the controller tier as the fault-tolerant primary/standby
+          pair ({!Scallop.Cluster}). The fault grid gains two {e
+          controller} slots decided before everything else (0 = nothing,
+          1 = kill the acting primary, 2 = force-promote the standby — a
+          false-positive failure detection); workload ops follow
+          {!Scallop.Cluster.endpoint} and retry, order preserved, when a
+          failover catches them mid-flight; the end-state check adds
+          {!Scallop_analysis.check_cluster} (single acting primary,
+          journal-replay fidelity). Default false — single-controller
+          runs are byte-identical to before the cluster existed. *)
 }
 
 val default : config

@@ -129,6 +129,10 @@ type agent_state = {
   ah_deferred : deferred_op Queue.t;
   mutable ah_dropped : int;  (** ops lost to the cap since the last replay *)
   ah_gauge : Metrics.gauge;
+  ah_transitions : Metrics.counter array;
+      (** detector transitions into each state, indexed by
+          {!health_rank} — a flapping agent shows up as matched
+          suspect/healthy increments *)
 }
 
 type health_state = {
@@ -141,12 +145,54 @@ type health_state = {
   hs_repair_ops : Metrics.counter;
   hs_deferred : Metrics.gauge;
   mutable hs_recovery : recovery_event list;  (** newest first *)
+  hs_recovery_dropped : Metrics.counter;
+      (** recovery events pushed out of the bounded ring *)
+}
+
+(* The recovery log is a ring: under sustained churn it would otherwise
+   grow without bound inside a long-lived controller. *)
+let recovery_log_cap = 64
+
+type role = Acting | Standby | Deposed
+(** Where this controller instance stands in the cluster. [Acting] owns
+    the current fencing epoch and is the only instance that may mutate;
+    a [Standby] tails the journal (rejecting direct API calls); a
+    [Deposed] instance discovered a newer fence and refuses everything
+    until restarted. A journal-less controller is a cluster of one,
+    permanently [Acting]. *)
+
+exception Unavailable
+(** The controller cannot take this operation: it is killed, or it is a
+    standby. Callers route the op to the acting instance and retry. *)
+
+exception Deposed_primary
+(** The controller was the acting primary but has been fenced off by a
+    promoted standby; it will never act again. *)
+
+(* Everything the journal's snapshot persists: the controller's intent
+   (meetings/participants/relays) plus every allocator counter, so that
+   replaying the journal suffix on top of a restored snapshot draws the
+   same pids/ports/mids the original execution did. Client and
+   connection values are shared by reference — they model live endpoints
+   in the simulated world, not controller-private state. *)
+type persisted = {
+  ps_meetings : (meeting_id, meeting) Hashtbl.t;
+  ps_participants : (participant_id, participant) Hashtbl.t;
+  ps_egress_ports : (int, int) Hashtbl.t;
+  ps_relay_receivers : (meeting_id * int * int, unit) Hashtbl.t;
+  ps_next_agent : int;
+  ps_next_meeting : int;
+  ps_next_pid : int;
+  ps_next_sfu_port : int;
+  ps_next_egress_port : int;
+  ps_next_provisional : int;
 }
 
 type t = {
   engine : Engine.t;
   network : Network.t;
   rng : Rng.t;
+  label : string;  (** names this instance on traces and metrics *)
   agents : (Switch_agent.t * Dataplane.t) array;
   rpcs : Rpc_transport.Client.t array;  (** one control channel per switch *)
   mutable next_agent : int;
@@ -165,6 +211,15 @@ type t = {
   batch : bool;  (** buffer session mutations and flush them as [Rpc.Batch]es *)
   buffers : buffered_op Queue.t array;  (** per-agent batch buffer (FIFO) *)
   flushing : bool array;  (** per-agent reentrancy guard around a flush *)
+  journal : persisted Journal.t option;  (** None = cluster of one *)
+  mutable role : role;
+  mutable fence : int;  (** fencing epoch this instance acts under *)
+  mutable recovering : bool;
+      (** replaying the journal: execute intent mutations only — no wire
+          ops, no SDP, no rng draws; client connections are adopted by
+          address instead of created *)
+  mutable killed : bool;  (** crashed process: mute the wire, refuse ops *)
+  mutable applied : int;  (** highest journal index reflected in intent *)
 }
 
 (* The controller's address on the management network — a label on
@@ -173,41 +228,67 @@ let controller_ip = Addr.ip_of_string "10.255.0.1"
 let control_port = 6633
 
 let create engine network rng ~agents ?(control = Rpc_transport.default)
-    ?(batch = false) () =
+    ?(batch = false) ?journal ?(standby = false) ?(label = "ctl")
+    ?(ip = controller_ip) () =
   if agents = [] then invalid_arg "Controller.create: need at least one switch agent";
+  if standby && journal = None then
+    invalid_arg "Controller.create: a standby needs a journal to tail";
   let agents = Array.of_list agents in
   let rpcs =
     Array.mapi
       (fun idx (agent, dp) ->
+        (* the default instance keeps the historic per-switch metric
+           label; extra instances prefix theirs so a standby's clients
+           never displace the primary's series in the registry *)
+        let rpc_label =
+          if label = "ctl" then Printf.sprintf "sw%d" idx
+          else Printf.sprintf "%s-sw%d" label idx
+        in
         Rpc_transport.Client.connect engine (Rng.split rng) ~config:control
-          ~label:(Printf.sprintf "sw%d" idx)
-          ~local:(Addr.v controller_ip (control_port + idx))
+          ~label:rpc_label
+          ~local:(Addr.v ip (control_port + idx))
           ~remote:(Addr.v (Dataplane.ip dp) control_port)
           (Switch_agent.rpc_server agent))
       agents
   in
-  {
-    engine;
-    network;
-    rng;
-    agents;
-    rpcs;
-    next_agent = 0;
-    meetings = Hashtbl.create 16;
-    participants = Hashtbl.create 64;
-    egress_ports = Hashtbl.create 64;
-    relay_receivers = Hashtbl.create 16;
-    next_meeting = 0;
-    next_pid = 0;
-    next_sfu_port = 40_000;
-    next_egress_port = 1;
-    sdp_messages = 0;
-    health = None;
-    next_provisional = -2;
-    batch;
-    buffers = Array.map (fun _ -> Queue.create ()) agents;
-    flushing = Array.map (fun _ -> false) agents;
-  }
+  let t =
+    {
+      engine;
+      network;
+      rng;
+      label;
+      agents;
+      rpcs;
+      next_agent = 0;
+      meetings = Hashtbl.create 16;
+      participants = Hashtbl.create 64;
+      egress_ports = Hashtbl.create 64;
+      relay_receivers = Hashtbl.create 16;
+      next_meeting = 0;
+      next_pid = 0;
+      next_sfu_port = 40_000;
+      next_egress_port = 1;
+      sdp_messages = 0;
+      health = None;
+      next_provisional = -2;
+      batch;
+      buffers = Array.map (fun _ -> Queue.create ()) agents;
+      flushing = Array.map (fun _ -> false) agents;
+      journal;
+      role = (if standby then Standby else Acting);
+      fence = 0;
+      recovering = false;
+      killed = false;
+      applied = -1;
+    }
+  in
+  (match journal with
+  | Some j when not standby ->
+      (* fresh primary over a (possibly pre-populated) journal: own the
+         next fencing epoch from the start *)
+      t.fence <- Journal.acquire_fence j
+  | _ -> ());
+  t
 
 let fresh_sfu_port t =
   let p = t.next_sfu_port in
@@ -234,8 +315,13 @@ let relay_site_key mid idx = 0x7F000000 + (mid * 64) + idx
 
 (* Placement across cascaded switches: meetings get a round-robin primary
    switch; participants may be homed elsewhere (Appendix A), in which case
-   cascade relays carry the media between switches. *)
-let create_meeting t =
+   cascade relays carry the media between switches.
+
+   The [_exec] body below (like every [_exec] in this file) is the
+   execution half of a state mutation: the public entry point validates,
+   journals the op under the current fence, then runs the exec — and a
+   journal replay runs the same exec directly. *)
+let create_meeting_exec t =
   let primary = t.next_agent in
   t.next_agent <- (t.next_agent + 1) mod Array.length t.agents;
   let mid = t.next_meeting in
@@ -253,6 +339,73 @@ let find_participant t pid =
   match Hashtbl.find_opt t.participants pid with
   | Some p -> p
   | None -> invalid_arg "Controller: unknown participant"
+
+(* --- fencing ---------------------------------------------------------------
+
+   With a journal present every wire op carries the instance's fencing
+   epoch ([Rpc.Fenced]); agents reject anything older than the highest
+   fence they have seen ([Rpc.Stale_fence]), and the journal itself
+   rejects appends under a superseded fence. Either rejection deposes
+   this instance: a standby has been promoted and owns a higher epoch. *)
+
+let ctrl_arg t = ("ctrl", Trace.S t.label)
+
+let depose t ~fence =
+  if t.role <> Deposed then begin
+    t.role <- Deposed;
+    (* the deposed primary's heartbeats stop; the new acting instance
+       runs its own detector *)
+    (match t.health with Some h -> h.hs_running <- false | None -> ());
+    if Trace.enabled Trace.Rpc then
+      Trace.instant ~ts:(Engine.now t.engine) ~cat:"ctrl" "ctrl_deposed"
+        ~args:[ ctrl_arg t; ("fence", Trace.I fence) ]
+  end
+
+let ensure_usable t =
+  if t.killed then raise Unavailable;
+  match t.role with
+  | Acting -> ()
+  | Standby -> raise Unavailable
+  | Deposed -> raise Deposed_primary
+
+(* Durably record one intent mutation before executing it. Raising here
+   (stale fence) means the op was neither journaled nor executed — the
+   caller retries against the acting instance. *)
+let journaled t op =
+  match t.journal with
+  | Some j when not t.recovering -> (
+      match Journal.append j ~fence:t.fence op with
+      | idx -> t.applied <- idx
+      | exception Journal.Deposed { current; _ } ->
+          depose t ~fence:current;
+          raise Deposed_primary)
+  | _ -> ()
+
+(* Wrap a wire op in the instance's fencing epoch — only in cluster
+   mode, so a journal-less controller's wire bytes stay exactly as they
+   always were. *)
+let wire t req =
+  match t.journal with None -> req | Some _ -> Rpc.Fenced { fence = t.fence; op = req }
+
+(* Check the journal for a newer fence and self-depose if one exists —
+   the lease check the cluster beat timer runs on the acting primary, so
+   a falsely-suspected (but alive) primary stands down within one beat
+   of a standby's promotion instead of waiting to collide on the wire.
+   The skip-fencing mutation disables this too: the model checker must
+   be able to drive the resulting split brain to a double execution. *)
+let refresh_role t =
+  match t.journal with
+  | Some j
+    when t.role = Acting
+         && (not (Mutation.on Mutation.Skip_fencing_check))
+         && Journal.fence j > t.fence ->
+      depose t ~fence:(Journal.fence j)
+  | _ -> ()
+
+let create_meeting t =
+  ensure_usable t;
+  journaled t Journal.Create_meeting;
+  create_meeting_exec t
 
 (* --- control-plane RPC ------------------------------------------------------
 
@@ -285,6 +438,7 @@ let unavailable t idx = is_dead t idx || is_healing t idx
 
 let set_agent_health h idx st =
   let a = h.hs_agents.(idx) in
+  if a.ah <> st then Metrics.incr a.ah_transitions.(health_rank st);
   a.ah <- st;
   Metrics.set a.ah_gauge (float_of_int (health_rank st))
 
@@ -301,7 +455,7 @@ let mark_dead t h idx =
     set_agent_health h idx Dead;
     if Trace.enabled Trace.Rpc then
       Trace.instant ~ts:(Engine.now t.engine) ~cat:"ctrl" "agent_dead"
-        ~args:[ ("agent", Trace.I idx) ]
+        ~args:[ ctrl_arg t; ("agent", Trace.I idx) ]
   end
 
 let push_deferred t h idx op =
@@ -317,10 +471,14 @@ let push_deferred t h idx op =
   if Trace.enabled Trace.Rpc then begin
     Trace.instant ~ts:(Engine.now t.engine) ~cat:"ctrl" "op_defer"
       ~args:
-        [ ("agent", Trace.I idx); ("depth", Trace.I (Queue.length a.ah_deferred)) ];
+        [
+          ctrl_arg t;
+          ("agent", Trace.I idx);
+          ("depth", Trace.I (Queue.length a.ah_deferred));
+        ];
     if overflowed then
       Trace.instant ~ts:(Engine.now t.engine) ~cat:"ctrl" "defer_drop"
-        ~args:[ ("agent", Trace.I idx) ]
+        ~args:[ ctrl_arg t; ("agent", Trace.I idx) ]
   end;
   refresh_deferred_gauge h
 
@@ -352,7 +510,12 @@ let provisional_mid t =
    before it — per-agent order is preserved across both paths. *)
 let rec call_reply t idx req =
   flush_agent t idx;
-  match Rpc_transport.Client.call t.rpcs.(idx) req with
+  match Rpc_transport.Client.call t.rpcs.(idx) (wire t req) with
+  | Ok (Rpc.Stale_fence { fence }) ->
+      (* the agent has seen a higher fencing epoch: a standby was
+         promoted over us — stand down instead of retrying *)
+      depose t ~fence;
+      raise Deposed_primary
   | Ok reply -> Some reply
   | Error err -> (
       match t.health with
@@ -406,7 +569,10 @@ and flush_agent t idx =
               List.iter defer_op ops
           | Some resolved -> (
               let reqs = List.map snd resolved in
-              match Rpc_transport.Client.call t.rpcs.(idx) (Rpc.Batch reqs) with
+              match Rpc_transport.Client.call t.rpcs.(idx) (wire t (Rpc.Batch reqs)) with
+              | Ok (Rpc.Stale_fence { fence }) ->
+                  depose t ~fence;
+                  raise Deposed_primary
               | Ok (Rpc.Batch_reply replies)
                 when List.length replies = List.length resolved ->
                   List.iter2
@@ -422,7 +588,8 @@ and flush_agent t idx =
                               push_deferred t h idx
                                 { d_mid = op.b_mid; d_build = op.b_build }
                           | None -> invalid_arg msg)
-                      | Rpc.Meeting_created _ | Rpc.Pong _ | Rpc.Batch_reply _ ->
+                      | Rpc.Meeting_created _ | Rpc.Pong _ | Rpc.Batch_reply _
+                      | Rpc.Stale_fence _ ->
                           invalid_arg
                             (Printf.sprintf
                                "Controller: unexpected reply to %s in batch"
@@ -449,7 +616,7 @@ and rpc_new_meeting t idx ~two_party =
   match call_reply t idx (Rpc.New_meeting { two_party }) with
   | Some (Rpc.Meeting_created { meeting }) -> Some meeting
   | Some (Rpc.Error msg) -> desync t idx msg
-  | Some (Rpc.Ack | Rpc.Pong _ | Rpc.Batch_reply _) ->
+  | Some (Rpc.Ack | Rpc.Pong _ | Rpc.Batch_reply _ | Rpc.Stale_fence _) ->
       invalid_arg "Controller: missing meeting id in new-meeting reply"
   | None -> None
 
@@ -462,7 +629,10 @@ and site_of t m idx =
   | None ->
       let _, dp = t.agents.(idx) in
       let agent_mid =
-        if unavailable t idx then provisional_mid t
+        (* a journal replay reconstructs intent only: sites get
+           provisional ids; the fenced resync at promotion is what
+           materializes them on the agents *)
+        if t.recovering || unavailable t idx then provisional_mid t
         else
           match rpc_new_meeting t idx ~two_party:false with
           | Some mid -> mid
@@ -501,6 +671,11 @@ let agent_op t m idx (build : agent_mid:int -> Rpc.request) =
     ignore (site_of t m idx);
     push_deferred t h idx { d_mid = m.mid; d_build = build }
   in
+  if t.recovering then
+    (* journal replay: record that the meeting has a site here and skip
+       the wire — the agents' state is the promotion resync's concern *)
+    ignore (site_of t m idx)
+  else
   match t.health with
   | Some h when h.hs_agents.(idx).ah = Dead -> defer h
   | _ when t.batch ->
@@ -528,7 +703,7 @@ let agent_op t m idx (build : agent_mid:int -> Rpc.request) =
                 mark_dead t h idx;
                 defer h
             | None -> invalid_arg msg)
-        | Some (Rpc.Meeting_created _ | Rpc.Pong _ | Rpc.Batch_reply _) ->
+        | Some (Rpc.Meeting_created _ | Rpc.Pong _ | Rpc.Batch_reply _ | Rpc.Stale_fence _) ->
             invalid_arg
               (Printf.sprintf "Controller: unexpected reply to %s" (Rpc.request_name req))
         | None -> (
@@ -574,6 +749,39 @@ let splice_answer t offer ~sfu_addr =
       ~ice_ufrag:"sfuuf" ~ice_pwd:"sfupw" ~media_for:(fun m -> Some m)
   in
   ship t answer
+
+(* During a journal replay the client endpoints already exist in the
+   simulated world — they were created by the original execution. The
+   rebuilding controller must adopt them, not create doubles. SFU ports
+   strictly increase and are never reused, so the connection whose remote
+   is [sfu_addr] is unambiguous. [None] means this connection was never
+   created (or was closed): the replaying exec path creates it. *)
+let adopt_connection t client ~sfu_addr =
+  if t.recovering then
+    List.find_opt (fun c -> Client.remote_addr c = sfu_addr) (Client.connections client)
+  else None
+
+(* The client-side port for a connection this exec is about to create.
+   During a journal replay, failing to adopt means the original
+   connection was already closed — a later entry in the history being
+   replayed tears this one down again — so the ghost must not advance
+   the client's real port allocator (the counter is shared, observable
+   state; burning it would make a rebuilt world allocate differently
+   from one that never failed over). Borrow the SFU port number
+   instead: globally unique, never reused, and outside the client
+   range. *)
+let fresh_local_port t client ~sfu_addr =
+  if t.recovering then sfu_addr.Addr.port else Client.fresh_port client
+
+(* Run the offer/answer exchange for a new connection — skipped during a
+   journal replay (no rng draws, no SDP counters: signaling happened in
+   the original execution). The answer's candidate is always the spliced
+   [sfu_addr], so callers use that address directly. *)
+let signal_connection t ~ip ~port ~video_ssrc ~audio_ssrc ~sfu_addr =
+  if not t.recovering then begin
+    let offer = build_offer t ~ip ~port ~video_ssrc ~audio_ssrc ~sends:true in
+    ignore (splice_answer t (ship t offer) ~sfu_addr)
+  end
 
 (* Per-stream identifiers: a participant's camera bundle and its optional
    screen-share bundle are independent streams with their own SSRCs,
@@ -679,32 +887,31 @@ let create_stream_leg t m ~kind ~(sender : participant) ~(receiver : participant
   let video_ssrc, audio_ssrc = stream_ssrcs sender kind in
   let leg_port = fresh_sfu_port t in
   let sfu_addr = Addr.v (Dataplane.ip site.dp) leg_port in
-  (* the sender's streams are re-offered to the receiver, with candidates
-     rewritten to the leg address *)
-  let offer =
-    build_offer t ~ip:(Client.ip sender.client) ~port:leg_port ~video_ssrc ~audio_ssrc
-      ~sends:true
-  in
-  let answer = splice_answer t (ship t offer) ~sfu_addr in
-  let remote =
-    match answer.Sdp.medias with
-    | m :: _ -> ( match m.Sdp.candidates with c :: _ -> c.Sdp.addr | [] -> sfu_addr)
-    | [] -> sfu_addr
-  in
-  let local_port = Client.fresh_port receiver.client in
   let conn =
-    Client.add_recv_connection receiver.client ~local_port ~remote ~video_ssrc ~audio_ssrc
+    match adopt_connection t receiver.client ~sfu_addr with
+    | Some conn -> conn
+    | None ->
+        (* the sender's streams are re-offered to the receiver, with
+           candidates rewritten to the leg address *)
+        signal_connection t ~ip:(Client.ip sender.client) ~port:leg_port ~video_ssrc
+          ~audio_ssrc ~sfu_addr;
+        let local_port = fresh_local_port t receiver.client ~sfu_addr in
+        let conn =
+          Client.add_recv_connection receiver.client ~local_port ~remote:sfu_addr
+            ~video_ssrc ~audio_ssrc
+        in
+        (* the controller is the only party that knows whose media this leg
+           carries — attach the QoE collectors here, keyed by that identity *)
+        Client.attach_qoe conn ~meeting:m.mid ~receiver:receiver.pid ~sender:sender.pid
+          ~media:
+            (match kind with
+            | Camera -> Scallop_obs.Qoe.Camera
+            | Screen -> Scallop_obs.Qoe.Screen);
+        conn
   in
   (match kind with
   | Camera -> receiver.recv_conns <- (sender.pid, conn) :: receiver.recv_conns
   | Screen -> receiver.screen_recv_conns <- (sender.pid, conn) :: receiver.screen_recv_conns);
-  (* the controller is the only party that knows whose media this leg
-     carries — attach the QoE collectors here, keyed by that identity *)
-  Client.attach_qoe conn ~meeting:m.mid ~receiver:receiver.pid ~sender:sender.pid
-    ~media:
-      (match kind with
-      | Camera -> Scallop_obs.Qoe.Camera
-      | Screen -> Scallop_obs.Qoe.Screen);
   let li =
     {
       li_idx = receiver.home;
@@ -767,7 +974,7 @@ let gc_relays t m =
           Rpc.Remove_participant { meeting = agent_mid; participant = rpid }))
     stale
 
-let join ?home ?(simulcast = false) t mid client ~send_media =
+let join_exec ?home ?(simulcast = false) t mid client ~send_media =
   let m = find_meeting t mid in
   let home =
     match home with
@@ -811,24 +1018,20 @@ let join ?home ?(simulcast = false) t mid client ~send_media =
               full_bitrate = 2_500_000;
               renditions;
             });
-      (* the participant's own offer, spliced to the uplink *)
-      let local_port = Client.fresh_port client in
-      let offer =
-        build_offer t ~ip ~port:local_port ~video_ssrc ~audio_ssrc ~sends:send_media
-      in
       let sfu_addr = Addr.v (Dataplane.ip site.dp) uplink_port in
-      let answer = splice_answer t (ship t offer) ~sfu_addr in
-      let remote =
-        match answer.Sdp.medias with
-        | am :: _ -> (
-            match am.Sdp.candidates with c :: _ -> c.Sdp.addr | [] -> sfu_addr)
-        | [] -> sfu_addr
-      in
-      Some
-        (if simulcast then
-           Client.add_simulcast_send_connection client ~local_port ~remote
-             ~base_ssrc:video_ssrc ~audio_ssrc
-         else Client.add_send_connection client ~local_port ~remote ~video_ssrc ~audio_ssrc)
+      match adopt_connection t client ~sfu_addr with
+      | Some conn -> Some conn
+      | None ->
+          (* the participant's own offer, spliced to the uplink *)
+          let local_port = fresh_local_port t client ~sfu_addr in
+          signal_connection t ~ip ~port:local_port ~video_ssrc ~audio_ssrc ~sfu_addr;
+          Some
+            (if simulcast then
+               Client.add_simulcast_send_connection client ~local_port ~remote:sfu_addr
+                 ~base_ssrc:video_ssrc ~audio_ssrc
+             else
+               Client.add_send_connection client ~local_port ~remote:sfu_addr ~video_ssrc
+                 ~audio_ssrc)
     end
     else None
   in
@@ -868,10 +1071,20 @@ let join ?home ?(simulcast = false) t mid client ~send_media =
   flush_buffers t;
   pid
 
+let join ?home ?(simulcast = false) t mid client ~send_media =
+  ensure_usable t;
+  ignore (find_meeting t mid);
+  (match home with
+  | Some h when h < 0 || h >= Array.length t.agents ->
+      invalid_arg (Printf.sprintf "Controller.join: no switch %d" h)
+  | _ -> ());
+  journaled t (Journal.Join { mid; home; simulcast; client; send_media });
+  join_exec ?home ~simulcast t mid client ~send_media
+
 (* --- screen sharing: the controller's third trigger ("a participant
    starts or stops sharing a particular media type", §4) ----------------- *)
 
-let start_screen_share t pid =
+let start_screen_share_exec t pid =
   let p = find_participant t pid in
   if p.screen <> None then invalid_arg "Controller.start_screen_share: already sharing";
   let m = find_meeting t p.meeting in
@@ -890,22 +1103,18 @@ let start_screen_share t pid =
           renditions = [||];
         });
   add_stream_port p Screen p.home uplink_port;
-  (* the sharer's own offer for the new media section, spliced as usual *)
-  let local_port = Client.fresh_port p.client in
-  let offer =
-    build_offer t ~ip:(Client.ip p.client) ~port:local_port ~video_ssrc ~audio_ssrc
-      ~sends:true
-  in
   let sfu_addr = Addr.v (Dataplane.ip site.dp) uplink_port in
-  let answer = splice_answer t (ship t offer) ~sfu_addr in
-  let remote =
-    match answer.Sdp.medias with
-    | am :: _ -> ( match am.Sdp.candidates with c :: _ -> c.Sdp.addr | [] -> sfu_addr)
-    | [] -> sfu_addr
-  in
   let conn =
-    Client.add_send_connection ~send_audio:false ~video_bitrate:(stream_bitrate Screen)
-      p.client ~local_port ~remote ~video_ssrc ~audio_ssrc
+    match adopt_connection t p.client ~sfu_addr with
+    | Some conn -> conn
+    | None ->
+        (* the sharer's own offer for the new media section, spliced as usual *)
+        let local_port = fresh_local_port t p.client ~sfu_addr in
+        signal_connection t ~ip:(Client.ip p.client) ~port:local_port ~video_ssrc
+          ~audio_ssrc ~sfu_addr;
+        Client.add_send_connection ~send_audio:false
+          ~video_bitrate:(stream_bitrate Screen) p.client ~local_port ~remote:sfu_addr
+          ~video_ssrc ~audio_ssrc
   in
   p.screen <- Some (video_ssrc, conn);
   List.iter
@@ -916,7 +1125,14 @@ let start_screen_share t pid =
     m.members;
   flush_buffers t
 
-let stop_screen_share t pid =
+let start_screen_share t pid =
+  ensure_usable t;
+  let p = find_participant t pid in
+  if p.screen <> None then invalid_arg "Controller.start_screen_share: already sharing";
+  journaled t (Journal.Start_screen { pid });
+  start_screen_share_exec t pid
+
+let stop_screen_share_exec t pid =
   let p = find_participant t pid in
   match p.screen with
   | None -> ()
@@ -947,15 +1163,23 @@ let stop_screen_share t pid =
       gc_relays t m;
       flush_buffers t
 
+let stop_screen_share t pid =
+  ensure_usable t;
+  let p = find_participant t pid in
+  if p.screen <> None then begin
+    journaled t (Journal.Stop_screen { pid });
+    stop_screen_share_exec t pid
+  end
+
 let screen_connection t pid ~from =
   let p = find_participant t pid in
   List.assoc_opt from p.screen_recv_conns
 
-let leave t pid =
+let leave_exec t pid =
   match Hashtbl.find_opt t.participants pid with
   | None -> ()
   | Some p ->
-      stop_screen_share t pid;
+      stop_screen_share_exec t pid;
       let m = find_meeting t p.meeting in
       m.members <- List.filter (fun x -> x <> pid) m.members;
       m.leg_intents <-
@@ -983,6 +1207,13 @@ let leave t pid =
       Hashtbl.remove t.participants pid;
       flush_buffers t
 
+let leave t pid =
+  ensure_usable t;
+  if Hashtbl.mem t.participants pid then begin
+    journaled t (Journal.Leave { pid });
+    leave_exec t pid
+  end
+
 type sender_info = { egress_port : int; video_ssrc : int; audio_ssrc : int }
 
 let participant_sender_info t pid =
@@ -991,7 +1222,7 @@ let participant_sender_info t pid =
     Some { egress_port = p.egress_port; video_ssrc = p.video_ssrc; audio_ssrc = p.audio_ssrc }
   else None
 
-let set_pair_target t ~sender ~receiver target =
+let set_pair_target_exec t ~sender ~receiver target =
   let s = find_participant t sender in
   let r = find_participant t receiver in
   if s.meeting <> r.meeting then
@@ -1002,6 +1233,15 @@ let set_pair_target t ~sender ~receiver target =
   agent_op t m r.home (fun ~agent_mid ->
       Rpc.Set_pair_target { meeting = agent_mid; sender; receiver; target });
   flush_buffers t
+
+let set_pair_target t ~sender ~receiver target =
+  ensure_usable t;
+  let s = find_participant t sender in
+  let r = find_participant t receiver in
+  if s.meeting <> r.meeting then
+    invalid_arg "Controller.set_pair_target: participants in different meetings";
+  journaled t (Journal.Set_pair_target { sender; receiver; target });
+  set_pair_target_exec t ~sender ~receiver target
 
 let recv_connection t pid ~from =
   let p = find_participant t pid in
@@ -1111,7 +1351,7 @@ let resync t idx =
     match call_reply t idx req with
     | Some Rpc.Ack -> check_epoch ()
     | Some (Rpc.Error msg) -> error_reply msg
-    | Some (Rpc.Meeting_created _ | Rpc.Pong _ | Rpc.Batch_reply _) ->
+    | Some (Rpc.Meeting_created _ | Rpc.Pong _ | Rpc.Batch_reply _ | Rpc.Stale_fence _) ->
         invalid_arg
           (Printf.sprintf "Controller.resync: unexpected reply to %s"
              (Rpc.request_name req))
@@ -1128,7 +1368,7 @@ let resync t idx =
               check_epoch ();
               meeting
           | Some (Rpc.Error msg) -> error_reply msg
-          | Some (Rpc.Ack | Rpc.Pong _ | Rpc.Batch_reply _) ->
+          | Some (Rpc.Ack | Rpc.Pong _ | Rpc.Batch_reply _ | Rpc.Stale_fence _) ->
               invalid_arg "Controller.resync: missing meeting id in new-meeting reply"
           | None -> raise Resync_aborted
         in
@@ -1221,7 +1461,7 @@ let resync t idx =
     |> List.iter replay_meeting;
     if Trace.enabled Trace.Rpc then
       Trace.complete ~ts:t0 ~dur:(Engine.now t.engine - t0) ~cat:"ctrl" "resync"
-        ~args:[ ("agent", Trace.I idx); ("ops", Trace.I !ops) ];
+        ~args:[ ctrl_arg t; ("agent", Trace.I idx); ("ops", Trace.I !ops) ];
     Some !ops
   with Resync_aborted -> None
 
@@ -1248,10 +1488,11 @@ let drain_deferred t h idx =
               Trace.instant ~ts:(Engine.now t.engine) ~cat:"ctrl" "op_drained"
                 ~args:
                   [
+                    ctrl_arg t;
                     ("agent", Trace.I idx);
                     ("depth", Trace.I (Queue.length a.ah_deferred));
                   ]
-        | Some (Rpc.Meeting_created _ | Rpc.Pong _ | Rpc.Batch_reply _) ->
+        | Some (Rpc.Meeting_created _ | Rpc.Pong _ | Rpc.Batch_reply _ | Rpc.Stale_fence _) ->
             invalid_arg "Controller: unexpected reply to deferred op"
         | None -> alive := false)
   done;
@@ -1268,10 +1509,15 @@ let record_recovery t h idx ~kind ~ops =
       re_ops = ops;
     }
     :: h.hs_recovery;
+  if List.length h.hs_recovery > recovery_log_cap then begin
+    h.hs_recovery <- List.filteri (fun i _ -> i < recovery_log_cap) h.hs_recovery;
+    Metrics.incr h.hs_recovery_dropped
+  end;
   if Trace.enabled Trace.Rpc then
     Trace.instant ~ts:(Engine.now t.engine) ~cat:"ctrl" "heal_done"
       ~args:
         [
+          ctrl_arg t;
           ("agent", Trace.I idx);
           ("kind", Trace.S (match kind with `Resync -> "resync" | `Drain -> "drain"));
           ("ops", Trace.I ops);
@@ -1333,6 +1579,7 @@ let on_pong t h idx ~epoch =
         Trace.instant ~ts:(Engine.now t.engine) ~cat:"ctrl" "heal_begin"
           ~args:
             [
+              ctrl_arg t;
               ("agent", Trace.I idx);
               ("rebooted", Trace.S (if rebooted then "true" else "false"));
               (* the quiet-channel rule: this must always be 0 *)
@@ -1352,7 +1599,8 @@ let on_pong t h idx ~epoch =
             a.ah_dropped <- 0;
             if Trace.enabled Trace.Rpc && discarded > 0 then
               Trace.instant ~ts:(Engine.now t.engine) ~cat:"ctrl" "defer_discard"
-                ~args:[ ("agent", Trace.I idx); ("n", Trace.I discarded) ];
+                ~args:
+                  [ ctrl_arg t; ("agent", Trace.I idx); ("n", Trace.I discarded) ];
             refresh_deferred_gauge h;
             match resync t idx with
             | Some ops ->
@@ -1366,7 +1614,8 @@ let on_pong t h idx ~epoch =
                   if Trace.enabled Trace.Rpc then
                     Trace.instant ~ts:(Engine.now t.engine) ~cat:"ctrl"
                       "defer_discard"
-                      ~args:[ ("agent", Trace.I idx); ("n", Trace.I late) ];
+                      ~args:
+                        [ ctrl_arg t; ("agent", Trace.I idx); ("n", Trace.I late) ];
                   refresh_deferred_gauge h
                 end;
                 a.ah_epoch <- epoch;
@@ -1403,7 +1652,7 @@ let on_miss t h idx =
 let heartbeat_tick t h =
   if Trace.enabled Trace.Rpc then
     Trace.instant ~ts:(Engine.now t.engine) ~cat:"ctrl" "hb_tick"
-      ~args:[ ("interval", Trace.I h.hc.heartbeat_every_ns) ];
+      ~args:[ ctrl_arg t; ("interval", Trace.I h.hc.heartbeat_every_ns) ];
   Array.iteri
     (fun idx _ ->
       Metrics.incr h.hb_sent;
@@ -1414,9 +1663,11 @@ let heartbeat_tick t h =
             | Ok (Rpc.Pong { epoch }) ->
                 if Trace.enabled Trace.Rpc then
                   Trace.instant ~ts:(Engine.now t.engine) ~cat:"ctrl" "hb_pong"
-                    ~args:[ ("agent", Trace.I idx); ("epoch", Trace.I epoch) ];
+                    ~args:
+                      [ ctrl_arg t; ("agent", Trace.I idx); ("epoch", Trace.I epoch) ];
                 on_pong t h idx ~epoch
-            | Ok (Rpc.Ack | Rpc.Error _ | Rpc.Meeting_created _ | Rpc.Batch_reply _) ->
+            | Ok (Rpc.Ack | Rpc.Error _ | Rpc.Meeting_created _ | Rpc.Batch_reply _
+                 | Rpc.Stale_fence _) ->
                 on_miss t h idx
             | Error (`Timeout | `Gave_up _) -> on_miss t h idx))
     h.hs_agents
@@ -1424,7 +1675,7 @@ let heartbeat_tick t h =
 let arm_heartbeats t h =
   if Trace.enabled Trace.Rpc then
     Trace.instant ~ts:(Engine.now t.engine) ~cat:"ctrl" "hb_start"
-      ~args:[ ("interval", Trace.I h.hc.heartbeat_every_ns) ];
+      ~args:[ ctrl_arg t; ("interval", Trace.I h.hc.heartbeat_every_ns) ];
   Engine.every t.engine ~interval:h.hc.heartbeat_every_ns (fun () ->
       if h.hs_running then heartbeat_tick t h;
       h.hs_running)
@@ -1449,6 +1700,17 @@ let start_health ?(config = default_health_config) t =
                   ~labels:[ ("agent", Printf.sprintf "sw%d" idx) ]
                   ~help:"Failure-detector state (0 healthy, 1 suspect, 2 dead)"
                   "scallop_ctrl_agent_state";
+              ah_transitions =
+                [| Healthy; Suspect; Dead |]
+                |> Array.map (fun st ->
+                       Metrics.counter
+                         ~labels:
+                           [
+                             ("agent", Printf.sprintf "sw%d" idx);
+                             ("to", health_name st);
+                           ]
+                         ~help:"Failure-detector state transitions"
+                         "scallop_ctrl_health_transitions");
             })
       in
       let h =
@@ -1471,6 +1733,9 @@ let start_health ?(config = default_health_config) t =
             Metrics.gauge ~help:"Ops currently queued for Dead switches"
               "scallop_ctrl_deferred_ops";
           hs_recovery = [];
+          hs_recovery_dropped =
+            Metrics.counter ~help:"Recovery events evicted from the bounded log"
+              "scallop_ctrl_recovery_log_dropped";
         }
       in
       t.health <- Some h;
@@ -1480,7 +1745,8 @@ let stop_health t =
   match t.health with
   | Some h ->
       if h.hs_running && Trace.enabled Trace.Rpc then
-        Trace.instant ~ts:(Engine.now t.engine) ~cat:"ctrl" "hb_stop" ~args:[];
+        Trace.instant ~ts:(Engine.now t.engine) ~cat:"ctrl" "hb_stop"
+          ~args:[ ctrl_arg t ];
       h.hs_running <- false
   | None -> ()
 let health_running t = match t.health with Some h -> h.hs_running | None -> false
@@ -1491,6 +1757,16 @@ let agent_health t idx =
   match t.health with Some h -> h.hs_agents.(idx).ah | None -> Healthy
 
 let recovery_log t = match t.health with Some h -> h.hs_recovery | None -> []
+
+let recovery_log_dropped t =
+  match t.health with Some h -> Metrics.value h.hs_recovery_dropped | None -> 0
+
+let health_transitions t idx st =
+  if idx < 0 || idx >= Array.length t.agents then
+    invalid_arg (Printf.sprintf "Controller.health_transitions: no switch %d" idx);
+  match t.health with
+  | Some h -> Metrics.value h.hs_agents.(idx).ah_transitions.(health_rank st)
+  | None -> 0
 
 (* Anti-entropy entry point: replay intent onto one switch regardless of
    its health state (the verifier calls this for a live-but-drifted
@@ -1633,3 +1909,247 @@ let introspect t =
     in_relays = relays;
     in_health = health;
   }
+
+(* --- controller fault tolerance ---------------------------------------------
+
+   The journal (write-ahead intent log) makes controller state
+   reconstructible: every public mutation is appended under the current
+   fence before it executes, and periodic snapshots bound replay length.
+   [capture]/[restore] move the persisted slice of [t] in and out of
+   those snapshots; [apply_tail] replays the journal suffix through the
+   same [_exec] bodies the original execution ran, with [t.recovering]
+   set so no wire ops, SDP exchanges or rng draws happen — intent
+   reconstruction is purely deterministic. *)
+
+(* Hashtbls and records with mutable fields are deep-copied; clients,
+   connections and immutable records (sites, leg intents) are shared. *)
+let copy_participant (p : participant) = { p with pid = p.pid }
+let copy_meeting (m : meeting) = { m with sites = Hashtbl.copy m.sites }
+
+let copy_table copy src =
+  let dst = Hashtbl.create (max 16 (Hashtbl.length src)) in
+  Hashtbl.iter (fun k v -> Hashtbl.replace dst k (copy v)) src;
+  dst
+
+let capture t =
+  {
+    ps_meetings = copy_table copy_meeting t.meetings;
+    ps_participants = copy_table copy_participant t.participants;
+    ps_egress_ports = Hashtbl.copy t.egress_ports;
+    ps_relay_receivers = Hashtbl.copy t.relay_receivers;
+    ps_next_agent = t.next_agent;
+    ps_next_meeting = t.next_meeting;
+    ps_next_pid = t.next_pid;
+    ps_next_sfu_port = t.next_sfu_port;
+    ps_next_egress_port = t.next_egress_port;
+    ps_next_provisional = t.next_provisional;
+  }
+
+(* Copy-on-restore as well: two controllers restoring the same snapshot
+   (or one restoring it twice) must never alias its tables. *)
+let restore t (ps : persisted) =
+  let load tbl copy src =
+    Hashtbl.reset tbl;
+    Hashtbl.iter (fun k v -> Hashtbl.replace tbl k (copy v)) src
+  in
+  load t.meetings copy_meeting ps.ps_meetings;
+  load t.participants copy_participant ps.ps_participants;
+  load t.egress_ports Fun.id ps.ps_egress_ports;
+  load t.relay_receivers Fun.id ps.ps_relay_receivers;
+  t.next_agent <- ps.ps_next_agent;
+  t.next_meeting <- ps.ps_next_meeting;
+  t.next_pid <- ps.ps_next_pid;
+  t.next_sfu_port <- ps.ps_next_sfu_port;
+  t.next_egress_port <- ps.ps_next_egress_port;
+  t.next_provisional <- ps.ps_next_provisional
+
+(* The canonical rendering of controller intent, for equality checks
+   across instances. Excludes anything legitimately instance-local:
+   agent-side meeting ids (a rebuilt instance holds provisional ones
+   until its promotion resync) and failure-detector state. *)
+let intent_fingerprint t =
+  let buf = Buffer.create 1024 in
+  let add fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
+  let pair_list ps =
+    String.concat "," (List.map (fun (a, b) -> Printf.sprintf "%d:%d" a b) ps)
+  in
+  let i = introspect t in
+  List.iter
+    (fun pv ->
+      add "p %d m=%d h=%d s=%b v=%d a=%d scr=%s sites=%s cam=%s sp=%s\n" pv.pv_pid
+        pv.pv_meeting pv.pv_home pv.pv_sends pv.pv_video_ssrc pv.pv_audio_ssrc
+        (match pv.pv_screen_ssrc with None -> "-" | Some s -> string_of_int s)
+        (pair_list pv.pv_sites) (pair_list pv.pv_cam_ports)
+        (pair_list pv.pv_screen_ports))
+    i.in_participants;
+  List.iter
+    (fun mv ->
+      add "m %d pri=%d members=%s sites=%s\n" mv.cmv_mid mv.cmv_primary
+        (String.concat "," (List.map string_of_int mv.cmv_members))
+        (* site presence only — the agent-side ids differ by design *)
+        (String.concat "," (List.map (fun (idx, _) -> string_of_int idx) mv.cmv_sites)))
+    i.in_meetings;
+  List.iter
+    (fun rv ->
+      add "r m=%d %d->%d port=%d\n" rv.rv_meeting rv.rv_src rv.rv_dst rv.rv_egress_port)
+    i.in_relays;
+  Hashtbl.fold (fun _ m acc -> m :: acc) t.meetings []
+  |> List.sort (fun a b -> compare a.mid b.mid)
+  |> List.iter (fun m ->
+         List.iter
+           (fun li ->
+             add "leg m=%d sw=%d k=%s s=%d up=%d r=%d lp=%d dst=%s ad=%b\n" m.mid
+               li.li_idx
+               (match li.li_kind with Camera -> "cam" | Screen -> "scr")
+               li.li_sender li.li_uplink_port li.li_receiver li.li_leg_port
+               (Addr.to_string li.li_dst) li.li_adaptive)
+           m.leg_intents;
+         List.sort compare m.pair_targets
+         |> List.iter (fun ((s, r), target) ->
+                add "pt m=%d %d->%d t=%d\n" m.mid s r (Av1.Dd.index_of_target target)));
+  Buffer.contents buf
+
+let apply_journal_op t (op : Journal.op) =
+  match op with
+  | Journal.Create_meeting -> ignore (create_meeting_exec t)
+  | Journal.Join { mid; home; simulcast; client; send_media } ->
+      ignore (join_exec ?home ~simulcast t mid client ~send_media)
+  | Journal.Leave { pid } -> leave_exec t pid
+  | Journal.Start_screen { pid } -> start_screen_share_exec t pid
+  | Journal.Stop_screen { pid } -> stop_screen_share_exec t pid
+  | Journal.Set_pair_target { sender; receiver; target } ->
+      set_pair_target_exec t ~sender ~receiver target
+
+(* Catch up with the journal: jump to its snapshot if that is ahead of
+   us, then replay the entries past our high-water mark. Returns the
+   number of entries applied. This is both the standby's tailing step
+   and the restarted controller's crash rebuild. *)
+let apply_tail t =
+  match t.journal with
+  | None -> 0
+  | Some j ->
+      (match Journal.snapshot j with
+      | Some (ps, index) when index > t.applied ->
+          restore t ps;
+          t.applied <- index
+      | Some _ | None -> ());
+      let entries = Journal.entries_after j t.applied in
+      if entries <> [] then begin
+        let was = t.recovering in
+        t.recovering <- true;
+        Fun.protect
+          ~finally:(fun () -> t.recovering <- was)
+          (fun () ->
+            List.iter
+              (fun (e : Journal.entry) ->
+                apply_journal_op t e.Journal.e_op;
+                t.applied <- e.Journal.e_index)
+              entries)
+      end;
+      List.length entries
+
+let alive t = not t.killed
+
+(* Crash the controller process: its wire goes silent (including
+   retransmits of in-flight requests — they settle by timeout on the
+   agents' side of nothing), its failure detector stops, and every public
+   entry point raises [Unavailable]. An op that already passed its
+   journal append completes its local bookkeeping harmlessly — the
+   journal has it, so the standby's rebuild executes it for real. *)
+let kill t =
+  if not t.killed then begin
+    t.killed <- true;
+    (* the process dying takes its heartbeats with it: emit the stop so
+       liveness rules don't hold a dead detector to its tick schedule *)
+    stop_health t;
+    Array.iter (fun c -> Rpc_transport.Client.set_muted c true) t.rpcs;
+    if Trace.enabled Trace.Rpc then
+      Trace.instant ~ts:(Engine.now t.engine) ~cat:"ctrl" "ctrl_kill"
+        ~args:[ ctrl_arg t ]
+  end
+
+(* Restart after a crash: memory is gone, so intent is rebuilt from the
+   journal alone (snapshot + suffix replay). The instance comes back as
+   a standby — it must win a {!promote} before acting again, which is
+   also what re-fences the agents and re-materializes their state. *)
+let restart t =
+  if t.journal = None then
+    invalid_arg "Controller.restart: no journal to rebuild from";
+  if t.killed then begin
+    t.killed <- false;
+    Array.iter (fun c -> Rpc_transport.Client.set_muted c false) t.rpcs;
+    t.role <- Standby;
+    t.fence <- 0;
+    Hashtbl.reset t.meetings;
+    Hashtbl.reset t.participants;
+    Hashtbl.reset t.egress_ports;
+    Hashtbl.reset t.relay_receivers;
+    t.next_agent <- 0;
+    t.next_meeting <- 0;
+    t.next_pid <- 0;
+    t.next_sfu_port <- 40_000;
+    t.next_egress_port <- 1;
+    t.next_provisional <- -2;
+    t.applied <- -1;
+    Array.iter Queue.clear t.buffers;
+    (match t.health with
+    | Some h ->
+        h.hs_running <- false;
+        Array.iter
+          (fun a ->
+            a.ah <- Healthy;
+            Metrics.set a.ah_gauge 0.;
+            a.ah_epoch <- -1;
+            a.ah_missed <- 0;
+            a.ah_healing <- false;
+            a.ah_observed <- -1;
+            a.ah_dropped <- 0;
+            Queue.clear a.ah_deferred)
+          h.hs_agents;
+        refresh_deferred_gauge h
+    | None -> ());
+    if Trace.enabled Trace.Rpc then
+      Trace.instant ~ts:(Engine.now t.engine) ~cat:"ctrl" "ctrl_restart"
+        ~args:[ ctrl_arg t ];
+    ignore (apply_tail t)
+  end
+
+(* Take over as the acting primary: catch up with the journal, mint a
+   strictly higher fencing epoch, then push a fenced full resync at every
+   switch — the [Reset] installs the new fence on each agent, atomically
+   invalidating any in-flight request the previous primary still has on
+   the wire, and the intent replay erases whatever half-applied state it
+   left. The detector starts first so a switch that is down during the
+   takeover is simply marked Dead and healed by its next pong. *)
+let promote ?health_config t =
+  match t.journal with
+  | None -> invalid_arg "Controller.promote: no journal"
+  | Some j ->
+      if t.killed then invalid_arg "Controller.promote: controller is killed";
+      ignore (apply_tail t);
+      t.fence <- Journal.acquire_fence j;
+      t.role <- Acting;
+      t.recovering <- false;
+      if Trace.enabled Trace.Rpc then
+        Trace.instant ~ts:(Engine.now t.engine) ~cat:"ctrl" "ctrl_activate"
+          ~args:[ ctrl_arg t; ("fence", Trace.I t.fence) ];
+      (match health_config with
+      | Some config -> start_health ~config t
+      | None -> start_health t);
+      Array.iteri (fun idx _ -> ignore (resync_switch t idx)) t.agents
+
+let role t = t.role
+let fence t = t.fence
+let label t = t.label
+let journal t = t.journal
+let journal_applied t = t.applied
+let recovering t = t.recovering
+
+(* Compact the journal behind the cluster's most caught-up follower:
+   snapshot [t]'s state at its high-water mark, dropping the entries it
+   covers. Callers pass the standby (after a tail step), never an acting
+   instance that might be mid-operation. *)
+let compact_journal t =
+  match t.journal with
+  | None -> ()
+  | Some j -> Journal.install_snapshot j ~index:t.applied (capture t)

@@ -19,6 +19,11 @@
 
 type t
 
+type persisted
+(** The slice of controller state a journal snapshot carries (intent
+    tables plus allocator counters). Abstract — produced and consumed
+    via {!compact_journal} and journal replay only. *)
+
 val create :
   Netsim.Engine.t ->
   Netsim.Network.t ->
@@ -26,6 +31,10 @@ val create :
   agents:(Switch_agent.t * Dataplane.t) list ->
   ?control:Rpc_transport.config ->
   ?batch:bool ->
+  ?journal:persisted Journal.t ->
+  ?standby:bool ->
+  ?label:string ->
+  ?ip:int ->
   unit ->
   t
 (** Meetings are placed round-robin across the given switches; each
@@ -41,7 +50,22 @@ val create :
     replay (the whole batch reply is cached under its sequence number)
     and the failure-detector semantics are unchanged: an op that hits a
     Dead or dying switch is queued for the post-heal drain or replay
-    exactly as in per-op mode. *)
+    exactly as in per-op mode.
+
+    [journal] puts the instance in cluster mode: every mutation is
+    write-ahead logged there under the instance's fencing epoch, and
+    every wire op is fenced (see the fault-tolerance section below). A
+    journal-less controller behaves exactly as before — unfenced wire
+    ops, no write-ahead logging.
+
+    [standby] (default [false], requires [journal]) creates the instance
+    as a tailing standby instead of an acting primary. [label] (default
+    ["ctl"]) names the instance on traces; non-default labels also
+    prefix its per-switch RPC metric labels so two instances never
+    collide in the registry. [ip] (default 10.255.0.1) is the instance's
+    address on the management network — give the standby its own so the
+    agents' reply-path caches keyed by (address, seq) never conflate the
+    two. *)
 
 type meeting_id = int
 type participant_id = int
@@ -203,8 +227,21 @@ type recovery_event = {
 }
 
 val recovery_log : t -> recovery_event list
-(** Completed repairs, newest first. [re_recovered_ns - re_detected_ns]
-    is the recovery latency the failover experiment reports. *)
+(** Completed repairs, newest first — bounded to the 64 most recent;
+    older events are evicted (counted in {!recovery_log_dropped} and the
+    [scallop_ctrl_recovery_log_dropped] metric). [re_recovered_ns -
+    re_detected_ns] is the recovery latency the failover experiment
+    reports. *)
+
+val recovery_log_dropped : t -> int
+(** Recovery events evicted from the bounded log so far. *)
+
+val health_transitions : t -> int -> agent_health -> int
+(** How many times the failure detector has transitioned the switch at
+    the given index {e into} the given state (also the
+    [scallop_ctrl_health_transitions] counter, labelled by agent and
+    target state). A flapping agent shows up as matched suspect/healthy
+    increments. *)
 
 val resync_switch : t -> int -> int option
 (** Anti-entropy entry point: [Reset] the switch at the given index and
@@ -267,3 +304,97 @@ type intent = {
 }
 
 val introspect : t -> intent
+
+(** {1 Controller fault tolerance: journal, crash-rebuild, fenced failover}
+
+    In cluster mode (a [journal] was passed to {!create}) the controller
+    tier survives the loss of the controller itself:
+
+    - {b Write-ahead intent journal} — every public mutation is appended
+      to the journal under the instance's fencing epoch {e before} it
+      executes. Replaying the journal (on top of its latest compacted
+      snapshot) through the same execution paths reconstructs intent
+      byte-identically: the allocators are deterministic counters the
+      snapshot restores.
+    - {b Fencing} — {!promote} mints a strictly larger epoch from the
+      journal. Agents remember the highest fence they have seen and
+      answer anything older with a stale-fence rejection, so an in-flight
+      (or retransmitted) request from a deposed primary can never execute
+      after the new primary's takeover [Reset]. The journal refuses
+      appends under an old fence, so the deposed primary can never log
+      {e new} intent either; both rejections flip it to [Deposed].
+    - {b Crash-rebuild} — {!kill} silences the instance ({!restart}
+      rebuilds it from the journal as a standby); {!promote} turns a
+      caught-up standby (or rebuilt instance) into the acting primary and
+      pushes a fenced full resync at every switch.
+
+    See {!Cluster} for the packaged primary/standby pair with heartbeat
+    failover. *)
+
+type role = Acting | Standby | Deposed
+
+exception Unavailable
+(** Raised by mutating entry points when the instance is killed or a
+    standby — the caller routes the op to the acting instance. The op
+    was neither journaled nor executed; retrying elsewhere is safe. *)
+
+exception Deposed_primary
+(** Raised when the instance discovers (via journal or agent rejection)
+    that it has been fenced off. Same retry contract as {!Unavailable}:
+    nothing was journaled or executed under the stale fence. *)
+
+val role : t -> role
+val fence : t -> int
+(** The fencing epoch this instance acts under (0 for a journal-less
+    controller and for a standby that has never been promoted). *)
+
+val label : t -> string
+val journal : t -> persisted Journal.t option
+val journal_applied : t -> int
+(** Highest journal index reflected in this instance's intent, [-1]
+    before anything was applied. *)
+
+val recovering : t -> bool
+
+val alive : t -> bool
+val kill : t -> unit
+(** Crash the instance: its control channels transmit nothing (not even
+    retransmits of in-flight requests), its failure detector stops, and
+    every mutating entry point raises {!Unavailable}. Idempotent. *)
+
+val restart : t -> unit
+(** Restart a {!kill}ed instance with blank memory: intent is rebuilt
+    from the journal alone (snapshot restore + suffix replay, no wire
+    traffic), and the instance comes back as a [Standby] — it must be
+    {!promote}d before acting. Requires a journal. *)
+
+val promote : ?health_config:health_config -> t -> unit
+(** Take over as acting primary: catch up with the journal, mint a new
+    fencing epoch, start the failure detector, then push a fenced full
+    resync at every switch — installing the new fence on the agents and
+    erasing any half-applied state the previous primary left. *)
+
+val apply_tail : t -> int
+(** One tailing step: restore the journal's snapshot if it is ahead,
+    then replay entries past {!journal_applied} through the normal
+    execution paths (intent only — no wire ops, no signaling). Returns
+    the number of entries applied. *)
+
+val refresh_role : t -> unit
+(** Acting-primary lease check: if the journal's fence has moved past
+    this instance's, a standby has been promoted — depose ourselves now
+    instead of discovering it on the next wire op. The cluster beat
+    timer calls this. *)
+
+val compact_journal : t -> unit
+(** Snapshot this instance's state into the journal at its high-water
+    mark, dropping the covered entries. Call on a tailing standby after
+    {!apply_tail} — never on an acting instance, which may be
+    mid-operation with the journal ahead of its intent. *)
+
+val intent_fingerprint : t -> string
+(** Canonical rendering of the controller's session intent, for equality
+    checks across instances (the killed-vs-never-killed property and the
+    cluster drift invariant). Excludes instance-local detail: agent-side
+    meeting ids (provisional on a rebuilt instance until its promotion
+    resync) and failure-detector state. *)

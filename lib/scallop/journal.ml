@@ -1,0 +1,122 @@
+type op =
+  | Create_meeting
+  | Join of {
+      mid : int;
+      home : int option;
+      simulcast : bool;
+      client : Webrtc.Client.t;
+      send_media : bool;
+    }
+  | Leave of { pid : int }
+  | Start_screen of { pid : int }
+  | Stop_screen of { pid : int }
+  | Set_pair_target of {
+      sender : int;
+      receiver : int;
+      target : Av1.Dd.decode_target;
+    }
+
+type entry = { e_index : int; e_fence : int; e_op : op }
+
+type 's t = {
+  mutable fence : int;
+  mutable rev_entries : entry list;  (** newest first *)
+  mutable snap : ('s * int) option;
+  mutable next_index : int;
+  mutable appended : int;
+  mutable compactions : int;
+  mutable truncated : int;
+}
+
+exception Deposed of { held : int; current : int }
+
+let create () =
+  {
+    fence = 0;
+    rev_entries = [];
+    snap = None;
+    next_index = 0;
+    appended = 0;
+    compactions = 0;
+    truncated = 0;
+  }
+
+let fence t = t.fence
+
+let acquire_fence t =
+  t.fence <- t.fence + 1;
+  t.fence
+
+let append t ~fence op =
+  if fence <> t.fence && not (Mutation.on Mutation.Skip_fencing_check) then
+    raise (Deposed { held = fence; current = t.fence });
+  let e = { e_index = t.next_index; e_fence = fence; e_op = op } in
+  t.next_index <- t.next_index + 1;
+  t.appended <- t.appended + 1;
+  t.rev_entries <- e :: t.rev_entries;
+  e.e_index
+
+let head t = t.next_index - 1
+
+let entries_after t idx =
+  List.filter (fun e -> e.e_index > idx) (List.rev t.rev_entries)
+
+let snapshot t = t.snap
+
+let install_snapshot t ~index s =
+  if index > head t then
+    invalid_arg
+      (Printf.sprintf "Journal.install_snapshot: index %d beyond head %d" index
+         (head t));
+  let kept, dropped =
+    List.partition (fun e -> e.e_index > index) t.rev_entries
+  in
+  t.rev_entries <- kept;
+  t.snap <- Some (s, index);
+  t.compactions <- t.compactions + 1;
+  t.truncated <- t.truncated + List.length dropped
+
+let length t = List.length t.rev_entries
+let appended t = t.appended
+let compactions t = t.compactions
+let truncated t = t.truncated
+
+let op_name = function
+  | Create_meeting -> "create-meeting"
+  | Join _ -> "join"
+  | Leave _ -> "leave"
+  | Start_screen _ -> "start-screen"
+  | Stop_screen _ -> "stop-screen"
+  | Set_pair_target _ -> "set-pair-target"
+
+let describe_op = function
+  | Create_meeting -> "create-meeting"
+  | Join { mid; home; simulcast; client; send_media } ->
+      Printf.sprintf "join mid=%d home=%s simulcast=%b send=%b client=%s" mid
+        (match home with Some h -> string_of_int h | None -> "-")
+        simulcast send_media
+        (Scallop_util.Addr.ip_to_string (Webrtc.Client.ip client))
+  | Leave { pid } -> Printf.sprintf "leave pid=%d" pid
+  | Start_screen { pid } -> Printf.sprintf "start-screen pid=%d" pid
+  | Stop_screen { pid } -> Printf.sprintf "stop-screen pid=%d" pid
+  | Set_pair_target { sender; receiver; target } ->
+      Printf.sprintf "set-pair-target sender=%d receiver=%d target=%d" sender
+        receiver
+        (Av1.Dd.index_of_target target)
+
+let dump t =
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf
+    (Printf.sprintf "journal fence=%d appended=%d compactions=%d truncated=%d\n"
+       t.fence t.appended t.compactions t.truncated);
+  (match t.snap with
+  | Some (_, idx) ->
+      Buffer.add_string buf (Printf.sprintf "snapshot through=%d\n" idx)
+  | None -> Buffer.add_string buf "snapshot none\n");
+  List.iter
+    (fun e ->
+      Buffer.add_string buf
+        (Printf.sprintf "%06d fence=%d %s\n" e.e_index e.e_fence
+           (describe_op e.e_op)))
+    (List.rev t.rev_entries);
+  Buffer.contents buf

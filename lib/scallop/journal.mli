@@ -1,0 +1,103 @@
+(** Durable intent journal for the controller tier (write-ahead log).
+
+    Every state-mutating controller operation is appended here {e
+    before} it executes, under the appender's fencing epoch. Replaying
+    the journal on top of the latest compacted snapshot reconstructs the
+    controller's intent state exactly — the allocators (pids, meeting
+    ids, SFU ports) are deterministic counters restored by the snapshot,
+    so re-executing the op sequence re-derives every identifier.
+
+    {b Fencing.} The journal is also the cluster's arbiter of who may
+    write. {!acquire_fence} mints a strictly larger fencing epoch;
+    {!append} refuses (raises {!Deposed}) any append under an older
+    fence. A primary that was failed over therefore discovers its own
+    deposition on its next write — before executing anything — and a
+    promoted standby can never interleave with it in the log.
+    ({!Mutation.Skip_fencing_check} disables the refusal so the bounded
+    explorer can rediscover the resulting split-brain.)
+
+    {b Compaction.} {!install_snapshot} records a state snapshot
+    covering a prefix of the log and drops the covered entries. The
+    cluster drives compaction from its standby — only entries every
+    tailer has already applied are dropped.
+
+    The snapshot payload is a type parameter so this module can sit
+    below {!Controller} in the build (the controller instantiates
+    ['s] with its own persisted-state record). *)
+
+type op =
+  | Create_meeting
+  | Join of {
+      mid : int;
+      home : int option;
+      simulcast : bool;
+      client : Webrtc.Client.t;
+      send_media : bool;
+    }
+  | Leave of { pid : int }
+  | Start_screen of { pid : int }
+  | Stop_screen of { pid : int }
+  | Set_pair_target of {
+      sender : int;
+      receiver : int;
+      target : Av1.Dd.decode_target;
+    }
+
+type entry = {
+  e_index : int;  (** position in the log, dense from 0, never reused *)
+  e_fence : int;  (** fencing epoch the op was appended under *)
+  e_op : op;
+}
+
+type 's t
+
+exception Deposed of { held : int; current : int }
+(** Raised by {!append} when [held] is older than the journal's
+    [current] fence: the appender has been failed over. *)
+
+val create : unit -> 's t
+
+val fence : 's t -> int
+(** The highest fencing epoch ever granted (0 before the first
+    {!acquire_fence}); only this epoch may append. *)
+
+val acquire_fence : 's t -> int
+(** Mint and return a new, strictly larger fencing epoch. The previous
+    holder's next {!append} raises {!Deposed}. *)
+
+val append : 's t -> fence:int -> op -> int
+(** Append [op] under [fence]; returns its log index.
+    @raise Deposed if [fence] is not the current fence. *)
+
+val head : 's t -> int
+(** Index of the most recent entry, [-1] if nothing was ever appended.
+    Compaction never moves this backwards. *)
+
+val entries_after : 's t -> int -> entry list
+(** Live entries with index strictly greater than the argument, in log
+    order. Entries at or below the snapshot's covered index are gone. *)
+
+val snapshot : 's t -> ('s * int) option
+(** The latest compacted snapshot and the log index it covers through. *)
+
+val install_snapshot : 's t -> index:int -> 's -> unit
+(** Record [s] as covering the log through [index] and drop the covered
+    entries. [index] must not exceed {!head}. *)
+
+val length : 's t -> int
+(** Live (uncompacted) entries. *)
+
+val appended : 's t -> int
+(** Total appends ever, compacted or not. *)
+
+val compactions : 's t -> int
+
+val truncated : 's t -> int
+(** Entries dropped by compaction so far. *)
+
+val op_name : op -> string
+
+val dump : 's t -> string
+(** Human-readable rendering of the live log (one line per entry,
+    snapshot marker first) — the CI chaos gate uploads this as the
+    journal artifact. *)

@@ -3,14 +3,23 @@ type t =
   | Corrupt_replay
   | Reverse_batch
   | Exec_while_offline
+  | Skip_fencing_check
 
-let all = [ Heal_without_quiesce; Corrupt_replay; Reverse_batch; Exec_while_offline ]
+let all =
+  [
+    Heal_without_quiesce;
+    Corrupt_replay;
+    Reverse_batch;
+    Exec_while_offline;
+    Skip_fencing_check;
+  ]
 
 let name = function
   | Heal_without_quiesce -> "heal-without-quiesce"
   | Corrupt_replay -> "corrupt-replay"
   | Reverse_batch -> "reverse-batch"
   | Exec_while_offline -> "exec-while-offline"
+  | Skip_fencing_check -> "skip-fencing-check"
 
 let of_name s = List.find_opt (fun m -> name m = s) all
 
@@ -24,6 +33,9 @@ let describe = function
   | Reverse_batch -> "execute Batch ops in reverse submission order"
   | Exec_while_offline ->
       "keep executing requests while the agent process is crashed"
+  | Skip_fencing_check ->
+      "ignore fencing epochs everywhere: the journal accepts appends \
+       from a deposed primary and agents execute stale-fenced requests"
 
 let enabled : (t, unit) Hashtbl.t = Hashtbl.create 4
 

@@ -21,6 +21,10 @@ type t =
   | Exec_while_offline
       (** {!Rpc_transport.Server} keeps executing requests while the
           agent process is crashed *)
+  | Skip_fencing_check
+      (** {!Journal} accepts appends under a stale fence and
+          {!Switch_agent} executes stale-fenced requests — a deposed
+          primary can double-execute (split-brain) *)
 
 val all : t list
 val name : t -> string

@@ -38,6 +38,7 @@ type request =
   | Ping
   | Reset
   | Batch of request list
+  | Fenced of { fence : int; op : request }
 
 type reply =
   | Meeting_created of { meeting : int }
@@ -45,6 +46,7 @@ type reply =
   | Pong of { epoch : int }
   | Error of string
   | Batch_reply of reply list
+  | Stale_fence of { fence : int }
 
 type message =
   | Request of { seq : int; request : request }
@@ -52,7 +54,7 @@ type message =
 
 exception Decode_error of string
 
-let request_name = function
+let rec request_name = function
   | New_meeting _ -> "new-meeting"
   | Register_participant _ -> "register-participant"
   | Register_uplink _ -> "register-uplink"
@@ -63,6 +65,7 @@ let request_name = function
   | Ping -> "ping"
   | Reset -> "reset"
   | Batch _ -> "batch"
+  | Fenced { op; _ } -> request_name op
 
 (* --- wire codec --------------------------------------------------------------
 
@@ -137,12 +140,14 @@ let rec encode_request r =
       "batch"
       :: string_of_int (List.length ops)
       :: List.concat_map (fun op -> framed (encode_request op)) ops
+  | Fenced { fence; op } -> "fenced" :: string_of_int fence :: encode_request op
 
 let rec encode_reply = function
   | Meeting_created { meeting } -> [ "meeting-created"; string_of_int meeting ]
   | Ack -> [ "ack" ]
   | Pong { epoch } -> [ "pong"; string_of_int epoch ]
   | Error msg -> [ "error"; msg ]
+  | Stale_fence { fence } -> [ "stale-fence"; string_of_int fence ]
   | Batch_reply replies ->
       "batch-reply"
       :: string_of_int (List.length replies)
@@ -251,6 +256,8 @@ let rec decode_request = function
   | [ "reset" ] -> Reset
   | "batch" :: n :: rest ->
       Batch (List.map decode_request (framed_groups "batch" (int_field "batch size" n) rest))
+  | "fenced" :: fence :: rest ->
+      Fenced { fence = int_field "fence" fence; op = decode_request rest }
   | op :: _ -> fail "unknown or malformed request %S" op
   | [] -> fail "empty request"
 
@@ -258,6 +265,7 @@ let rec decode_reply = function
   | [ "meeting-created"; m ] -> Meeting_created { meeting = int_field "meeting" m }
   | [ "ack" ] -> Ack
   | [ "pong"; e ] -> Pong { epoch = int_field "epoch" e }
+  | [ "stale-fence"; f ] -> Stale_fence { fence = int_field "fence" f }
   | "batch-reply" :: n :: rest ->
       Batch_reply
         (List.map decode_reply (framed_groups "batch-reply" (int_field "batch size" n) rest))

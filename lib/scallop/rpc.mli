@@ -59,6 +59,13 @@ type request =
           batch replays the cached reply list without re-executing any
           member. Nesting is permitted by the codec but the controller
           never sends it. *)
+  | Fenced of { fence : int; op : request }
+      (** [op] carried under a fencing epoch: the agent executes it only
+          if [fence] is at least the highest fence it has ever observed,
+          and answers {!Stale_fence} otherwise — how a deposed primary's
+          in-flight or retransmitted ops are kept from double-executing
+          after a failover (split-brain prevention, paper-adjacent
+          carrier-grade control-plane requirement) *)
 
 type reply =
   | Meeting_created of { meeting : int }  (** answers [New_meeting] *)
@@ -71,6 +78,10 @@ type reply =
       (** answers [Batch]: the i-th element answers the i-th op; a
           failed op contributes its [Error] in place while later ops
           still execute (partial failure is per-op, never all-or-nothing) *)
+  | Stale_fence of { fence : int }
+      (** the agent refused a {!Fenced} request because it has already
+          seen a higher fence ([fence] is the agent's current one); the
+          sender is deposed and must stop acting as primary *)
 
 type message =
   | Request of { seq : int; request : request }

@@ -75,8 +75,12 @@ module Server = struct
     handler : Rpc.request -> Rpc.reply;
     on_receive : unit -> unit;
     label : string;  (** agent identity stamped on [rpc_exec] trace events *)
-    seen : (int, Rpc.reply) Hashtbl.t;  (** reply cache by request seq *)
-    seen_order : int Queue.t;
+    seen : (Addr.t * int, Rpc.reply) Hashtbl.t;
+        (** reply cache keyed by (requester, seq): controller instances
+            allocate seqs independently, so two controllers (primary and
+            a promoted standby) sharing one seq space must not collide
+            in the cache — each runs under its own source address *)
+    seen_order : (Addr.t * int) Queue.t;
     mutable reply_fault : (seq:int -> Rpc.reply -> fault) option;
     mutable online : bool;
     mutable requests_received : int;
@@ -119,9 +123,9 @@ module Server = struct
     Hashtbl.reset t.seen;
     Queue.clear t.seen_order
 
-  let remember t seq reply =
-    Hashtbl.replace t.seen seq reply;
-    Queue.push seq t.seen_order;
+  let remember t key reply =
+    Hashtbl.replace t.seen key reply;
+    Queue.push key t.seen_order;
     if Queue.length t.seen_order > cache_capacity then
       Hashtbl.remove t.seen (Queue.pop t.seen_order)
 
@@ -151,9 +155,10 @@ module Server = struct
     | Rpc.Request { seq; request } ->
         t.requests_received <- t.requests_received + 1;
         t.on_receive ();
-        let replayed = Hashtbl.mem t.seen seq in
+        let key = (dgram.src, seq) in
+        let replayed = Hashtbl.mem t.seen key in
         let reply =
-          match Hashtbl.find_opt t.seen seq with
+          match Hashtbl.find_opt t.seen key with
           | Some cached ->
               t.replayed <- t.replayed + 1;
               if Mutation.on Mutation.Corrupt_replay then Rpc.Error "replay-corrupt"
@@ -165,24 +170,41 @@ module Server = struct
                 | exception Invalid_argument msg -> Rpc.Error msg
               in
               t.executed <- t.executed + 1;
-              remember t seq reply;
+              remember t key reply;
               reply
         in
         t.replies_sent <- t.replies_sent + 1;
         let payload = Rpc.encode (Rpc.Reply { seq; reply }) in
-        if Trace.enabled Trace.Rpc then
+        if Trace.enabled Trace.Rpc then begin
+          let fence_args =
+            match request with
+            | Rpc.Fenced { fence; _ } ->
+                [
+                  ("fence", Trace.I fence);
+                  (* a [Stale_fence] answer means the op was refused, not
+                     executed — the deposed-epoch rule keys on this *)
+                  ( "rejected",
+                    Trace.S
+                      (match reply with
+                      | Rpc.Stale_fence _ -> "true"
+                      | _ -> "false") );
+                ]
+            | _ -> []
+          in
           Trace.instant ~ts:(Engine.now t.engine) ~cat:"rpc" "rpc_exec"
             ~args:
-              [
-                ("name", Trace.S (Rpc.request_name request));
-                ("seq", Trace.I seq);
-                ("replayed", Trace.S (if replayed then "true" else "false"));
-                ("src", Trace.S (Addr.to_string dgram.src));
-                ("agent", Trace.S t.label);
-                (* digest of the encoded reply: the replay-identity rule
-                   compares a replay's digest against the original's *)
-                ("digest", Trace.I (Hashtbl.hash payload));
-              ];
+              ([
+                 ("name", Trace.S (Rpc.request_name request));
+                 ("seq", Trace.I seq);
+                 ("replayed", Trace.S (if replayed then "true" else "false"));
+                 ("src", Trace.S (Addr.to_string dgram.src));
+                 ("agent", Trace.S t.label);
+                 (* digest of the encoded reply: the replay-identity rule
+                    compares a replay's digest against the original's *)
+                 ("digest", Trace.I (Hashtbl.hash payload));
+               ]
+              @ fence_args)
+        end;
         transmit t ~reply_via ~seq ~reply (Dgram.v ~src:dgram.dst ~dst:dgram.src payload)
 
   let stats t =
@@ -237,6 +259,10 @@ module Client = struct
     mutable in_flight : int;  (** window-occupying submissions on the wire *)
     mutable request_fault : (seq:int -> attempt:int -> Rpc.request -> fault) option;
     mutable next_seq : int;
+    mutable muted : bool;
+        (** a killed controller transmits nothing — not even retransmits
+            of in-flight requests or probes; its pending calls just time
+            out in virtual time *)
     (* registry-backed (label [client="..."]); the stats record is the view *)
     calls : Metrics.counter;
     wire_requests : Metrics.counter;
@@ -255,6 +281,8 @@ module Client = struct
     min t.cfg.max_backoff_ns (int_of_float scaled)
 
   let transmit t ~seq ~attempt request dgram =
+    if t.muted then ()
+    else
     let action =
       match t.request_fault with
       | Some f -> f ~seq ~attempt request
@@ -380,6 +408,7 @@ module Client = struct
         in_flight = 0;
         request_fault = None;
         next_seq = 0;
+        muted = false;
         calls = counter "RPC calls issued" "scallop_rpc_calls";
         wire_requests =
           counter "request datagrams put on the wire (retries/dups included)"
@@ -409,6 +438,8 @@ module Client = struct
     t
 
   let set_request_fault t f = t.request_fault <- f
+  let set_muted t m = t.muted <- m
+  let muted t = t.muted
 
   (* The unified asynchronous entry point. A submission takes a window
      slot and goes on the wire immediately when fewer than [window]

@@ -7,9 +7,11 @@
     - per-request timeout with bounded exponential-backoff retry
       (client side);
     - sequence numbers, reused across retries of the same request;
-    - an agent-side reply cache keyed by sequence number, so duplicate
-      deliveries replay the original reply instead of re-executing —
-      at-most-once execution under at-least-once delivery;
+    - an agent-side reply cache keyed by (requester address, sequence
+      number), so duplicate deliveries replay the original reply
+      instead of re-executing — at-most-once execution under
+      at-least-once delivery, even with several controller instances
+      (primary and standby) allocating sequence numbers independently;
     - a fault-injection hook on each side (drop / delay / duplicate by
       predicate) for experiments on a degraded control plane.
 
@@ -178,6 +180,15 @@ module Client : sig
 
   val set_request_fault :
     t -> (seq:int -> attempt:int -> Rpc.request -> fault) option -> unit
+
+  val set_muted : t -> bool -> unit
+  (** [set_muted t true] silences the client entirely: nothing reaches
+      the wire — not new requests, not retransmits of in-flight ones,
+      not probes. Pending submissions settle through their normal
+      timeout ladders in virtual time. Models a killed controller
+      process whose channel endpoints still exist in the simulation. *)
+
+  val muted : t -> bool
 
   val channel : t -> Netsim.Control_channel.t
 

@@ -63,6 +63,11 @@ type t = {
   mutable next_meeting : int;
   mutable alive : bool;
   mutable epoch : int;  (** bumped on every restart; carried in Pong *)
+  mutable fence : int;
+      (** highest fencing epoch observed on any {!Rpc.Fenced} request;
+          requests under a lower fence answer [Stale_fence]. Lost on
+          restart like all agent memory — the acting controller's fenced
+          resync re-installs it. *)
   rpc_calls : Scallop_obs.Metrics.counter;
   mutable cpu_packets : int;
   mutable cpu_bytes : int;
@@ -560,6 +565,12 @@ let rec dispatch t (req : Rpc.request) : Rpc.reply =
   | Rpc.Reset ->
       wipe t;
       Rpc.Ack
+  | Rpc.Fenced { fence; op } ->
+      if fence >= t.fence || Mutation.on Mutation.Skip_fencing_check then begin
+        if fence > t.fence then t.fence <- fence;
+        dispatch t op
+      end
+      else Rpc.Stale_fence { fence = t.fence }
 
 let create engine dp ?(rewrite = Seq_rewrite.S_LM) ?(select = default_select)
     ?(migration_enabled = true) ?(rewriting_enabled = true) ?(feedback_filter = true) () =
@@ -578,6 +589,7 @@ let create engine dp ?(rewrite = Seq_rewrite.S_LM) ?(select = default_select)
       next_meeting = 0;
       alive = true;
       epoch = 0;
+      fence = 0;
       rpc_calls =
         Scallop_obs.Metrics.counter
           ~labels:[ ("switch", Dataplane.obs_label dp) ]
@@ -616,6 +628,7 @@ let rpc_server t = Option.get t.rpc_server
 
 let alive t = t.alive
 let epoch t = t.epoch
+let fence t = t.fence
 
 let crash t =
   if t.alive then begin
@@ -631,6 +644,7 @@ let restart t =
   crash t;
   t.epoch <- t.epoch + 1;
   t.next_meeting <- 0;
+  t.fence <- 0;
   t.alive <- true;
   let server = rpc_server t in
   Rpc_transport.Server.flush_cache server;

@@ -139,6 +139,13 @@ val restart : t -> unit
 val alive : t -> bool
 val epoch : t -> int
 
+val fence : t -> int
+(** Highest fencing epoch seen on any [Rpc.Fenced] request (0 until one
+    arrives). Requests under a lower fence are answered [Stale_fence]
+    without executing — a deposed primary cannot double-execute here.
+    Reset to 0 by {!restart} (fence memory dies with the power); the
+    acting controller's fenced resync re-installs it. *)
+
 (** {1 Statistics} *)
 
 type stats = {

@@ -543,12 +543,17 @@ let add_recv_connection t ~local_port ~remote ~video_ssrc ~audio_ssrc =
   make_connection t ~kind:Recv ~local_port ~remote ~video_ssrc ~audio_ssrc ()
 
 let close_connection t conn =
-  (* say goodbye (RFC 3550 BYE) before tearing down *)
-  if conn.open_ && conn.connected then
-    send_rtcp t conn [ Rtp.Rtcp.Bye { ssrcs = [ conn.video_ssrc; conn.audio_ssrc ]; reason = None } ];
-  conn.open_ <- false;
-  Network.unbind t.network conn.local;
-  t.connections <- List.filter (fun c -> c != conn) t.connections
+  (* idempotent: two controller instances replaying the same intent (a
+     promoted standby re-applying a journaled leave the primary already
+     executed) may both close the shared connection *)
+  if conn.open_ then begin
+    (* say goodbye (RFC 3550 BYE) before tearing down *)
+    if conn.connected then
+      send_rtcp t conn [ Rtp.Rtcp.Bye { ssrcs = [ conn.video_ssrc; conn.audio_ssrc ]; reason = None } ];
+    conn.open_ <- false;
+    Network.unbind t.network conn.local;
+    t.connections <- List.filter (fun c -> c != conn) t.connections
+  end
 
 let connected conn = conn.connected
 

@@ -88,7 +88,9 @@ val attach_qoe :
 
 val close_connection : t -> connection -> unit
 (** Sends an RTCP BYE for the connection's streams, then stops its timers
-    and unbinds its port. *)
+    and unbinds its port. Idempotent: closing an already-closed
+    connection does nothing (controller failover replays can close the
+    same shared connection twice). *)
 
 val connections : t -> connection list
 

@@ -13,6 +13,7 @@ module A = Scallop.Switch_agent
 module D = Scallop.Dataplane
 module T = Scallop.Rpc_transport
 module An = Scallop_analysis
+module Cl = Scallop.Cluster
 module Common = Experiments.Common
 
 (* Canonical agent shadow state for equivalence checks: everything the
@@ -219,6 +220,125 @@ let reconcile_repairs_drift () =
   Alcotest.(check int) "clean after repair" 0 (List.length (An.errors report.An.rr_after));
   An.assert_clean ~what:"post reconcile" stack.controller
 
+(* --- flapping switch: the detector counts every transition -------------- *)
+
+let flapping_detector_counts_transitions () =
+  let stack = Common.make_scallop ~seed:35 () in
+  ignore (Common.scallop_meeting stack ~participants:3 ~senders:1 ());
+  C.start_health stack.controller;
+  run_to stack 1.0;
+  (* two suspect/heal flaps: sever control long enough for Suspect
+     (2 missed probes at the default 500 ms heartbeat) but heal before
+     Dead (4 missed) *)
+  set_control_loss stack 1.0;
+  run_to stack 2.3;
+  Alcotest.(check string) "first flap suspected" "suspect"
+    (C.health_name (C.agent_health stack.controller 0));
+  set_control_loss stack 0.0;
+  run_to stack 3.3;
+  Alcotest.(check string) "first flap healed" "healthy"
+    (C.health_name (C.agent_health stack.controller 0));
+  set_control_loss stack 1.0;
+  run_to stack 4.6;
+  Alcotest.(check string) "second flap suspected" "suspect"
+    (C.health_name (C.agent_health stack.controller 0));
+  set_control_loss stack 0.0;
+  run_to stack 5.6;
+  C.stop_health stack.controller;
+  Alcotest.(check string) "second flap healed" "healthy"
+    (C.health_name (C.agent_health stack.controller 0));
+  (* the per-state transition counters behind scallop_ctrl_health_* see
+     the matched suspect/healthy pairs; dead never fired *)
+  Alcotest.(check int) "suspect transitions" 2
+    (C.health_transitions stack.controller 0 C.Suspect);
+  Alcotest.(check int) "healthy transitions" 2
+    (C.health_transitions stack.controller 0 C.Healthy);
+  Alcotest.(check int) "no dead transition" 0
+    (C.health_transitions stack.controller 0 C.Dead);
+  An.assert_clean ~what:"post flapping" stack.controller
+
+(* --- recovery log: bounded ring, evictions counted ----------------------- *)
+
+let recovery_log_is_bounded () =
+  let stack = Common.make_scallop ~seed:36 () in
+  ignore (Common.scallop_meeting stack ~participants:2 ~senders:0 ());
+  (* an aggressive detector so 70 power-cycles complete their heal
+     resyncs in a short virtual window *)
+  C.start_health
+    ~config:
+      {
+        C.heartbeat_every_ns = Engine.ms 50;
+        probe_timeout_ns = Engine.ms 25;
+        suspect_after = 1;
+        dead_after = 2;
+        deferred_cap = 256;
+      }
+    stack.controller;
+  run_to stack 0.5;
+  for i = 0 to 69 do
+    let base = 0.5 +. (0.3 *. float_of_int i) in
+    Engine.at stack.engine ~time:(Engine.sec base) (fun () ->
+        A.crash stack.agent);
+    Engine.at stack.engine
+      ~time:(Engine.sec (base +. 0.15))
+      (fun () -> A.restart stack.agent)
+  done;
+  run_to stack 23.0;
+  C.stop_health stack.controller;
+  let log = C.recovery_log stack.controller in
+  Alcotest.(check int) "ring capped at 64" 64 (List.length log);
+  Alcotest.(check bool) "evictions counted" true
+    (C.recovery_log_dropped stack.controller > 0);
+  (* newest-first: the surviving entries are the most recent heals *)
+  (match log with
+  | newest :: _ ->
+      Alcotest.(check bool) "newest entry is from a late cycle" true
+        (newest.C.re_recovered_ns > Engine.sec 15.0)
+  | [] -> Alcotest.fail "empty recovery log")
+
+(* --- cluster: kill the primary, the standby takes over ------------------- *)
+
+let cluster_failover_resumes_service () =
+  let cs = Common.make_cluster ~seed:41 () in
+  let stack = cs.Common.base in
+  let cluster = cs.Common.cluster in
+  let mid, _parts = Common.scallop_meeting stack ~participants:4 ~senders:2 () in
+  Cl.start_health cluster;
+  run_to stack 1.5;
+  Alcotest.(check string) "primary acting" "ctl" (C.label (Cl.endpoint cluster));
+  Cl.kill_primary cluster;
+  run_to stack 3.0;
+  Alcotest.(check int) "standby promoted once" 1 (Cl.promotions cluster);
+  let ep = Cl.endpoint cluster in
+  Alcotest.(check string) "endpoint is the old standby" "ctl1" (C.label ep);
+  Alcotest.(check bool) "fence advanced past the dead primary's" true
+    (C.fence ep >= 2);
+  (* the killed instance refuses new intent *)
+  Alcotest.check_raises "killed primary unavailable" C.Unavailable (fun () ->
+      ignore (C.create_meeting (Cl.primary cluster)));
+  (* service continues through the new primary: the rebuilt intent
+     resolves the pre-failover meeting and participant ids *)
+  let pids = C.meeting_participants ep mid in
+  C.set_pair_target ep ~sender:(List.hd pids) ~receiver:(List.nth pids 2)
+    Av1.Dd.DT_15fps;
+  C.leave ep (List.nth pids 3);
+  run_to stack 5.0;
+  (* the old primary rejoins as a tailing standby *)
+  Cl.restart_killed cluster;
+  run_to stack 7.0;
+  Cl.stop cluster;
+  Alcotest.(check bool) "restarted instance tails as standby" true
+    (C.role (Cl.primary cluster) = C.Standby);
+  (match An.errors (An.check_cluster cluster) with
+  | [] -> ()
+  | fs ->
+      Alcotest.failf "cluster invariants violated: %s"
+        (String.concat "; " (List.map (fun f -> f.An.explanation) fs)));
+  Alcotest.(check string) "rebuilt standby reproduces the acting intent"
+    (C.intent_fingerprint ep)
+    (C.intent_fingerprint (Cl.primary cluster));
+  An.assert_clean ~what:"post cluster failover" ep
+
 (* --- QCheck: crash + resync-from-intent == never crashed ---------------- *)
 
 type op = Join of bool | Leave of int | Target of int * int * int
@@ -390,6 +510,124 @@ let straddling_flush_does_not_double_execute () =
     Alcotest.failf "batched crashed run diverged:\n%s\n--- baseline:\n%s"
       (canon_to_string batched_crashed) (canon_to_string baseline)
 
+(* Like [execute], but against the primary/standby cluster, and the
+   fault is a controller kill instead of a switch crash: the primary is
+   killed at [plan.crash_ms] (the beat timer promotes the standby) and
+   restarted as a tailing standby [plan.down_ms] later. Ops follow
+   {!Cl.endpoint}; one caught mid-failover raises [Unavailable] or
+   [Deposed_primary] {e before} journaling anything and is re-queued at
+   the front — submission order, and therefore every replayed
+   identifier, stays deterministic. Returns the acting instance's
+   intent fingerprint plus the canonical agent shadow. *)
+let execute_cluster plan ~kill =
+  let cs = Common.make_cluster ~seed:11 () in
+  let stack = cs.Common.base in
+  let cluster = cs.Common.cluster in
+  let ctrl () = Cl.endpoint cluster in
+  let mid, parts = Common.scallop_meeting stack ~participants:3 ~senders:2 () in
+  Cl.start_health cluster;
+  let live = ref (List.map fst parts) in
+  let senders = ref [ fst (List.hd parts); fst (List.nth parts 1) ] in
+  let next_index = ref 10 in
+  let pending = ref [] in
+  let busy = ref false in
+  let rec drain () =
+    match !pending with
+    | [] -> ()
+    | f :: rest -> (
+        pending := rest;
+        match f (ctrl ()) with
+        | () -> drain ()
+        | exception (C.Unavailable | C.Deposed_primary) ->
+            pending := f :: !pending;
+            Engine.schedule stack.Common.engine ~after:(Engine.ms 300) pump)
+  and pump () =
+    if not !busy then begin
+      busy := true;
+      Fun.protect ~finally:(fun () -> busy := false) drain
+    end
+  in
+  let enqueue f =
+    pending := !pending @ [ f ];
+    pump ()
+  in
+  List.iteri
+    (fun i op ->
+      Engine.at stack.engine
+        ~time:(Engine.sec (0.8 +. (1.0 *. float_of_int i)))
+        (fun () ->
+          match op with
+          | Join send ->
+              (* the client is registered when the timer fires, outside
+                 the retried closure: a retry after a failover re-issues
+                 the join, never a second host registration *)
+              incr next_index;
+              let client =
+                Common.add_client stack.engine stack.network stack.rng
+                  ~index:!next_index ()
+              in
+              enqueue (fun ctrl ->
+                  let pid = C.join ctrl mid client ~send_media:send in
+                  live := !live @ [ pid ];
+                  if send then senders := !senders @ [ pid ])
+          | Leave k ->
+              enqueue (fun ctrl ->
+                  if List.length !live > 1 then begin
+                    let pid = List.nth !live (k mod List.length !live) in
+                    C.leave ctrl pid;
+                    live := List.filter (fun p -> p <> pid) !live;
+                    senders := List.filter (fun p -> p <> pid) !senders
+                  end)
+          | Target (s, r, t) ->
+              enqueue (fun ctrl ->
+                  match List.filter (fun p -> List.mem p !live) !senders with
+                  | [] -> ()
+                  | ss -> (
+                      let sender = List.nth ss (s mod List.length ss) in
+                      match List.filter (fun p -> p <> sender) !live with
+                      | [] -> ()
+                      | rs ->
+                          let receiver = List.nth rs (r mod List.length rs) in
+                          C.set_pair_target ctrl ~sender ~receiver
+                            (Av1.Dd.target_of_index t)))))
+    plan.ops;
+  if kill then begin
+    Engine.at stack.engine
+      ~time:(Engine.ms plan.crash_ms)
+      (fun () -> Cl.kill_primary cluster);
+    Engine.at stack.engine
+      ~time:(Engine.ms (plan.crash_ms + plan.down_ms))
+      (fun () -> Cl.restart_killed cluster)
+  end;
+  run_to stack 10.0;
+  Cl.stop cluster;
+  let ep = ctrl () in
+  An.assert_clean
+    ~what:(if kill then "killed-primary run" else "never-killed run")
+    ep;
+  (match An.errors (An.check_cluster cluster) with
+  | [] -> ()
+  | fs ->
+      Alcotest.failf "cluster invariants violated (%s): %s"
+        (if kill then "killed" else "baseline")
+        (String.concat "; " (List.map (fun f -> f.An.explanation) fs)));
+  (C.intent_fingerprint ep, canon_agent stack.Common.agent)
+
+let cluster_equiv_prop =
+  QCheck.Test.make ~count:3
+    ~name:"kill primary at any point + failover == never killed" plan_arb
+    (fun plan ->
+      let killed_fp, killed_agent = execute_cluster plan ~kill:true in
+      let base_fp, base_agent = execute_cluster plan ~kill:false in
+      if killed_fp <> base_fp then
+        Printf.printf "--- killed-run intent:\n%s\n--- baseline intent:\n%s\n"
+          killed_fp base_fp;
+      if killed_agent <> base_agent then
+        Printf.printf "--- killed-run agent:\n%s\n--- baseline agent:\n%s\n"
+          (canon_to_string killed_agent)
+          (canon_to_string base_agent);
+      killed_fp = base_fp && killed_agent = base_agent)
+
 let batched_equiv_prop =
   QCheck.Test.make ~count:3 ~name:"batched + crash mid-batch == per-op baseline"
     plan_arb
@@ -416,10 +654,20 @@ let () =
             reconcile_repairs_drift;
           Alcotest.test_case "straddling flush never double-executes" `Quick
             straddling_flush_does_not_double_execute;
+          Alcotest.test_case "flapping detector counts transitions" `Quick
+            flapping_detector_counts_transitions;
+          Alcotest.test_case "recovery log is a bounded ring" `Quick
+            recovery_log_is_bounded;
+        ] );
+      ( "cluster",
+        [
+          Alcotest.test_case "failover resumes service" `Quick
+            cluster_failover_resumes_service;
         ] );
       ( "equivalence",
         [
           QCheck_alcotest.to_alcotest ~verbose:false resync_equiv_prop;
           QCheck_alcotest.to_alcotest ~verbose:false batched_equiv_prop;
+          QCheck_alcotest.to_alcotest ~verbose:false cluster_equiv_prop;
         ] );
     ]

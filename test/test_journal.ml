@@ -1,0 +1,161 @@
+(* Unit tests for the durable intent journal: fencing arbitration
+   (stale appenders are deposed, epochs are strictly monotone), dense
+   log indices, suffix reads, snapshot compaction bookkeeping, the dump
+   rendering the CI chaos gate archives, and the seeded
+   skip-fencing-check defect that disables the deposition. *)
+
+module J = Scallop.Journal
+module Mutation = Scallop.Mutation
+
+let op_names entries = List.map (fun (e : J.entry) -> J.op_name e.J.e_op) entries
+
+(* --- fencing ------------------------------------------------------------- *)
+
+let fencing_deposes_stale_appender () =
+  let j : int J.t = J.create () in
+  Alcotest.(check int) "no fence granted yet" 0 (J.fence j);
+  let f1 = J.acquire_fence j in
+  Alcotest.(check int) "first epoch" 1 f1;
+  Alcotest.(check int) "append under the current fence" 0
+    (J.append j ~fence:f1 J.Create_meeting);
+  let f2 = J.acquire_fence j in
+  Alcotest.(check bool) "epochs strictly increase" true (f2 > f1);
+  Alcotest.(check int) "journal reports the new holder" f2 (J.fence j);
+  Alcotest.check_raises "the old holder is deposed on its next write"
+    (J.Deposed { held = f1; current = f2 })
+    (fun () -> ignore (J.append j ~fence:f1 (J.Leave { pid = 3 })));
+  Alcotest.(check int) "the refused append left no trace" 0 (J.head j);
+  Alcotest.(check int) "refusals don't count as appends" 1 (J.appended j);
+  Alcotest.(check int) "the new holder appends fine" 1
+    (J.append j ~fence:f2 (J.Leave { pid = 3 }))
+
+let acquire_fence_is_monotone () =
+  let j : unit J.t = J.create () in
+  let prev = ref 0 in
+  for _ = 1 to 50 do
+    let f = J.acquire_fence j in
+    if f <= !prev then Alcotest.failf "fence regressed: %d after %d" f !prev;
+    prev := f
+  done
+
+(* --- log shape ----------------------------------------------------------- *)
+
+let indices_dense_and_suffix_ordered () =
+  let j : unit J.t = J.create () in
+  let f = J.acquire_fence j in
+  List.iteri
+    (fun i op ->
+      Alcotest.(check int) "dense index" i (J.append j ~fence:f op))
+    [
+      J.Create_meeting;
+      J.Start_screen { pid = 7 };
+      J.Stop_screen { pid = 7 };
+      J.Leave { pid = 7 };
+    ];
+  Alcotest.(check int) "head" 3 (J.head j);
+  Alcotest.(check int) "live length" 4 (J.length j);
+  Alcotest.(check (list string))
+    "full replay from -1"
+    [ "create-meeting"; "start-screen"; "stop-screen"; "leave" ]
+    (op_names (J.entries_after j (-1)));
+  Alcotest.(check (list string))
+    "suffix past index 1"
+    [ "stop-screen"; "leave" ]
+    (op_names (J.entries_after j 1));
+  Alcotest.(check (list string)) "empty past head" [] (op_names (J.entries_after j 3));
+  (* every entry remembers the epoch it was appended under *)
+  List.iter
+    (fun (e : J.entry) -> Alcotest.(check int) "entry fence" f e.J.e_fence)
+    (J.entries_after j (-1))
+
+(* --- compaction ---------------------------------------------------------- *)
+
+let compaction_drops_covered_prefix () =
+  let j : int J.t = J.create () in
+  let f = J.acquire_fence j in
+  for i = 0 to 9 do
+    ignore (J.append j ~fence:f (J.Leave { pid = i }))
+  done;
+  Alcotest.(check (option (pair int int))) "no snapshot yet" None (J.snapshot j);
+  J.install_snapshot j ~index:5 42;
+  Alcotest.(check (option (pair int int)))
+    "snapshot recorded with its covered index"
+    (Some (42, 5))
+    (J.snapshot j);
+  Alcotest.(check int) "head never moves backwards" 9 (J.head j);
+  Alcotest.(check int) "covered entries dropped" 4 (J.length j);
+  Alcotest.(check int) "truncated counter" 6 (J.truncated j);
+  Alcotest.(check int) "compaction counter" 1 (J.compactions j);
+  Alcotest.(check int) "total appends unaffected" 10 (J.appended j);
+  (match J.entries_after j (-1) with
+  | { J.e_index = 6; _ } :: _ -> ()
+  | e :: _ -> Alcotest.failf "live log starts at %d, expected 6" e.J.e_index
+  | [] -> Alcotest.fail "live log empty after partial compaction");
+  (* appends continue with dense indices after the snapshot *)
+  Alcotest.(check int) "post-snapshot index" 10
+    (J.append j ~fence:f (J.Leave { pid = 10 }));
+  Alcotest.check_raises "snapshot past head rejected"
+    (Invalid_argument "Journal.install_snapshot: index 99 beyond head 10")
+    (fun () -> J.install_snapshot j ~index:99 0)
+
+let dump_renders_snapshot_then_live_log () =
+  let j : int J.t = J.create () in
+  let f = J.acquire_fence j in
+  ignore (J.append j ~fence:f J.Create_meeting);
+  ignore (J.append j ~fence:f (J.Start_screen { pid = 2 }));
+  J.install_snapshot j ~index:0 7;
+  let d = J.dump j in
+  let has needle =
+    let n = String.length needle and l = String.length d in
+    let rec go i = i + n <= l && (String.sub d i n = needle || go (i + 1)) in
+    go 0
+  in
+  Alcotest.(check bool) "header line" true
+    (has "journal fence=1 appended=2 compactions=1 truncated=1");
+  Alcotest.(check bool) "snapshot marker" true (has "snapshot through=0");
+  Alcotest.(check bool) "live entry line" true
+    (has "000001 fence=1 start-screen pid=2");
+  Alcotest.(check bool) "compacted entry gone" true (not (has "create-meeting"))
+
+(* --- the seeded defect --------------------------------------------------- *)
+
+let skip_fencing_check_admits_stale_appends () =
+  let j : unit J.t = J.create () in
+  let f1 = J.acquire_fence j in
+  let f2 = J.acquire_fence j in
+  Mutation.disable_all ();
+  Mutation.enable Mutation.Skip_fencing_check;
+  Fun.protect ~finally:Mutation.disable_all (fun () ->
+      (* with the check disabled the deposed epoch writes anyway — the
+         split-brain interleaving the explorer must rediscover *)
+      Alcotest.(check int) "stale append admitted" 0
+        (J.append j ~fence:f1 J.Create_meeting);
+      Alcotest.(check int) "current epoch interleaves" 1
+        (J.append j ~fence:f2 (J.Leave { pid = 0 })));
+  (* and with the mutation off again, the same stale epoch is refused *)
+  Alcotest.check_raises "refusal restored"
+    (J.Deposed { held = f1; current = f2 })
+    (fun () -> ignore (J.append j ~fence:f1 J.Create_meeting))
+
+let () =
+  Alcotest.run "journal"
+    [
+      ( "fencing",
+        [
+          Alcotest.test_case "stale appender deposed" `Quick
+            fencing_deposes_stale_appender;
+          Alcotest.test_case "epochs strictly monotone" `Quick
+            acquire_fence_is_monotone;
+          Alcotest.test_case "skip-fencing-check admits stale appends" `Quick
+            skip_fencing_check_admits_stale_appends;
+        ] );
+      ( "log",
+        [
+          Alcotest.test_case "dense indices, ordered suffixes" `Quick
+            indices_dense_and_suffix_ordered;
+          Alcotest.test_case "compaction drops the covered prefix" `Quick
+            compaction_drops_covered_prefix;
+          Alcotest.test_case "dump renders snapshot then live log" `Quick
+            dump_renders_snapshot_then_live_log;
+        ] );
+    ]
